@@ -1,0 +1,532 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6) plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe
+
+   Tables:
+     E1-E3  Figures 2/5/6 — minmax cycles per iteration at each level
+     E4     Figure 7      — compile-time overhead of global scheduling
+     E5     Figure 8      — run-time improvement on the SPEC proxies
+     E6     Section 5.3   — the blocked speculative motion
+     A1     ablation      — issue-width sweep
+     A2     ablation      — heuristic rule ordering
+     A3     ablation      — renaming / unrolling / rotation / pruning
+     A4     extension     — register-web splitting (Section 4.2)
+     A5     extension     — n-branch speculation (Definition 7)
+     A6     extension     — profile-guided speculation
+     A7     extension     — detailed machine model for the local pass
+     A8     extension     — restricted scheduling-with-duplication
+
+   E4 uses Bechamel (one Test.make per program+configuration); the other
+   tables are simulator measurements, which are deterministic. *)
+
+open Gis_ir
+open Gis_machine
+open Gis_core
+open Gis_sim
+open Gis_frontend
+open Gis_workloads
+
+let rs6k = Machine.rs6k
+
+let hr title = Fmt.pr "@.=== %s ===@." title
+
+(* ------------------------------------------------------------------ *)
+(* E1-E3: Figures 2/5/6                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig_config level =
+  {
+    Config.default with
+    Config.level;
+    unroll_small_loops = false;
+    rotate_small_loops = false;
+  }
+
+let minmax_elements =
+  let rng = Prng.create ~seed:5 in
+  List.init 64 (fun _ -> Prng.int rng 1000)
+
+let bench_figures_256 () =
+  hr "E1-E3: minmax cycles/iteration (Figures 2, 5, 6)";
+  let t = Minmax.build () in
+  let input = Minmax.input t minmax_elements in
+  let measure level =
+    let cfg = Cfg.deep_copy t.Minmax.cfg in
+    ignore (Pipeline.run rs6k (fig_config level) cfg);
+    Simulator.cycles_per_iteration rs6k cfg ~header:t.Minmax.loop_header input
+  in
+  Fmt.pr "  %-26s | paper      | measured@." "schedule";
+  Fmt.pr "  %-26s-+------------+---------@." (String.make 26 '-');
+  let row name paper v = Fmt.pr "  %-26s | %-10s | %5.1f@." name paper v in
+  row "Figure 2 (base, local)" "20-22" (measure Config.Local);
+  row "Figure 5 (useful only)" "12-13" (measure Config.Useful);
+  row "Figure 6 (+speculative)" "11-12" (measure Config.Speculative)
+
+(* ------------------------------------------------------------------ *)
+(* E4: Figure 7 — compile-time overhead, via Bechamel                  *)
+(* ------------------------------------------------------------------ *)
+
+let nanoseconds_of_test test =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.fold
+    (fun _name ols_result acc ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> est
+      | Some [] | None -> acc)
+    results nan
+
+let bench_figure7 () =
+  hr "E4: compile-time overhead (Figure 7)";
+  Fmt.pr
+    "  (BASE = parse + lower + local scheduling; CTO = extra time for the \
+     full global pipeline)@.";
+  Fmt.pr "  %-10s | base (us) | full (us) | CTO meas. | CTO paper@." "program";
+  List.iter
+    (fun (p : Spec_proxy.t) ->
+      let compile config () =
+        let compiled = Codegen.compile_string p.Spec_proxy.source in
+        ignore (Pipeline.run rs6k config compiled.Codegen.cfg)
+      in
+      let t_base =
+        nanoseconds_of_test
+          (Bechamel.Test.make
+             ~name:(p.Spec_proxy.name ^ "-base")
+             (Bechamel.Staged.stage (compile Config.base)))
+      in
+      let t_full =
+        nanoseconds_of_test
+          (Bechamel.Test.make
+             ~name:(p.Spec_proxy.name ^ "-full")
+             (Bechamel.Staged.stage (compile Config.speculative)))
+      in
+      let paper_cto =
+        match p.Spec_proxy.name with
+        | "li" -> "13%"
+        | "eqntott" -> "17%"
+        | "espresso" -> "12%"
+        | "gcc" -> "13%"
+        | _ -> "?"
+      in
+      Fmt.pr "  %-10s | %9.1f | %9.1f | %+8.0f%% | %s@." p.Spec_proxy.name
+        (t_base /. 1e3) (t_full /. 1e3)
+        (100.0 *. ((t_full /. t_base) -. 1.0))
+        paper_cto)
+    Spec_proxy.all
+
+(* ------------------------------------------------------------------ *)
+(* E5: Figure 8 — run-time improvement                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bench_figure8 () =
+  hr "E5: run-time improvement on SPEC proxies (Figure 8)";
+  Fmt.pr "  %-10s | base cyc | useful RTI (paper) | spec RTI (paper)@." "program";
+  let paper = [ ("li", ("2.0%", "6.9%")); ("eqntott", ("7.1%", "7.3%"));
+                ("espresso", ("-0.5%", "0%")); ("gcc", ("-1.5%", "0%")) ] in
+  List.iter
+    (fun (p : Spec_proxy.t) ->
+      let compiled = Spec_proxy.compile p in
+      let input = p.Spec_proxy.setup compiled in
+      let cycles config =
+        let cfg = Cfg.deep_copy compiled.Codegen.cfg in
+        ignore (Pipeline.run rs6k config cfg);
+        (Simulator.run rs6k cfg input).Simulator.cycles
+      in
+      let base = cycles Config.base in
+      let useful = cycles Config.useful_only in
+      let spec = cycles Config.speculative in
+      let rti x = 100.0 *. (1.0 -. (float_of_int x /. float_of_int base)) in
+      let pu, ps = List.assoc p.Spec_proxy.name paper in
+      Fmt.pr "  %-10s | %8d | %8.1f%% (%5s) | %8.1f%% (%4s)@."
+        p.Spec_proxy.name base (rti useful) pu (rti spec) ps)
+    Spec_proxy.all
+
+(* ------------------------------------------------------------------ *)
+(* E6: Section 5.3 — the rejected motion                               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_section53 () =
+  hr "E6: Section 5.3 speculation safety";
+  let s = Section53.build () in
+  let reports =
+    Global_sched.schedule rs6k (fig_config Config.Speculative) s.Section53.cfg
+  in
+  List.iter
+    (fun (r : Global_sched.region_report) ->
+      List.iter
+        (fun (m : Global_sched.move) ->
+          Fmt.pr "  moved:   uid %d  %a -> %a@." m.Global_sched.uid Label.pp
+            m.Global_sched.from_label Label.pp m.Global_sched.to_label)
+        r.Global_sched.moves;
+      List.iter
+        (fun (b : Global_sched.blocked) ->
+          let reason =
+            match b.Global_sched.reason with
+            | `Live_on_exit reg -> Fmt.str "%a live on exit" Reg.pp reg
+            | `Rename_unsafe reg -> Fmt.str "%a not renameable" Reg.pp reg
+          in
+          Fmt.pr "  blocked: uid %d  (%s)@." b.Global_sched.blocked_uid reason)
+        r.Global_sched.blocked)
+    reports;
+  Fmt.pr "  (the paper requires exactly one of x=5 / x=3 to move)@."
+
+(* ------------------------------------------------------------------ *)
+(* A1: issue-width sweep                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_width_sweep () =
+  hr "A1: issue-width sweep (speculative RTI over same-width base)";
+  let programs =
+    ("minmax",
+     (let t = Minmax.build () in
+      (t.Minmax.cfg, Minmax.input t minmax_elements)))
+    :: List.map
+         (fun (p : Spec_proxy.t) ->
+           let compiled = Spec_proxy.compile p in
+           (p.Spec_proxy.name, (compiled.Codegen.cfg, p.Spec_proxy.setup compiled)))
+         Spec_proxy.all
+  in
+  Fmt.pr "  %-10s |  width 1 |  width 2 |  width 4 |  width 8@." "program";
+  List.iter
+    (fun (name, (cfg0, input)) ->
+      let rtis =
+        List.map
+          (fun width ->
+            let machine = Machine.superscalar ~width in
+            let cycles config =
+              let cfg = Cfg.deep_copy cfg0 in
+              ignore (Pipeline.run machine config cfg);
+              (Simulator.run machine cfg input).Simulator.cycles
+            in
+            let base = cycles Config.base in
+            let spec = cycles Config.speculative in
+            100.0 *. (1.0 -. (float_of_int spec /. float_of_int base)))
+          [ 1; 2; 4; 8 ]
+      in
+      Fmt.pr "  %-10s |%a@." name
+        Fmt.(list ~sep:(any " |") (fun ppf -> pf ppf "%8.1f%%"))
+        rtis)
+    programs
+
+(* ------------------------------------------------------------------ *)
+(* A2: heuristic-order ablation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bench_heuristics () =
+  hr "A2: heuristic ordering ablation (minmax + proxies, rs6k cycles)";
+  let orders =
+    [
+      ("paper (class,D,CP,ord)", Priority_rule.paper_order);
+      ("no delay heuristic", Priority_rule.[ Useful_first; Max_critical_path; Program_order ]);
+      ("no critical path", Priority_rule.[ Useful_first; Max_delay; Program_order ]);
+      ("program order only", Priority_rule.[ Useful_first; Program_order ]);
+      ("speculative first", Priority_rule.[ Max_delay; Max_critical_path; Program_order ]);
+    ]
+  in
+  let programs =
+    ("minmax",
+     (let t = Minmax.build () in
+      (t.Minmax.cfg, Minmax.input t minmax_elements)))
+    :: List.map
+         (fun (p : Spec_proxy.t) ->
+           let compiled = Spec_proxy.compile p in
+           (p.Spec_proxy.name, (compiled.Codegen.cfg, p.Spec_proxy.setup compiled)))
+         Spec_proxy.all
+  in
+  Fmt.pr "  %-24s" "priority rules";
+  List.iter (fun (name, _) -> Fmt.pr " | %8s" name) programs;
+  Fmt.pr "@.";
+  List.iter
+    (fun (label, rules) ->
+      Fmt.pr "  %-24s" label;
+      List.iter
+        (fun (_, (cfg0, input)) ->
+          let cfg = Cfg.deep_copy cfg0 in
+          ignore
+            (Pipeline.run rs6k { Config.speculative with Config.rules } cfg);
+          Fmt.pr " | %8d" (Simulator.run rs6k cfg input).Simulator.cycles)
+        programs;
+      Fmt.pr "@.")
+    orders
+
+(* ------------------------------------------------------------------ *)
+(* A3: design-choice ablation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_ablation () =
+  hr "A3: design-choice ablation (rs6k cycles, lower is better)";
+  let variants =
+    [
+      ("full pipeline", Config.speculative);
+      ("useful only", Config.useful_only);
+      ("no renaming", { Config.speculative with Config.rename = false });
+      ("no unroll/rotate",
+       { Config.speculative with Config.unroll_small_loops = false;
+         rotate_small_loops = false });
+      ("no transitive pruning",
+       { Config.speculative with Config.prune_transitive = false });
+      ("no local post-pass",
+       { Config.speculative with Config.local_post_pass = false });
+      ("base (local only)", Config.base);
+    ]
+  in
+  let programs =
+    ("minmax",
+     (let t = Minmax.build () in
+      (t.Minmax.cfg, Minmax.input t minmax_elements)))
+    :: List.map
+         (fun (p : Spec_proxy.t) ->
+           let compiled = Spec_proxy.compile p in
+           (p.Spec_proxy.name, (compiled.Codegen.cfg, p.Spec_proxy.setup compiled)))
+         Spec_proxy.all
+  in
+  Fmt.pr "  %-24s" "configuration";
+  List.iter (fun (name, _) -> Fmt.pr " | %8s" name) programs;
+  Fmt.pr "@.";
+  List.iter
+    (fun (label, config) ->
+      Fmt.pr "  %-24s" label;
+      List.iter
+        (fun (_, (cfg0, input)) ->
+          let cfg = Cfg.deep_copy cfg0 in
+          ignore (Pipeline.run rs6k config cfg);
+          Fmt.pr " | %8d" (Simulator.run rs6k cfg input).Simulator.cycles)
+        programs;
+      Fmt.pr "@.")
+    variants
+
+(* ------------------------------------------------------------------ *)
+(* A4-A6: extension ablations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let proxy_programs () =
+  ("minmax",
+   (let t = Minmax.build () in
+    (t.Minmax.cfg, Minmax.input t minmax_elements)))
+  :: List.map
+       (fun (p : Spec_proxy.t) ->
+         let compiled = Spec_proxy.compile p in
+         (p.Spec_proxy.name, (compiled.Codegen.cfg, p.Spec_proxy.setup compiled)))
+       Spec_proxy.all
+
+let run_variant cfg0 input config =
+  let cfg = Cfg.deep_copy cfg0 in
+  let stats = Pipeline.run rs6k config cfg in
+  let moves = Pipeline.moves stats in
+  let renames =
+    List.length
+      (List.filter (fun (m : Global_sched.move) -> m.Global_sched.renamed <> None) moves)
+  in
+  ((Simulator.run rs6k cfg input).Simulator.cycles, List.length moves, renames)
+
+let bench_webs () =
+  hr "A4: register-web splitting (Section 4.2 renaming pre-pass)";
+  Fmt.pr "  %-10s | webs off: cyc/moves/renames | webs on: cyc/moves/renames@."
+    "program";
+  List.iter
+    (fun (name, (cfg0, input)) ->
+      let c0, m0, r0 = run_variant cfg0 input Config.speculative in
+      let c1, m1, r1 =
+        run_variant cfg0 input { Config.speculative with Config.split_webs = true }
+      in
+      Fmt.pr "  %-10s | %9d / %3d / %2d       | %9d / %3d / %2d@." name c0 m0 r0
+        c1 m1 r1)
+    (proxy_programs ())
+
+let bench_speculation_degree () =
+  hr "A5: speculation degree (Definition 7; paper prototype = 1)";
+  Fmt.pr "  %-10s |  degree 1 (moves) |  degree 2 (moves) |  degree 3 (moves)@."
+    "program";
+  List.iter
+    (fun (name, (cfg0, input)) ->
+      let cells =
+        List.map
+          (fun d ->
+            let c, m, _ =
+              run_variant cfg0 input
+                { Config.speculative with Config.max_speculation_degree = d }
+            in
+            (c, m))
+          [ 1; 2; 3 ]
+      in
+      Fmt.pr "  %-10s |%a@." name
+        Fmt.(
+          list ~sep:(any " |") (fun ppf (c, m) -> pf ppf " %8d (%3d)" c m))
+        cells)
+    (proxy_programs ())
+
+let bench_profile_guided () =
+  hr "A6: profile-guided speculation (threshold on execution probability)";
+  Fmt.pr "  %-10s | blind cyc/spec-moves | guided 0.3 | guided 0.7@." "program";
+  List.iter
+    (fun (name, (cfg0, input)) ->
+      let profile = Simulator.profile_fn (Simulator.run rs6k cfg0 input) in
+      let cell threshold =
+        let config =
+          if threshold <= 0.0 then Config.speculative
+          else
+            {
+              Config.speculative with
+              Config.profile = Some profile;
+              min_speculation_probability = threshold;
+            }
+        in
+        let cfg = Cfg.deep_copy cfg0 in
+        let stats = Pipeline.run rs6k config cfg in
+        let spec_moves =
+          List.length
+            (List.filter
+               (fun (m : Global_sched.move) -> m.Global_sched.speculative)
+               (Pipeline.moves stats))
+        in
+        ((Simulator.run rs6k cfg input).Simulator.cycles, spec_moves)
+      in
+      let b, bm = cell 0.0 in
+      let g3, g3m = cell 0.3 in
+      let g7, g7m = cell 0.7 in
+      Fmt.pr "  %-10s | %10d / %3d     | %6d/%3d | %6d/%3d@." name b bm g3 g3m
+        g7 g7m)
+    (proxy_programs ())
+
+let stencil_program () =
+  (* A store-then-reload kernel: the detailed model's store->load delay
+     gives the local scheduler a reason to pull independent work in
+     between. *)
+  let source =
+    {|
+int a[256];
+int b[256];
+int n;
+int i;
+int h;
+int u;
+int v;
+i = 0;
+h = 0;
+while (i < n) {
+  b[i] = a[i] + h;
+  u = i * 3;
+  v = u + (i >> 1);
+  h = b[i] ^ v;
+  i = i + 1;
+}
+print(h);
+|}
+  in
+  let compiled = Codegen.compile_string source in
+  let input =
+    {
+      Simulator.no_input with
+      Simulator.int_regs = [ (Codegen.var_reg compiled "n", 200) ];
+      memory =
+        Codegen.array_input compiled
+          [ ("a", List.init 200 (fun k -> k * 7 mod 113)) ];
+    }
+  in
+  ("stencil", (compiled.Codegen.cfg, input))
+
+let bench_two_model () =
+  hr "A7: two-model design (Section 5.1's detailed local scheduler)";
+  Fmt.pr
+    "  (cycles simulated on rs6k-detailed, whose store->load delay only \
+     the local post-pass may know about)@.";
+  Fmt.pr "  %-10s | coarse post-pass | detailed post-pass@." "program";
+  let detailed = Machine.rs6k_detailed in
+  List.iter
+    (fun (name, (cfg0, input)) ->
+      let run config =
+        let cfg = Cfg.deep_copy cfg0 in
+        ignore (Pipeline.run rs6k config cfg);
+        (Simulator.run detailed cfg input).Simulator.cycles
+      in
+      let coarse = run Config.speculative in
+      let refined =
+        run { Config.speculative with Config.local_machine = Some detailed }
+      in
+      Fmt.pr "  %-10s | %16d | %16d@." name coarse refined)
+    (proxy_programs () @ [ stencil_program () ])
+
+(* A diamond join fed by a slow divide: only duplication can lift the
+   join's dependent add into the arms (see test_extensions.ml). *)
+let join_div_program () =
+  let module B = Gis_ir.Builder in
+  let g = Reg.Gen.create () in
+  let p = Reg.Gen.reserve g Reg.Gpr 1 in
+  let q = Reg.Gen.reserve g Reg.Gpr 2 in
+  let m = Reg.Gen.fresh g Reg.Gpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let a1 = Reg.Gen.fresh g Reg.Gpr in
+  let t = Reg.Gen.fresh g Reg.Gpr in
+  let u = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "E",
+          [ B.binop Instr.Div ~dst:m ~lhs:p ~rhs:(Instr.Imm 3);
+            B.cmpi ~dst:c ~lhs:p 0 ],
+          B.bt ~cr:c ~cond:Instr.Gt ~taken:"L" ~fallthru:"R" );
+        ("L", [ B.addi ~dst:a1 ~lhs:p 1 ], B.jmp "J");
+        ("R", [ B.addi ~dst:a1 ~lhs:q 2 ], B.jmp "J");
+        ( "J",
+          [ B.add ~dst:t ~lhs:m ~rhs:q; B.add ~dst:u ~lhs:t ~rhs:a1;
+            B.call "print_int" [ u ] ],
+          Instr.Halt );
+      ]
+  in
+  let input =
+    { Simulator.no_input with Simulator.int_regs = [ (p, 41); (q, 7) ] }
+  in
+  ("join-div", (cfg, input))
+
+let bench_duplication () =
+  hr "A8: scheduling with duplication (Definition 6 / Section 7 future work)";
+  Fmt.pr "  %-10s | off: cyc | on: cyc | duplicated motions@." "program";
+  List.iter
+    (fun (name, (cfg0, input)) ->
+      let run on =
+        let cfg = Cfg.deep_copy cfg0 in
+        let stats =
+          Pipeline.run rs6k
+            { Config.speculative with Config.allow_duplication = on }
+            cfg
+        in
+        let dups =
+          List.length
+            (List.filter
+               (fun (m : Global_sched.move) -> m.Global_sched.duplicated_into <> [])
+               (Pipeline.moves stats))
+        in
+        ((Simulator.run rs6k cfg input).Simulator.cycles, dups)
+      in
+      let off, _ = run false in
+      let on, dups = run true in
+      Fmt.pr "  %-10s | %8d | %7d | %d@." name off on dups)
+    (proxy_programs () @ [ stencil_program (); join_div_program () ]);
+  Fmt.pr "  (off by default: the paper's prototype forbids duplication)@."
+
+let () =
+  Fmt.pr "Global Instruction Scheduling for Superscalar Machines@.";
+  Fmt.pr "Bernstein & Rodeh, PLDI 1991 — benchmark reproduction@.";
+  bench_figures_256 ();
+  bench_figure8 ();
+  bench_section53 ();
+  bench_width_sweep ();
+  bench_heuristics ();
+  bench_ablation ();
+  bench_webs ();
+  bench_speculation_degree ();
+  bench_profile_guided ();
+  bench_two_model ();
+  bench_duplication ();
+  bench_figure7 ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,192 @@
+(* gisc — the global instruction scheduling compiler driver.
+
+   Compiles Tiny-C source (a file, or one of the built-in workloads)
+   through the full pipeline of the paper and optionally simulates the
+   result on a parametric superscalar machine:
+
+     gisc --workload minmax --level speculative --show-code --simulate
+     gisc my_program.tc --level useful --width 4 --simulate
+*)
+
+open Gis_ir
+open Gis_machine
+open Gis_core
+open Gis_sim
+open Gis_frontend
+open Gis_workloads
+open Cmdliner
+
+type source =
+  | From_file of string
+  | Workload of string
+
+let builtin_workloads =
+  ("minmax", Minmax.source)
+  :: List.map (fun (p : Spec_proxy.t) -> (p.Spec_proxy.name, p.Spec_proxy.source))
+       Spec_proxy.all
+
+let load_source = function
+  | From_file path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      (Filename.basename path, s)
+  | Workload name -> (
+      match List.assoc_opt name builtin_workloads with
+      | Some src -> (name, src)
+      | None ->
+          Fmt.epr "unknown workload %s (available: %a)@." name
+            Fmt.(list ~sep:comma string)
+            (List.map fst builtin_workloads);
+          exit 2)
+
+let default_input compiled ~elements =
+  let rng = Prng.create ~seed:3 in
+  let arrays =
+    List.map
+      (fun (name, _, len) ->
+        (name, List.init (min len elements) (fun _ -> Prng.int rng 1000)))
+      compiled.Codegen.arrays
+  in
+  let n_binding =
+    match List.assoc_opt "n" compiled.Codegen.vars with
+    | Some reg -> [ (reg, elements) ]
+    | None -> []
+  in
+  {
+    Simulator.no_input with
+    Simulator.int_regs = n_binding;
+    memory = Codegen.array_input compiled arrays;
+  }
+
+let run_gisc source level width show_code simulate elements verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let name, src = load_source source in
+  let machine =
+    if width = 1 then Machine.rs6k else Machine.superscalar ~width
+  in
+  let config =
+    match level with
+    | "local" -> Config.base
+    | "useful" -> Config.useful_only
+    | "speculative" | "spec" -> Config.speculative
+    | other ->
+        Fmt.epr "unknown level %s (local|useful|speculative)@." other;
+        exit 2
+  in
+  let compile_input () =
+    (* Files ending in .s hold pseudo-assembly in the paper's Figure 2
+       notation; everything else is Tiny-C. *)
+    if Filename.check_suffix name ".s" then
+      { Codegen.cfg = Asm.parse src; vars = []; arrays = [] }
+    else Codegen.compile_string src
+  in
+  match compile_input () with
+  | exception Parser.Error m
+  | exception Lexer.Error m
+  | exception Codegen.Error m
+  | exception Asm.Error m ->
+      Fmt.epr "%s: %s@." name m;
+      exit 1
+  | compiled ->
+      let baseline = Cfg.deep_copy compiled.Codegen.cfg in
+      ignore (Pipeline.run machine Config.base baseline);
+      let cfg = Cfg.deep_copy compiled.Codegen.cfg in
+      let stats = Pipeline.run machine config cfg in
+      Validate.check_exn cfg;
+      Fmt.pr "%s: %d blocks, %d instructions; machine %a; level %a@." name
+        (Cfg.num_blocks cfg) (Cfg.instr_count cfg) Machine.pp machine
+        Config.pp_level config.Config.level;
+      Fmt.pr "unrolled %d loops, rotated %d; %d interblock motions@."
+        stats.Pipeline.unrolled stats.Pipeline.rotated
+        (List.length (Pipeline.moves stats));
+      List.iter
+        (fun m -> Fmt.pr "  %a@." Global_sched.pp_move m)
+        (Pipeline.moves stats);
+      if show_code then Fmt.pr "@.%a@." Cfg.pp cfg;
+      if simulate then begin
+        let input = default_input compiled ~elements in
+        let ob = Simulator.run machine baseline input in
+        let os = Simulator.run machine cfg input in
+        if
+          not
+            (String.equal (Simulator.observables ob) (Simulator.observables os))
+        then begin
+          Fmt.epr "INTERNAL ERROR: scheduling changed observable behaviour@.";
+          exit 3
+        end;
+        Fmt.pr "@.simulation (%d array elements):@." elements;
+        Fmt.pr "  base      %7d cycles, %6d instructions@." ob.Simulator.cycles
+          ob.Simulator.instructions;
+        Fmt.pr "  scheduled %7d cycles, %6d instructions (%.1f%% faster)@."
+          os.Simulator.cycles os.Simulator.instructions
+          (100.0
+          *. (1.0 -. (float_of_int os.Simulator.cycles /. float_of_int ob.Simulator.cycles)));
+        Fmt.pr "  output: %a@."
+          Fmt.(list ~sep:comma string)
+          os.Simulator.output
+      end
+
+let source_arg =
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Tiny-C source file.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:"Built-in workload: minmax, li, eqntott, espresso, gcc.")
+  in
+  let combine file workload =
+    match file, workload with
+    | Some f, None -> Ok (From_file f)
+    | None, Some w -> Ok (Workload w)
+    | None, None -> Ok (Workload "minmax")
+    | Some _, Some _ -> Error (`Msg "give either FILE or --workload, not both")
+  in
+  Term.(term_result (const combine $ file $ workload))
+
+let level_arg =
+  Arg.(
+    value & opt string "speculative"
+    & info [ "l"; "level" ] ~docv:"LEVEL"
+        ~doc:"Scheduling level: local, useful, or speculative.")
+
+let width_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "width" ] ~docv:"N"
+        ~doc:"Issue width: 1 selects the RS/6000 model, larger values a \
+              superscalar with N units of each type.")
+
+let show_code_arg =
+  Arg.(value & flag & info [ "show-code" ] ~doc:"Print the scheduled code.")
+
+let simulate_arg =
+  Arg.(value & flag & info [ "simulate" ] ~doc:"Simulate base vs scheduled.")
+
+let elements_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "elements" ] ~docv:"N" ~doc:"Array elements for simulation inputs.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose" ] ~doc:"Scheduler debug logging.")
+
+let cmd =
+  let doc =
+    "global instruction scheduling for superscalar machines (Bernstein & \
+     Rodeh, PLDI 1991)"
+  in
+  Cmd.v
+    (Cmd.info "gisc" ~version:"1.0.0" ~doc)
+    Term.(
+      const run_gisc $ source_arg $ level_arg $ width_arg $ show_code_arg
+      $ simulate_arg $ elements_arg $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/machine_sweep.ml: Cfg Codegen Config Fmt Gis_core Gis_frontend Gis_ir Gis_machine Gis_sim Gis_workloads List Machine Minmax Pipeline Prng Simulator Spec_proxy

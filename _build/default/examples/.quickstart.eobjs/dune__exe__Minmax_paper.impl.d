@@ -1,0 +1,1 @@
+examples/minmax_paper.ml: Cfg Config Fmt Gis_core Gis_ir Gis_machine Gis_sim Gis_workloads List Machine Minmax Pipeline Prng Simulator

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Cfg Config Fmt Gis_core Gis_ir Gis_machine Gis_sim Global_sched Instr List Machine Pipeline Reg Simulator Validate

@@ -1,0 +1,1 @@
+examples/speculation_demo.ml: Block Cfg Config Fmt Gis_core Gis_ir Gis_machine Gis_sim Gis_workloads Global_sched List Machine Minmax Reg Section53 Simulator Validate

@@ -1,0 +1,1 @@
+examples/speculation_demo.mli:

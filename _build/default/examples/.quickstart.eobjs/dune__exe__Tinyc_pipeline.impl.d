@@ -1,0 +1,1 @@
+examples/tinyc_pipeline.ml: Array Ast Cfg Codegen Config Fmt Gis_core Gis_frontend Gis_ir Gis_machine Gis_sim Gis_workloads List Machine Minmax Parser Pipeline Prng Simulator String Sys Validate

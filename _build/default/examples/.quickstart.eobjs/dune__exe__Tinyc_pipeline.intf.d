@@ -1,0 +1,1 @@
+examples/tinyc_pipeline.mli:

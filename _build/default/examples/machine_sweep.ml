@@ -1,0 +1,53 @@
+(* Parametric machine sweep (the paper's Section 6 closing remark: "we
+   may expect even bigger payoffs in machines with a larger number of
+   computational units").
+
+   For each issue width, schedule the minmax loop and each SPEC proxy at
+   all three levels and report simulated speedups over the local-only
+   BASE on the same machine.
+
+   Run with: dune exec examples/machine_sweep.exe *)
+
+open Gis_ir
+open Gis_machine
+open Gis_core
+open Gis_sim
+open Gis_frontend
+open Gis_workloads
+
+let widths = [ 1; 2; 4; 8 ]
+
+let measure machine compiled input config =
+  let cfg = Cfg.deep_copy compiled in
+  ignore (Pipeline.run machine config cfg);
+  (Simulator.run machine cfg input).Simulator.cycles
+
+let sweep name compiled input =
+  Fmt.pr "@.%s:@." name;
+  Fmt.pr "  width |    base |  useful | spec    | useful RTI | spec RTI@.";
+  List.iter
+    (fun width ->
+      let machine = Machine.superscalar ~width in
+      let base = measure machine compiled input Config.base in
+      let useful = measure machine compiled input Config.useful_only in
+      let spec = measure machine compiled input Config.speculative in
+      let rti x = 100.0 *. (1.0 -. (float_of_int x /. float_of_int base)) in
+      Fmt.pr "  %5d | %7d | %7d | %7d | %9.1f%% | %7.1f%%@." width base useful
+        spec (rti useful) (rti spec))
+    widths
+
+let () =
+  let t = Minmax.build () in
+  let elements =
+    let rng = Prng.create ~seed:17 in
+    List.init 64 (fun _ -> Prng.int rng 1000)
+  in
+  sweep "minmax (Figures 2/5/6)" t.Minmax.cfg (Minmax.input t elements);
+  List.iter
+    (fun (p : Spec_proxy.t) ->
+      let compiled = Spec_proxy.compile p in
+      sweep
+        (Fmt.str "%s proxy" p.Spec_proxy.name)
+        compiled.Codegen.cfg
+        (p.Spec_proxy.setup compiled))
+    Spec_proxy.all

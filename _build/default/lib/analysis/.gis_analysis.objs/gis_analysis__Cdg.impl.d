@@ -1,0 +1,1 @@
+lib/analysis/cdg.ml: Array Cfg Dominance Flow Fmt Gis_ir Int List Queue Stdlib

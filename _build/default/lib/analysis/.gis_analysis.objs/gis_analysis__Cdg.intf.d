@@ -1,0 +1,1 @@
+lib/analysis/cdg.mli: Flow Fmt Gis_ir

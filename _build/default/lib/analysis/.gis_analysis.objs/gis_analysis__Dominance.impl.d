@@ -1,0 +1,1 @@
+lib/analysis/dominance.ml: Array Fix Flow Fun Gis_util Int_set Ints List

@@ -1,0 +1,1 @@
+lib/analysis/flow.ml: Array Cfg Fmt Fun Gis_ir Gis_util Int Int_map Int_set Ints List

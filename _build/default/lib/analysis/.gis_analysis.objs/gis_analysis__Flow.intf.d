@@ -1,0 +1,1 @@
+lib/analysis/flow.mli: Fmt Gis_ir Gis_util

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Block Cfg Fix Fmt Gis_ir Gis_util Instr List Reg Vec

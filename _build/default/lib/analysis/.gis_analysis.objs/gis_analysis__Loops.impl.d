@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Cfg Dominance Flow Fmt Gis_ir Gis_util Hashtbl Int Int_map Int_set Ints List Option

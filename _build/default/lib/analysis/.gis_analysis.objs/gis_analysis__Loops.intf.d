@@ -1,0 +1,1 @@
+lib/analysis/loops.mli: Fmt Gis_ir Gis_util

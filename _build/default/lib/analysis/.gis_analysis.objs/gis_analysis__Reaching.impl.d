@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Array Block Cfg Fix Fmt Gis_ir Gis_util Hashtbl Instr Int_set Ints List Option Reg Vec

@@ -1,0 +1,1 @@
+lib/analysis/reaching.mli: Fmt Gis_ir

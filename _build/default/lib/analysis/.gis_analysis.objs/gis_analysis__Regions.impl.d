@@ -1,0 +1,1 @@
+lib/analysis/regions.ml: Array Cfg Flow Fmt Gis_ir Gis_util Hashtbl Int_set Ints List Loops

@@ -1,0 +1,1 @@
+lib/analysis/regions.mli: Flow Fmt Gis_ir Gis_util Loops

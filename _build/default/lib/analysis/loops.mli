@@ -1,0 +1,37 @@
+(** Natural-loop detection and loop nesting.
+
+    A back edge is a CFG edge whose target dominates its source; the
+    natural loop of a back edge [(t, h)] is [h] plus every block that
+    reaches [t] without passing through [h]. Loops sharing a header are
+    merged. The CFG is *reducible* when every retreating edge (w.r.t. a
+    DFS) is a back edge — the paper's precondition for treating strongly
+    connected regions as single-entry loops (Section 4.1). *)
+
+type loop = {
+  index : int;
+  header : int;  (** CFG block id; the loop's single entry *)
+  blocks : Gis_util.Ints.Int_set.t;  (** including nested loops' blocks *)
+  back_edges : (int * int) list;  (** (tail, header) pairs *)
+  parent : int option;  (** index of the immediately enclosing loop *)
+  children : int list;  (** indices of immediately nested loops *)
+  depth : int;  (** 1 for outermost loops *)
+}
+
+type t
+
+val compute : Gis_ir.Cfg.t -> t
+
+val loops : t -> loop array
+(** Indexed by [loop.index]; topologically ordered so children follow
+    parents is NOT guaranteed — use [depth] or [children]. *)
+
+val reducible : t -> bool
+
+val innermost_first : t -> loop list
+(** Loops sorted by decreasing depth — the scheduling order of
+    Section 5.1 ("innermost regions are scheduled first"). *)
+
+val loop_of_block : t -> int -> int option
+(** Index of the innermost loop containing the block. *)
+
+val pp : t Fmt.t

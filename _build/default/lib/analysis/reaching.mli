@@ -1,0 +1,35 @@
+(** Reaching definitions and use-def / def-use chains.
+
+    Used by the scheduler's renaming transformation: renaming the
+    destination of a moved definition is only sound when every use that
+    definition reaches is reached by *no other* definition (paper
+    Section 5.3 / Figure 6 — `cr6` becomes `cr5` precisely because `I13`
+    is reached only by `I12`'s compare). Registers that may be defined
+    before the procedure (parameters) get a synthetic {!External}
+    definition site at the entry. *)
+
+type site =
+  | Def of int  (** uid of the defining instruction *)
+  | External    (** defined before the procedure entry *)
+
+val pp_site : site Fmt.t
+val equal_site : site -> site -> bool
+
+type t
+
+val compute : Gis_ir.Cfg.t -> t
+(** Forward iterative dataflow over all definition sites; back edges
+    included, so definitions reaching around a loop are visible. *)
+
+val defs_of_use : t -> uid:int -> reg:Gis_ir.Reg.t -> site list
+(** Definition sites reaching the given use operand. Raises
+    [Invalid_argument] if the instruction does not use [reg]. *)
+
+val uses_of_def : t -> uid:int -> reg:Gis_ir.Reg.t -> int list
+(** Uids of instructions with a use of [reg] reached by this
+    definition. *)
+
+val sole_def_of_all_uses : t -> uid:int -> reg:Gis_ir.Reg.t -> int list option
+(** [Some uses] when every use reached by definition [uid] of [reg] has
+    that definition as its *only* reaching definition — the renaming
+    safety condition; [None] otherwise. *)

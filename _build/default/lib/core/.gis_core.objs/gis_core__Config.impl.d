@@ -1,0 +1,1 @@
+lib/core/config.ml: Fmt Gis_ir Gis_machine Priority_rule

@@ -1,0 +1,1 @@
+lib/core/global_sched.mli: Config Fmt Gis_analysis Gis_ir Gis_machine

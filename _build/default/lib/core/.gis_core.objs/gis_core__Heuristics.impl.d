@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Array Ddg Fmt Gis_ddg List

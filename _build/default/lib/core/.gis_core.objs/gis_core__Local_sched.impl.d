@@ -1,0 +1,1 @@
+lib/core/local_sched.ml: Array Block Cfg Ddg Fun Gis_ddg Gis_ir Gis_machine Gis_util Hashtbl Heuristics Instr List Priority Priority_rule Vec

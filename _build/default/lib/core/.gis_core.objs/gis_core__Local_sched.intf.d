@@ -1,0 +1,1 @@
+lib/core/local_sched.mli: Gis_ir Gis_machine Priority_rule

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Cfg Config Gis_ir Global_sched List Local_sched Option Rotate Sys Unroll Webs

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Gis_ir Gis_machine Global_sched

@@ -1,0 +1,1 @@
+lib/core/priority.ml: Bool Int List Priority_rule

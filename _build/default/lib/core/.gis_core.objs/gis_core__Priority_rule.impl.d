@@ -1,0 +1,1 @@
+lib/core/priority_rule.ml: Fmt

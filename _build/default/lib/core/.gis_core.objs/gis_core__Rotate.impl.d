@@ -1,0 +1,1 @@
+lib/core/rotate.ml: Array Block Cfg Gis_analysis Gis_ir Gis_util Instr Int_set Label List Loops

@@ -1,0 +1,1 @@
+lib/core/rotate.mli: Gis_analysis Gis_ir

@@ -1,0 +1,1 @@
+lib/core/unroll.ml: Array Block Cfg Gis_analysis Gis_ir Gis_util Hashtbl Instr Int_set Ints Label List Loops Option Vec

@@ -1,0 +1,1 @@
+lib/core/webs.ml: Cfg Gis_analysis Gis_ir Hashtbl Instr Int List Option Reaching Reg

@@ -1,0 +1,1 @@
+lib/core/webs.mli: Gis_ir

@@ -1,0 +1,73 @@
+(** Scheduling configuration.
+
+    The defaults reproduce the prototype described in the paper's
+    Section 6: only "small" reducible regions are scheduled (at most 64
+    blocks and 256 instructions), two nesting levels, loops of at most 4
+    blocks are unrolled once before and rotated after the first global
+    pass. *)
+
+(** How far code may move (paper Section 5.1, "two levels of
+    scheduling"). [Local] disables interblock motion entirely — the BASE
+    compiler configuration of Section 6, which still runs the basic
+    block scheduler. *)
+type level = Local | Useful | Speculative
+
+val pp_level : level Fmt.t
+
+type t = {
+  level : level;
+  rename : bool;
+      (** rename the destination of a blocked speculative motion when
+          the use-def chains prove it safe (Figure 6's cr6 -> cr5) *)
+  prune_transitive : bool;  (** drop timing-implied dependence edges *)
+  rules : Priority_rule.t list;  (** heuristic order, Section 5.2 *)
+  max_region_blocks : int;
+  max_region_instrs : int;
+  max_nesting_levels : int;
+      (** only regions within this many levels of the innermost are
+          scheduled (the paper uses 2) *)
+  unroll_small_loops : bool;  (** unroll loops of <= [small_loop_blocks] once *)
+  rotate_small_loops : bool;  (** rotate them after the first global pass *)
+  small_loop_blocks : int;
+  local_post_pass : bool;
+      (** run the basic block scheduler after global scheduling *)
+  split_webs : bool;
+      (** run the register-web renaming pre-pass of Section 4.2 before
+          scheduling (off by default so that the published Figure 5/6
+          register names reproduce exactly) *)
+  max_speculation_degree : int;
+      (** how many branches a speculative motion may gamble on
+          (Definition 7). The paper's prototype supports 1; larger
+          values enable the "more aggressive speculative scheduling" of
+          Section 7. *)
+  profile : (Gis_ir.Label.t -> int) option;
+      (** dynamic execution count per block, e.g. from
+          {!val:Gis_sim} profiling. When present, speculative candidates
+          whose probability of executing (relative to the target block)
+          falls below {!field-min_speculation_probability} are not
+          moved. *)
+  min_speculation_probability : float;
+  local_machine : Gis_machine.Machine.t option;
+      (** machine description for the local post-pass; the paper gives
+          the basic block scheduler "a more detailed model of the
+          machine" (Section 5.1), e.g. {!Gis_machine.Machine.rs6k_detailed}.
+          [None] reuses the global machine. *)
+  allow_duplication : bool;
+      (** enable the restricted form of "scheduling with duplication"
+          (Definition 6; Section 7 future work): an instruction may move
+          from a join block [B] into a predecessor [A] that does not
+          dominate it, with fresh copies placed at the end of every
+          other predecessor of [B]. Off by default — the paper's
+          prototype forbids duplication. *)
+}
+
+val default : t
+(** [Speculative] scheduling with all the paper's settings. *)
+
+val base : t
+(** The paper's BASE compiler: local scheduling only. *)
+
+val useful_only : t
+val speculative : t
+
+val pp : t Fmt.t

@@ -1,0 +1,723 @@
+open Gis_util
+open Gis_ir
+open Gis_machine
+open Gis_analysis
+open Gis_ddg
+
+type move = {
+  uid : int;
+  from_label : Label.t;
+  to_label : Label.t;
+  speculative : bool;
+  renamed : (Reg.t * Reg.t) option;
+  duplicated_into : Label.t list;
+      (** blocks that received a fresh copy of the instruction — the
+          restricted "scheduling with duplication" of Definition 6 *)
+}
+
+let pp_move ppf m =
+  Fmt.pf ppf "%d: %a -> %a%s%a%a" m.uid Label.pp m.from_label Label.pp
+    m.to_label
+    (if m.speculative then " (speculative)" else "")
+    Fmt.(
+      option (fun ppf (a, b) -> pf ppf " [rename %a->%a]" Reg.pp a Reg.pp b))
+    m.renamed
+    Fmt.(
+      list (fun ppf l -> pf ppf " [copy in %a]" Label.pp l))
+    m.duplicated_into
+
+type blocked = {
+  blocked_uid : int;
+  reason : [ `Live_on_exit of Reg.t | `Rename_unsafe of Reg.t ];
+}
+
+type region_report = {
+  region_id : int;
+  nesting : int;
+  scheduled : bool;
+  skip_reason : string option;
+  moves : move list;
+  blocked : blocked list;
+}
+
+let pp_region_report ppf r =
+  Fmt.pf ppf "@[<v>region %d (nesting %d): %s%a%a@]" r.region_id r.nesting
+    (if r.scheduled then "scheduled" else "skipped")
+    Fmt.(option (fun ppf s -> pf ppf " (%s)" s))
+    r.skip_reason
+    Fmt.(list ~sep:(any "") (fun ppf m -> pf ppf "@,  move %a" pp_move m))
+    r.moves
+
+let src = Logs.Src.create "gis.global" ~doc:"global instruction scheduler"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+
+let region_too_big config cfg (region : Regions.region) =
+  let open Ints in
+  let blocks = Int_set.cardinal region.Regions.own_blocks in
+  let instrs =
+    Int_set.fold
+      (fun b acc -> acc + Block.instr_count (Cfg.block cfg b))
+      region.Regions.own_blocks 0
+  in
+  if blocks > config.Config.max_region_blocks then
+    Some (Fmt.str "region has %d blocks (limit %d)" blocks config.Config.max_region_blocks)
+  else if instrs > config.Config.max_region_instrs then
+    Some (Fmt.str "region has %d instructions (limit %d)" instrs config.Config.max_region_instrs)
+  else None
+
+(* Scheduling state for one region. *)
+type state = {
+  cfg : Cfg.t;
+  machine : Machine.t;
+  config : Config.t;
+  view : Regions.view;
+  ddg : Ddg.t;
+  dom : Dominance.t;
+  post : Dominance.Post.post;
+  cdg : Cdg.t;
+  heur : Heuristics.t;
+  order_of : int array;  (** ddg node -> original program order *)
+  home : int array;  (** ddg node -> current view node *)
+  issue : int array;  (** ddg node -> issue cycle within its block pass *)
+  done_ : bool array;  (** ddg node -> dependences from it are fulfilled *)
+  current : Instr.t option array;  (** possibly renamed instruction *)
+  mutable liveness : Liveness.t;
+  mutable reaching : Reaching.t option;
+      (** computed lazily — only rename-safety checks need it *)
+  mutable moves : move list;
+  mutable blocked_log : blocked list;
+  pending_copies : (int, Instr.t list) Hashtbl.t;
+      (** copies destined for blocks whose own pass has not run yet *)
+  mutable processed : Ints.Int_set.t;  (** view nodes already scheduled *)
+}
+
+(* Liveness is consumed only by the speculative safety rule, so useful-
+   only scheduling skips the (quadratic-ish) recomputation entirely. *)
+let refresh_dataflow st =
+  if st.config.Config.level = Config.Speculative then begin
+    st.liveness <- Liveness.compute st.cfg;
+    st.reaching <- None
+  end
+
+let reaching st =
+  match st.reaching with
+  | Some r -> r
+  | None ->
+      let r = Reaching.compute st.cfg in
+      st.reaching <- Some r;
+      r
+
+let make_state machine config cfg regions view =
+  let ddg = Ddg.build cfg machine regions view in
+  let ddg = if config.Config.prune_transitive then Ddg.prune_transitive ddg else ddg in
+  let flow = view.Regions.flow in
+  let dom = Dominance.compute flow in
+  let post = Dominance.Post.compute flow in
+  let cdg = Cdg.compute ~edge_label:view.Regions.edge_label flow in
+  let heur = Heuristics.compute ddg in
+  let n = Ddg.num_nodes ddg in
+  (* "Original program order" (heuristic rule 7) follows the source
+     layout, not the topological visit order. *)
+  let layout_pos = Hashtbl.create 16 in
+  List.iteri (fun pos b -> Hashtbl.replace layout_pos b pos) (Cfg.layout cfg);
+  let node_rank v =
+    match view.Regions.nodes.(v) with
+    | Regions.Block b ->
+        Option.value ~default:max_int (Hashtbl.find_opt layout_pos b)
+    | Regions.Inner_loop _ -> max_int
+  in
+  let order_of = Array.make n 0 in
+  let counter = ref 0 in
+  let by_layout =
+    List.sort
+      (fun a b -> Int.compare (node_rank a) (node_rank b))
+      (List.init flow.Flow.num_nodes Fun.id)
+  in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun i ->
+          order_of.(i) <- !counter;
+          incr counter)
+        (Ddg.nodes_of_view_node ddg v))
+    by_layout;
+  {
+    cfg;
+    machine;
+    config;
+    view;
+    ddg;
+    dom;
+    post;
+    cdg;
+    heur;
+    order_of;
+    home = Array.init n (fun i -> (Ddg.node ddg i).Ddg.view_node);
+    issue = Array.make n (-1);
+    done_ = Array.make n false;
+    current = Array.init n (fun i -> (Ddg.node ddg i).Ddg.instr);
+    liveness = Liveness.compute cfg;
+    reaching = None;
+    moves = [];
+    blocked_log = [];
+    pending_copies = Hashtbl.create 4;
+    processed = Ints.Int_set.empty;
+  }
+
+let equiv_blocks st a =
+  let flow = st.view.Regions.flow in
+  List.filter
+    (fun e ->
+      e <> a
+      && (match st.view.Regions.nodes.(e) with
+         | Regions.Block _ -> true
+         | Regions.Inner_loop _ -> false)
+      && Dominance.equivalent st.dom st.post a e)
+    (List.init flow.Flow.num_nodes Fun.id)
+
+(* Speculative candidate blocks (Section 5.1, level 2): blocks within
+   [max_speculation_degree] CSPDG edges of [a] or its equivalent blocks
+   (Definition 7). With the paper's degree of 1 these are exactly the
+   immediate CSPDG successors of U(A). Blocks not dominated by [a]
+   would require duplication and are excluded; when a profile is
+   available, blocks unlikely to execute are excluded too. *)
+let speculative_blocks st a equiv =
+  let u_of_a = a :: equiv in
+  let max_degree = max 1 st.config.Config.max_speculation_degree in
+  let within_degree b =
+    List.exists
+      (fun s ->
+        match Cdg.speculation_degree st.cdg ~src:s ~dst:b with
+        | Some d -> d >= 1 && d <= max_degree
+        | None -> false)
+      u_of_a
+  in
+  let label_of v =
+    match st.view.Regions.nodes.(v) with
+    | Regions.Block blk -> Some (Cfg.block st.cfg blk).Block.label
+    | Regions.Inner_loop _ -> None
+  in
+  let likely_enough b =
+    match st.config.Config.profile with
+    | None -> true
+    | Some counts -> (
+        match label_of a, label_of b with
+        | Some la, Some lb ->
+            let ca = counts la and cb = counts lb in
+            ca = 0
+            || float_of_int cb /. float_of_int ca
+               >= st.config.Config.min_speculation_probability
+        | None, _ | _, None -> true)
+  in
+  List.init st.view.Regions.flow.Flow.num_nodes Fun.id
+  |> List.filter (fun b ->
+         (not (List.mem b u_of_a))
+         && (match st.view.Regions.nodes.(b) with
+            | Regions.Block _ -> true
+            | Regions.Inner_loop _ -> false)
+         && Dominance.dominates st.dom a b
+         && within_degree b
+         && likely_enough b)
+
+(* Join blocks eligible for duplication-based motion into [a]
+   (Definition 6, restricted form): [a] is an immediate view predecessor
+   of the join [b] but does not dominate it (else the motion would be
+   plain useful/speculative); every other predecessor is a plain block
+   whose only successor is [b] (so a copy at its end executes exactly
+   when [b] would have executed it — never speculatively); and [b] is
+   not the region entry, so its view predecessors are the whole story —
+   no masked back edge or region-external path sneaks into it. *)
+let duplication_blocks st a equiv =
+  if not st.config.Config.allow_duplication then []
+  else begin
+    let flow = st.view.Regions.flow in
+    let u_of_a = a :: equiv in
+    List.init flow.Flow.num_nodes Fun.id
+    |> List.filter (fun b ->
+           (not (List.mem b u_of_a))
+           && b <> flow.Flow.entry
+           && (match st.view.Regions.nodes.(b) with
+              | Regions.Block _ -> true
+              | Regions.Inner_loop _ -> false)
+           && (not (Dominance.dominates st.dom a b))
+           && List.mem a flow.Flow.pred.(b)
+           && List.for_all
+                (fun p ->
+                  p = a
+                  || (match st.view.Regions.nodes.(p) with
+                     | Regions.Block _ -> true
+                     | Regions.Inner_loop _ -> false)
+                     && flow.Flow.succ.(p) = [ b ]
+                     && not (List.mem p flow.Flow.extra_exits))
+                flow.Flow.pred.(b))
+  end
+
+(* All data sources of a duplication candidate must sit in blocks that
+   dominate the join [b]: every path into [b] — through [a] or any other
+   predecessor — must have produced the operands the copies read. *)
+let duplication_sources_ok st ~join i =
+  List.for_all
+    (fun (e : Ddg.edge) ->
+      Dominance.dominates st.dom st.home.(e.Ddg.src) join)
+    (Ddg.preds st.ddg i)
+
+(* ---- speculation safety (Section 5.3) ---- *)
+
+type safety =
+  | Safe
+  | Safe_with_rename of Reg.t * int list  (** reg to rename, consumer uids *)
+  | Unsafe of blocked
+
+let plainly_renameable inst r =
+  match Instr.kind inst with
+  | Instr.Load { base; update = true; _ } when Reg.equal base r -> false
+  | Instr.Store _ -> false
+  | Instr.Load _ | Instr.Load_imm _ | Instr.Move _ | Instr.Binop _
+  | Instr.Fbinop _ | Instr.Compare _ | Instr.Fcompare _ | Instr.Call _ ->
+      true
+  | Instr.Branch_cond _ | Instr.Jump _ | Instr.Halt -> false
+
+let check_speculative st ~target_block inst =
+  let live = Liveness.live_before_terminator st.liveness st.cfg target_block in
+  let clobbered = List.filter (fun r -> Reg.Set.mem r live) (Instr.defs inst) in
+  match clobbered with
+  | [] -> Safe
+  | [ r ] when st.config.Config.rename && plainly_renameable inst r -> (
+      match
+        Reaching.sole_def_of_all_uses (reaching st) ~uid:(Instr.uid inst) ~reg:r
+      with
+      | Some uses -> Safe_with_rename (r, uses)
+      | None ->
+          Unsafe { blocked_uid = Instr.uid inst; reason = `Rename_unsafe r })
+  | r :: _ -> Unsafe { blocked_uid = Instr.uid inst; reason = `Live_on_exit r }
+
+(* Physically move node [i] into [target]: detach from its current
+   block, apply renaming if required, append to the target body (final
+   order is rewritten when the block pass finishes). *)
+let apply_motion st ~node:i ~target_blk ~speculative ~rename ~duplicated_into =
+  let inst =
+    match st.current.(i) with Some x -> x | None -> assert false
+  in
+  let from_blk_id =
+    match Cfg.owner_of_uid st.cfg (Instr.uid inst) with
+    | Some b -> b
+    | None -> assert false
+  in
+  let from_blk = Cfg.block st.cfg from_blk_id in
+  ignore (Block.remove_by_uid from_blk ~uid:(Instr.uid inst));
+  let inst, renamed =
+    match rename with
+    | None -> (inst, None)
+    | Some (r, consumer_uids) ->
+        let r' = Cfg.fresh_reg st.cfg r.Reg.cls in
+        let inst' = Instr.rename_def inst ~from_reg:r ~to_reg:r' in
+        List.iter
+          (fun u ->
+            ignore
+              (Cfg.update_instr st.cfg ~uid:u
+                 ~f:(Instr.rename_uses ~from_reg:r ~to_reg:r'));
+            match Ddg.node_of_uid st.ddg u with
+            | Some j ->
+                st.current.(j) <-
+                  Option.map
+                    (Instr.rename_uses ~from_reg:r ~to_reg:r')
+                    st.current.(j)
+            | None -> ())
+          consumer_uids;
+        (inst', Some (r, r'))
+  in
+  st.current.(i) <- Some inst;
+  Vec.push target_blk.Block.body inst;
+  st.moves <-
+    {
+      uid = Instr.uid inst;
+      from_label = from_blk.Block.label;
+      to_label = target_blk.Block.label;
+      speculative;
+      renamed;
+      duplicated_into;
+    }
+    :: st.moves;
+  refresh_dataflow st;
+  inst
+
+(* ---- the per-block cycle-by-cycle process (Section 5.1) ---- *)
+
+let schedule_block st a blk_id =
+  let blk = Cfg.block st.cfg blk_id in
+  let equiv = equiv_blocks st a in
+  let useful_homes = a :: equiv in
+  let spec =
+    match st.config.Config.level with
+    | Config.Speculative -> speculative_blocks st a equiv
+    | Config.Useful | Config.Local -> []
+  in
+  let dup =
+    match st.config.Config.level with
+    | Config.Speculative -> duplication_blocks st a equiv
+    | Config.Useful | Config.Local -> []
+  in
+  let own = List.filter (fun i -> st.home.(i) = a) (List.init (Array.length st.home) Fun.id) in
+  let term_node =
+    match Ddg.node_of_uid st.ddg (Instr.uid blk.Block.term) with
+    | Some i -> i
+    | None -> failwith "Global_sched: terminator not in DDG"
+  in
+  (* Candidate set: own instructions plus importable ones. *)
+  let candidate = Array.make (Array.length st.home) false in
+  List.iter (fun i -> candidate.(i) <- true) own;
+  let import_ok ~spec_src i =
+    match st.current.(i) with
+    | None -> false
+    | Some inst ->
+        st.issue.(i) = -1 && (not st.done_.(i))
+        &&
+        if spec_src then Instr.speculable inst
+        else Instr.movable_across_blocks inst
+  in
+  (match st.config.Config.level with
+  | Config.Local -> ()
+  | Config.Useful | Config.Speculative ->
+      List.iter
+        (fun e ->
+          List.iter
+            (fun i ->
+              if st.home.(i) = e && import_ok ~spec_src:false i then
+                candidate.(i) <- true)
+            (Ddg.nodes_of_view_node st.ddg e))
+        equiv;
+      List.iter
+        (fun s ->
+          List.iter
+            (fun i ->
+              if st.home.(i) = s && import_ok ~spec_src:true i then
+                candidate.(i) <- true)
+            (Ddg.nodes_of_view_node st.ddg s))
+        spec;
+      List.iter
+        (fun d ->
+          List.iter
+            (fun i ->
+              if
+                st.home.(i) = d
+                && import_ok ~spec_src:true i
+                && duplication_sources_ok st ~join:d i
+              then candidate.(i) <- true)
+            (Ddg.nodes_of_view_node st.ddg d))
+        dup);
+  (* Per-candidate dependence bookkeeping. A candidate whose
+     predecessor is neither fulfilled nor a candidate can never become
+     ready during this block pass. *)
+  let n = Array.length st.home in
+  let pending = Array.make n 0 in
+  let ready_at = Array.make n 0 in
+  let barred = Array.make n false in
+  for i = 0 to n - 1 do
+    if candidate.(i) && st.issue.(i) = -1 then
+      List.iter
+        (fun (e : Ddg.edge) ->
+          let p = e.Ddg.src in
+          if st.done_.(p) then ()
+          else if candidate.(p) then pending.(i) <- pending.(i) + 1
+          else barred.(i) <- true)
+        (Ddg.preds st.ddg i)
+  done;
+  let emitted = Vec.create () in
+  let own_left =
+    ref (List.length (List.filter (fun i -> st.issue.(i) = -1) own))
+  in
+  let cycle = ref 0 in
+  let unit_of i =
+    match st.current.(i) with
+    | Some ins -> Instr.unit_ty ins
+    | None -> Instr.Fixed
+  in
+  let is_own i = st.home.(i) = a in
+  let finished = ref false in
+  while not !finished do
+    if !cycle > 200_000 then failwith "Global_sched: no progress";
+    let slots = Hashtbl.create 3 in
+    let slots_left u =
+      match Hashtbl.find_opt slots u with
+      | Some k -> k
+      | None -> Machine.units st.machine u
+    in
+    let take_slot u = Hashtbl.replace slots u (slots_left u - 1) in
+    let progress = ref true in
+    while !progress && not !finished do
+      progress := false;
+      let basic_ready i =
+        candidate.(i) && (not barred.(i)) && st.issue.(i) = -1
+        && pending.(i) = 0
+        && ready_at.(i) <= !cycle
+        && slots_left (unit_of i) > 0
+      in
+      (* The terminator waits for the block's own instructions — and
+         yields to ready duplication candidates, which are free to take
+         (the join shrinks on every path) but would otherwise lose the
+         race against a delay-less jump. Useful/speculative candidates
+         get no such priority: their interplay with the terminator is
+         exactly the paper's, keeping the Figure 5/6 schedules intact. *)
+      let dup_ready_exists =
+        dup <> []
+        && List.exists
+             (fun i -> basic_ready i && List.mem st.home.(i) dup)
+             (List.init n Fun.id)
+      in
+      let ready =
+        List.filter
+          (fun i ->
+            basic_ready i
+            && (i <> term_node || (!own_left = 1 && not dup_ready_exists)))
+          (List.init n Fun.id)
+      in
+      let items =
+        List.map
+          (fun i ->
+            {
+              Priority.node = i;
+              useful = List.mem st.home.(i) useful_homes;
+              d = Heuristics.d st.heur i;
+              cp = Heuristics.cp st.heur i;
+              order = st.order_of.(i);
+            })
+          ready
+      in
+      match Priority.best ~rules:st.config.Config.rules items with
+      | None -> ()
+      | Some it ->
+          let i = it.Priority.node in
+          let accept ~was_own =
+            st.issue.(i) <- !cycle;
+            take_slot (unit_of i);
+            Vec.push emitted i;
+            if was_own then decr own_left;
+            List.iter
+              (fun (e : Ddg.edge) ->
+                if candidate.(e.Ddg.dst) then begin
+                  pending.(e.Ddg.dst) <- pending.(e.Ddg.dst) - 1;
+                  let avail =
+                    match e.Ddg.kind with
+                    | Ddg.Flow ->
+                        !cycle + Ddg.exec_time st.ddg i + e.Ddg.delay
+                    | Ddg.Anti | Ddg.Output | Ddg.Mem -> !cycle + e.Ddg.delay
+                  in
+                  ready_at.(e.Ddg.dst) <- max ready_at.(e.Ddg.dst) avail
+                end)
+              (Ddg.succs st.ddg i);
+            st.done_.(i) <- true;
+            progress := true;
+            if i = term_node then finished := true
+          in
+          if is_own i then accept ~was_own:true
+          else begin
+            let speculative = not (List.mem st.home.(i) useful_homes) in
+            let inst =
+              match st.current.(i) with Some x -> x | None -> assert false
+            in
+            let needs_duplication = List.mem st.home.(i) dup in
+            (* A duplication motion additionally needs the instruction's
+               definitions out of the way of every copy host's branch. *)
+            let copy_hosts =
+              if not needs_duplication then []
+              else
+                List.filter
+                  (fun p -> p <> a)
+                  st.view.Regions.flow.Flow.pred.(st.home.(i))
+            in
+            let copy_hosts_ok =
+              List.for_all
+                (fun p ->
+                  match st.view.Regions.nodes.(p) with
+                  | Regions.Block pb ->
+                      let term = (Cfg.block st.cfg pb).Block.term in
+                      List.for_all
+                        (fun r ->
+                          not (List.exists (Reg.equal r) (Instr.uses term)))
+                        (Instr.defs inst)
+                  | Regions.Inner_loop _ -> false)
+                copy_hosts
+            in
+            let verdict =
+              if needs_duplication && not copy_hosts_ok then
+                Unsafe
+                  {
+                    blocked_uid = Instr.uid inst;
+                    reason =
+                      `Live_on_exit
+                        (match Instr.defs inst with
+                        | r :: _ -> r
+                        | [] -> assert false);
+                  }
+              else if speculative then
+                check_speculative st ~target_block:blk_id inst
+              else Safe
+            in
+            let place_copies placed =
+              List.iter
+                (fun p ->
+                  match st.view.Regions.nodes.(p) with
+                  | Regions.Block pb ->
+                      let copy = Cfg.copy_instr st.cfg placed in
+                      if Ints.Int_set.mem p st.processed then
+                        Vec.push (Cfg.block st.cfg pb).Block.body copy
+                      else
+                        Hashtbl.replace st.pending_copies p
+                          (copy
+                          :: Option.value ~default:[]
+                               (Hashtbl.find_opt st.pending_copies p))
+                  | Regions.Inner_loop _ -> assert false)
+                copy_hosts;
+              if copy_hosts <> [] then refresh_dataflow st
+            in
+            let hosts_labels =
+              List.filter_map
+                (fun p ->
+                  match st.view.Regions.nodes.(p) with
+                  | Regions.Block pb -> Some (Cfg.block st.cfg pb).Block.label
+                  | Regions.Inner_loop _ -> None)
+                copy_hosts
+            in
+            match verdict with
+            | Safe ->
+                let placed =
+                  apply_motion st ~node:i ~target_blk:blk ~speculative
+                    ~rename:None ~duplicated_into:hosts_labels
+                in
+                place_copies placed;
+                st.home.(i) <- a;
+                accept ~was_own:false
+            | Safe_with_rename (r, uses) ->
+                let placed =
+                  apply_motion st ~node:i ~target_blk:blk ~speculative
+                    ~rename:(Some (r, uses)) ~duplicated_into:hosts_labels
+                in
+                place_copies placed;
+                st.home.(i) <- a;
+                accept ~was_own:false
+            | Unsafe b ->
+                st.blocked_log <- b :: st.blocked_log;
+                candidate.(i) <- false;
+                progress := true
+          end
+    done;
+    incr cycle
+  done;
+  (* Rewrite the block body in emission order; the terminator stays in
+     place as the block's [term]. *)
+  let order = List.filter (fun i -> i <> term_node) (Vec.to_list emitted) in
+  Vec.clear blk.Block.body;
+  List.iter
+    (fun i ->
+      match st.current.(i) with
+      | Some inst -> Vec.push blk.Block.body inst
+      | None -> assert false)
+    order;
+  (* Copies stashed for this block by earlier duplication motions go at
+     the end, just before the terminator — always order-correct there. *)
+  (match Hashtbl.find_opt st.pending_copies a with
+  | Some copies ->
+      List.iter (Vec.push blk.Block.body) (List.rev copies);
+      Hashtbl.remove st.pending_copies a
+  | None -> ());
+  st.processed <- Ints.Int_set.add a st.processed;
+  refresh_dataflow st
+
+let schedule_region machine config cfg regions region =
+  let base_report =
+    {
+      region_id = region.Regions.id;
+      nesting = region.Regions.nesting;
+      scheduled = false;
+      skip_reason = None;
+      moves = [];
+      blocked = [];
+    }
+  in
+  if config.Config.level = Config.Local then
+    { base_report with skip_reason = Some "local-only configuration" }
+  else
+    match region_too_big config cfg region with
+    | Some why -> { base_report with skip_reason = Some why }
+    | None -> (
+        match Regions.view cfg regions region with
+        | exception Invalid_argument why ->
+            { base_report with skip_reason = Some why }
+        | view ->
+            let st = make_state machine config cfg regions view in
+            let topo = Flow.reverse_postorder view.Regions.flow in
+            List.iter
+              (fun v ->
+                (match view.Regions.nodes.(v) with
+                | Regions.Block blk_id -> schedule_block st v blk_id
+                | Regions.Inner_loop _ -> ());
+                (* Everything homed in this view node is now behind us. *)
+                Array.iteri
+                  (fun i h -> if h = v then st.done_.(i) <- true)
+                  st.home)
+              topo;
+            Log.debug (fun m ->
+                m "region %d: %d moves" region.Regions.id (List.length st.moves));
+            {
+              base_report with
+              scheduled = true;
+              moves = List.rev st.moves;
+              blocked = List.rev st.blocked_log;
+            })
+
+(* Regions are eligible when within [max_nesting_levels] of the
+   innermost level: a leaf loop has inner level 1, a region whose
+   deepest nested loop chain has k levels has inner level k + 1. *)
+let inner_level regions region =
+  let rec depth_below (r : Regions.region) =
+    match r.Regions.loop with
+    | Some _ | None ->
+        let children =
+          List.filter
+            (fun (c : Regions.region) ->
+              match c.Regions.loop, r.Regions.loop with
+              | Some cl, Some rl -> cl.Gis_analysis.Loops.parent = Some rl.Gis_analysis.Loops.index
+              | Some cl, None -> cl.Gis_analysis.Loops.parent = None
+              | None, _ -> false)
+            (Regions.regions regions)
+        in
+        1 + List.fold_left (fun acc c -> max acc (depth_below c)) 0 children
+  in
+  depth_below region
+
+let is_inner_region (region : Regions.region) =
+  match region.Regions.loop with
+  | Some l -> l.Gis_analysis.Loops.children = []
+  | None -> false
+
+let schedule ?(only = fun _ -> true) machine config cfg =
+  let regions = Regions.compute cfg in
+  List.map
+    (fun region ->
+      if not (only region) then
+        {
+          region_id = region.Regions.id;
+          nesting = region.Regions.nesting;
+          scheduled = false;
+          skip_reason = Some "filtered out for this pass";
+          moves = [];
+          blocked = [];
+        }
+      else if inner_level regions region > config.Config.max_nesting_levels then
+        {
+          region_id = region.Regions.id;
+          nesting = region.Regions.nesting;
+          scheduled = false;
+          skip_reason =
+            Some
+              (Fmt.str "nesting: inner level %d exceeds limit %d"
+                 (inner_level regions region)
+                 config.Config.max_nesting_levels);
+          moves = [];
+          blocked = [];
+        }
+      else schedule_region machine config cfg regions region)
+    (Regions.regions regions)

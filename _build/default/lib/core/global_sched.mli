@@ -1,0 +1,75 @@
+(** PDG-driven global instruction scheduling (paper Section 5).
+
+    Regions are scheduled innermost first; within a region, basic blocks
+    are visited in topological order and filled cycle by cycle from a
+    ready list drawn from the block itself, from its equivalent blocks
+    (useful motion), and — at the [Speculative] level — from the
+    immediate CSPDG successors of the block and of its equivalent blocks
+    (1-branch speculative motion). Moved instructions are physically
+    removed from their home block. Speculative motions are subject to
+    the live-on-exit rule of Section 5.3, with optional renaming of the
+    moved definition when use-def chains prove it safe.
+
+    Invariants maintained (Section 5.1): instructions never cross region
+    boundaries; all motion is upward; branch order is preserved (branches
+    never move); no duplication; no new basic blocks. *)
+
+type move = {
+  uid : int;
+  from_label : Gis_ir.Label.t;
+  to_label : Gis_ir.Label.t;
+  speculative : bool;
+  renamed : (Gis_ir.Reg.t * Gis_ir.Reg.t) option;
+      (** (old, fresh) when the motion required renaming the moved
+          definition *)
+  duplicated_into : Gis_ir.Label.t list;
+      (** blocks that received a fresh copy because the target block
+          does not dominate the source (Definition 6's restricted
+          "scheduling with duplication"; requires
+          [Config.allow_duplication]) *)
+}
+
+val pp_move : move Fmt.t
+
+type blocked = {
+  blocked_uid : int;
+  reason : [ `Live_on_exit of Gis_ir.Reg.t | `Rename_unsafe of Gis_ir.Reg.t ];
+}
+
+type region_report = {
+  region_id : int;
+  nesting : int;
+  scheduled : bool;
+  skip_reason : string option;
+  moves : move list;
+  blocked : blocked list;
+      (** candidate motions rejected by the speculation safety rule *)
+}
+
+val pp_region_report : region_report Fmt.t
+
+val schedule_region :
+  Gis_machine.Machine.t ->
+  Config.t ->
+  Gis_ir.Cfg.t ->
+  Gis_analysis.Regions.t ->
+  Gis_analysis.Regions.region ->
+  region_report
+(** Schedule one region in place. *)
+
+val schedule :
+  ?only:(Gis_analysis.Regions.region -> bool) ->
+  Gis_machine.Machine.t ->
+  Config.t ->
+  Gis_ir.Cfg.t ->
+  region_report list
+(** Schedule every eligible region of the procedure, innermost first,
+    honouring the size and nesting limits in the configuration; [only]
+    further restricts which regions are touched (used by the pipeline's
+    inner-regions-first pass). With [config.level = Local] no region is
+    scheduled (reports only). Does not run the local post-pass — see
+    {!Pipeline}. *)
+
+val is_inner_region : Gis_analysis.Regions.region -> bool
+(** A region that is a loop containing no other loop — the paper's
+    "inner region". *)

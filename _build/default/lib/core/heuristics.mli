@@ -1,0 +1,27 @@
+(** The two priority functions of paper Section 5.2, computed per basic
+    block over intra-block dependence edges only.
+
+    - [D(I)] ("delay heuristic"): the maximum total edge delay on any
+      dependence path from [I] to the end of its block — how many delay
+      slots may have to be covered after issuing [I].
+    - [CP(I)] ("critical path"): how long completing [I] and everything
+      depending on it within the block takes with unbounded units.
+
+    Both satisfy the paper's recurrences:
+    [D(I)  = max_J (D(J) + d(I,J))], 0 at sinks;
+    [CP(I) = max_J (CP(J) + d(I,J)) + E(I)], [E(I)] at sinks. *)
+
+type t
+
+val compute : Gis_ddg.Ddg.t -> t
+(** Heuristics for every node of the dependence graph, each relative to
+    its own block (view node). Loop-summary nodes get [D = 0],
+    [CP = E]. *)
+
+val d : t -> int -> int
+(** Delay heuristic of the node with the given DDG index. *)
+
+val cp : t -> int -> int
+(** Critical path heuristic of the node with the given DDG index. *)
+
+val pp : t Fmt.t

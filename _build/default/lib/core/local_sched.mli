@@ -1,0 +1,27 @@
+(** The basic block (local) scheduler.
+
+    A classic list scheduler over the intra-block dependence graph with
+    the D/CP priority heuristics. The paper's BASE compiler runs this on
+    every block; the global scheduler also runs it as a post-pass,
+    because global decisions "are not necessarily optimal in a local
+    context" (Section 5.1). Functional units are fully pipelined: each
+    unit issues at most one instruction per cycle, execution times affect
+    only result availability. *)
+
+val schedule_block :
+  ?rules:Priority_rule.t list ->
+  Gis_machine.Machine.t ->
+  Gis_ir.Block.t ->
+  int
+(** Reorder the block body in place (the terminator stays last) and
+    return the schedule length in cycles — the issue cycle of the
+    terminator plus one. *)
+
+val schedule_cfg :
+  ?rules:Priority_rule.t list -> Gis_machine.Machine.t -> Gis_ir.Cfg.t -> unit
+(** Apply {!schedule_block} to every block. *)
+
+val block_schedule_length :
+  Gis_machine.Machine.t -> Gis_ir.Block.t -> int
+(** Schedule length the list scheduler would achieve, without mutating
+    the block — a static per-block cycle estimate. *)

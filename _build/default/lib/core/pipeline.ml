@@ -1,0 +1,55 @@
+open Gis_ir
+
+type stats = {
+  unrolled : int;
+  rotated : int;
+  pass1 : Global_sched.region_report list;
+  pass2 : Global_sched.region_report list;
+  seconds : float;
+}
+
+let moves stats =
+  List.concat_map
+    (fun (r : Global_sched.region_report) -> r.Global_sched.moves)
+    (stats.pass1 @ stats.pass2)
+
+let run machine (config : Config.t) cfg =
+  let t0 = Sys.time () in
+  if config.Config.split_webs && config.Config.level <> Config.Local then
+    ignore (Webs.split cfg);
+  let unrolled, pass1, rotated, pass2 =
+    match config.Config.level with
+    | Config.Local -> (0, [], 0, [])
+    | Config.Useful | Config.Speculative ->
+        let unrolled =
+          if config.Config.unroll_small_loops then
+            Unroll.unroll_small_inner_loops
+              ~max_blocks:config.Config.small_loop_blocks cfg
+          else 0
+        in
+        let pass1 =
+          Global_sched.schedule ~only:Global_sched.is_inner_region machine
+            config cfg
+        in
+        let rotated =
+          if config.Config.rotate_small_loops then
+            Rotate.rotate_small_inner_loops
+              ~max_blocks:config.Config.small_loop_blocks cfg
+          else 0
+        in
+        let pass2 =
+          Global_sched.schedule
+            ~only:(fun r -> rotated > 0 || not (Global_sched.is_inner_region r))
+            machine config cfg
+        in
+        (unrolled, pass1, rotated, pass2)
+  in
+  if config.Config.local_post_pass then begin
+    let local_machine =
+      Option.value ~default:machine config.Config.local_machine
+    in
+    Local_sched.schedule_cfg ~rules:config.Config.rules local_machine cfg
+  end;
+  let seconds = Sys.time () -. t0 in
+  ignore (Cfg.reachable cfg);
+  { unrolled; rotated; pass1; pass2; seconds }

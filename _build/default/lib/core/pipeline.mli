@@ -1,0 +1,27 @@
+(** The complete compilation flow of the paper's prototype (Section 6):
+
+    + certain inner loops are unrolled;
+    + global scheduling is applied the first time, to inner regions only;
+    + certain inner loops are rotated;
+    + global scheduling is applied the second time, to the rotated inner
+      loops and the outer regions;
+    + the basic block scheduler runs over every block (Section 5.1).
+
+    With [Config.base] only the last step runs — that is the paper's
+    BASE compiler, whose own local scheduling the global results are
+    measured against. *)
+
+type stats = {
+  unrolled : int;
+  rotated : int;
+  pass1 : Global_sched.region_report list;
+  pass2 : Global_sched.region_report list;
+  seconds : float;  (** CPU time spent in scheduling (all steps) *)
+}
+
+val moves : stats -> Global_sched.move list
+(** All interblock motions across both passes. *)
+
+val run :
+  Gis_machine.Machine.t -> Config.t -> Gis_ir.Cfg.t -> stats
+(** Transform the procedure in place. *)

@@ -1,0 +1,29 @@
+type item = {
+  node : int;
+  useful : bool;
+  d : int;
+  cp : int;
+  order : int;
+}
+
+let apply_rule rule a b =
+  match rule with
+  | Priority_rule.Useful_first -> Bool.compare b.useful a.useful
+  | Priority_rule.Max_delay -> Int.compare b.d a.d
+  | Priority_rule.Max_critical_path -> Int.compare b.cp a.cp
+  | Priority_rule.Program_order -> Int.compare a.order b.order
+
+let compare ~rules a b =
+  let rec go = function
+    | [] -> Int.compare a.order b.order
+    | r :: rest -> ( match apply_rule r a b with 0 -> go rest | c -> c)
+  in
+  go rules
+
+let best ~rules = function
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun acc x -> if compare ~rules x acc < 0 then x else acc)
+           first rest)

@@ -1,0 +1,19 @@
+(** Choosing among simultaneously-ready instructions (paper
+    Section 5.2, the seven-step decision order). *)
+
+type item = {
+  node : int;  (** DDG node index *)
+  useful : bool;
+      (** true when the instruction's home block is in
+          [U(A) = A ∪ EQUIV(A)] — rules 1–2 prefer these *)
+  d : int;  (** delay heuristic *)
+  cp : int;  (** critical path heuristic *)
+  order : int;  (** original program order; smaller is earlier *)
+}
+
+val compare : rules:Priority_rule.t list -> item -> item -> int
+(** Negative when the first item should be scheduled first. Rules are
+    applied in the given order; items equal under every rule compare by
+    [order] as the final arbiter (determinism). *)
+
+val best : rules:Priority_rule.t list -> item list -> item option

@@ -1,0 +1,11 @@
+type t = Useful_first | Max_delay | Max_critical_path | Program_order
+
+let paper_order = [ Useful_first; Max_delay; Max_critical_path; Program_order ]
+
+let pp ppf r =
+  Fmt.string ppf
+    (match r with
+    | Useful_first -> "useful-first"
+    | Max_delay -> "max-delay"
+    | Max_critical_path -> "max-critical-path"
+    | Program_order -> "program-order")

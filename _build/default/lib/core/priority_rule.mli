@@ -1,0 +1,15 @@
+(** The tie-breaking rules of the scheduling heuristic (paper
+    Section 5.2), as first-class values so ablation benchmarks can
+    reorder or drop them. The paper's order is: useful before
+    speculative, then greater delay heuristic D, then greater critical
+    path CP, then original program order. *)
+
+type t =
+  | Useful_first  (** rules 1–2: B(I) in U(A) wins *)
+  | Max_delay     (** rules 3–4: larger D(I) wins *)
+  | Max_critical_path  (** rules 5–6: larger CP(I) wins *)
+  | Program_order  (** rule 7: the earlier instruction wins *)
+
+val paper_order : t list
+
+val pp : t Fmt.t

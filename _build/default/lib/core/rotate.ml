@@ -1,0 +1,82 @@
+open Gis_ir
+open Gis_analysis
+open Gis_util.Ints
+
+let rotate cfg (loop : Loops.loop) =
+  let header = Cfg.block cfg loop.Loops.header in
+  let header_label = header.Block.label in
+  let copy_lbl = Label.fresh ~prefix:(header_label ^ ".r") () in
+  (* Place the copy after the loop's last block in layout order. *)
+  let last_in_layout =
+    List.fold_left
+      (fun acc b -> if Int_set.mem b loop.Loops.blocks then b else acc)
+      loop.Loops.header (Cfg.layout cfg)
+  in
+  let copy = Cfg.insert_block_after cfg ~after:last_in_layout ~label:copy_lbl in
+  (* The copy branches exactly where the original header did. *)
+  Gis_util.Vec.iter
+    (fun i -> Gis_util.Vec.push copy.Block.body (Cfg.copy_instr cfg i))
+    header.Block.body;
+  (let term_kind =
+     match Instr.kind header.Block.term with
+     | Instr.Branch_cond _ | Instr.Jump _ | Instr.Halt -> Instr.kind header.Block.term
+     | Instr.Load _ | Instr.Store _ | Instr.Load_imm _ | Instr.Move _
+     | Instr.Binop _ | Instr.Fbinop _ | Instr.Compare _ | Instr.Fcompare _
+     | Instr.Call _ ->
+         invalid_arg "Rotate: non-branch terminator"
+   in
+   copy.Block.term <- Cfg.make_instr cfg term_kind);
+  (* Back edges now land on the copy. *)
+  List.iter
+    (fun (tail, _) ->
+      let b = Cfg.block cfg tail in
+      let remap t = if Label.equal t header_label then copy_lbl else t in
+      match Instr.kind b.Block.term with
+      | Instr.Branch_cond br ->
+          b.Block.term <-
+            Instr.with_kind b.Block.term
+              (Instr.Branch_cond
+                 { br with taken = remap br.taken; fallthru = remap br.fallthru })
+      | Instr.Jump { target } ->
+          b.Block.term <-
+            Instr.with_kind b.Block.term (Instr.Jump { target = remap target })
+      | Instr.Halt -> ()
+      | Instr.Load _ | Instr.Store _ | Instr.Load_imm _ | Instr.Move _
+      | Instr.Binop _ | Instr.Fbinop _ | Instr.Compare _ | Instr.Fcompare _
+      | Instr.Call _ ->
+          invalid_arg "Rotate: non-branch terminator")
+    loop.Loops.back_edges;
+  copy_lbl
+
+let rotate_small_inner_loops ~max_blocks cfg =
+  let info = Loops.compute cfg in
+  if not (Loops.reducible info) then 0
+  else begin
+    let targets =
+      List.filter_map
+        (fun (l : Loops.loop) ->
+          if
+            l.Loops.children = []
+            && Int_set.cardinal l.Loops.blocks <= max_blocks
+          then Some (Cfg.block cfg l.Loops.header).Block.label
+          else None)
+        (Loops.innermost_first info)
+    in
+    let count = ref 0 in
+    List.iter
+      (fun header_label ->
+        let info = Loops.compute cfg in
+        match
+          List.find_opt
+            (fun (l : Loops.loop) ->
+              Label.equal (Cfg.block cfg l.Loops.header).Block.label
+                header_label)
+            (Array.to_list (Loops.loops info))
+        with
+        | Some l ->
+            ignore (rotate cfg l);
+            incr count
+        | None -> ())
+      targets;
+    !count
+  end

@@ -1,0 +1,129 @@
+open Gis_util
+open Gis_ir
+open Gis_analysis
+open Ints
+
+(* Clone the instructions of [src] into [dst] with fresh uids,
+   rewriting branch targets through [map_target]. *)
+let clone_block_into cfg ~map_target ~(src : Block.t) ~(dst : Block.t) =
+  Vec.iter
+    (fun i -> Vec.push dst.Block.body (Cfg.copy_instr cfg i))
+    src.Block.body;
+  let term_kind =
+    match Instr.kind src.Block.term with
+    | Instr.Branch_cond b ->
+        Instr.Branch_cond
+          { b with
+            taken = map_target b.taken;
+            fallthru = map_target b.fallthru
+          }
+    | Instr.Jump { target } -> Instr.Jump { target = map_target target }
+    | Instr.Halt -> Instr.Halt
+    | Instr.Load _ | Instr.Store _ | Instr.Load_imm _ | Instr.Move _
+    | Instr.Binop _ | Instr.Fbinop _ | Instr.Compare _ | Instr.Fcompare _
+    | Instr.Call _ ->
+        invalid_arg "Unroll: non-branch terminator"
+  in
+  dst.Block.term <- Cfg.make_instr cfg term_kind
+
+let unroll_once cfg (loop : Loops.loop) =
+  let header_label = (Cfg.block cfg loop.Loops.header).Block.label in
+  let members = Int_set.elements loop.Loops.blocks in
+  (* Fresh labels for the copy, keyed by original label. *)
+  let copy_label = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      let l = (Cfg.block cfg b).Block.label in
+      Hashtbl.replace copy_label l (Label.fresh ~prefix:(l ^ ".u") ()))
+    members;
+  (* Create copy blocks after the loop's last block in layout order. *)
+  let layout = Cfg.layout cfg in
+  let last_in_layout =
+    List.fold_left
+      (fun acc b -> if Int_set.mem b loop.Loops.blocks then b else acc)
+      loop.Loops.header layout
+  in
+  let anchor = ref last_in_layout in
+  let copies =
+    List.map
+      (fun b ->
+        let l = (Cfg.block cfg b).Block.label in
+        let nb =
+          Cfg.insert_block_after cfg ~after:!anchor
+            ~label:(Hashtbl.find copy_label l)
+        in
+        anchor := nb.Block.id;
+        (b, nb))
+      members
+  in
+  (* Original blocks: back edges (to the header) now enter the copy's
+     header; everything else is unchanged. *)
+  let to_copy l = Option.value ~default:l (Hashtbl.find_opt copy_label l) in
+  let redirect_original (b : Block.t) =
+    let remap target =
+      if Label.equal target header_label then to_copy header_label else target
+    in
+    match Instr.kind b.Block.term with
+    | Instr.Branch_cond br ->
+        b.Block.term <-
+          Instr.with_kind b.Block.term
+            (Instr.Branch_cond
+               { br with taken = remap br.taken; fallthru = remap br.fallthru })
+    | Instr.Jump { target } ->
+        b.Block.term <-
+          Instr.with_kind b.Block.term (Instr.Jump { target = remap target })
+    | Instr.Halt -> ()
+    | Instr.Load _ | Instr.Store _ | Instr.Load_imm _ | Instr.Move _
+    | Instr.Binop _ | Instr.Fbinop _ | Instr.Compare _ | Instr.Fcompare _
+    | Instr.Call _ ->
+        invalid_arg "Unroll: non-branch terminator"
+  in
+  (* Copy blocks: in-loop targets go to the copy's labels, except the
+     header, which closes the unrolled iteration back to the original. *)
+  let copy_target l =
+    if Label.equal l header_label then header_label
+    else Option.value ~default:l (Hashtbl.find_opt copy_label l)
+  in
+  List.iter
+    (fun (orig_id, nb) ->
+      clone_block_into cfg ~map_target:copy_target
+        ~src:(Cfg.block cfg orig_id) ~dst:nb)
+    copies;
+  List.iter (fun b -> redirect_original (Cfg.block cfg b)) members
+
+let unroll_small_inner_loops ~max_blocks cfg =
+  let info = Loops.compute cfg in
+  if not (Loops.reducible info) then 0
+  else begin
+    (* Fix the targets before transforming anything, so a loop we have
+       just doubled is not doubled again. Loops are identified by their
+       header label, which unrolling never changes. *)
+    let targets =
+      List.filter_map
+        (fun (l : Loops.loop) ->
+          if
+            l.Loops.children = []
+            && Int_set.cardinal l.Loops.blocks <= max_blocks
+          then Some (Cfg.block cfg l.Loops.header).Block.label
+          else None)
+        (Loops.innermost_first info)
+    in
+    let count = ref 0 in
+    List.iter
+      (fun header_label ->
+        let info = Loops.compute cfg in
+        let found =
+          List.find_opt
+            (fun (l : Loops.loop) ->
+              Label.equal (Cfg.block cfg l.Loops.header).Block.label
+                header_label)
+            (Array.to_list (Loops.loops info))
+        in
+        match found with
+        | Some l ->
+            unroll_once cfg l;
+            incr count
+        | None -> ())
+      targets;
+    !count
+  end

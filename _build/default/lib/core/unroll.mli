@@ -1,0 +1,20 @@
+(** Loop unrolling (paper Section 6, preparation step).
+
+    "Inner regions that represent loops with up to 4 basic blocks are
+    unrolled once (i.e., after unrolling they include two iterations of
+    a loop instead of one)." The copy keeps both exit tests — the
+    transformation is pure block duplication with back edges routed
+    through the copy, so it is valid for any loop shape, counted or
+    not. *)
+
+val unroll_once : Gis_ir.Cfg.t -> Gis_analysis.Loops.loop -> unit
+(** Duplicate the loop body in place: the original back edges are
+    redirected to a fresh copy of the loop, whose own back edges return
+    to the original header. Raises [Invalid_argument] if the loop
+    header's label generates a clash (never happens with {!Gis_ir.Label.fresh}). *)
+
+val unroll_small_inner_loops :
+  max_blocks:int -> Gis_ir.Cfg.t -> int
+(** Unroll every innermost loop with at most [max_blocks] blocks;
+    returns how many loops were unrolled. Loop analysis is recomputed
+    internally after each unroll. *)

@@ -1,0 +1,146 @@
+open Gis_ir
+open Gis_analysis
+
+type stats = {
+  webs_seen : int;
+  webs_renamed : int;
+}
+
+(* Keys for union-find: a definition site is (uid, register hash); the
+   external (procedure entry) value of a register is (-1, hash).
+   [Reg.hash] is injective, so the hash identifies the register. *)
+type key = int * int
+
+let key_of_site reg = function
+  | Reaching.Def uid -> (uid, Reg.hash reg)
+  | Reaching.External -> (-1, Reg.hash reg)
+
+(* Is [r] the base of an update-form access in [i]? Such positions are
+   simultaneously a use and a definition, so neither their web nor any
+   web reaching them can be renamed through [i]. *)
+let update_base_position i r =
+  match Instr.kind i with
+  | Instr.Load { base; update = true; _ } | Instr.Store { base; update = true; _ }
+    ->
+      Reg.equal base r
+  | Instr.Load _ | Instr.Store _ | Instr.Load_imm _ | Instr.Move _
+  | Instr.Binop _ | Instr.Fbinop _ | Instr.Compare _ | Instr.Fcompare _
+  | Instr.Branch_cond _ | Instr.Jump _ | Instr.Call _ | Instr.Halt ->
+      false
+
+module Union_find = struct
+  let parent : (key, key) Hashtbl.t = Hashtbl.create 64
+
+  let reset () = Hashtbl.reset parent
+
+  let rec find k =
+    match Hashtbl.find_opt parent k with
+    | Some p when p <> k ->
+        let root = find p in
+        Hashtbl.replace parent k root;
+        root
+    | Some _ -> k
+    | None ->
+        Hashtbl.replace parent k k;
+        k
+
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+end
+
+let split cfg =
+  let reach = Reaching.compute cfg in
+  Union_find.reset ();
+  let tainted = Hashtbl.create 16 in (* root key -> unit, set after unions *)
+  let taints = ref [] in             (* keys to taint once unions are done *)
+  let instrs = Cfg.all_instrs cfg in
+  let reg_of_hash = Hashtbl.create 32 in
+  (* 1. Union definition sites that share a use; remember taints. *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun r ->
+          Hashtbl.replace reg_of_hash (Reg.hash r) r;
+          let sites = Reaching.defs_of_use reach ~uid:(Instr.uid i) ~reg:r in
+          let keys = List.map (key_of_site r) sites in
+          (match keys with
+          | [] -> ()
+          | first :: rest -> List.iter (Union_find.union first) rest);
+          List.iter
+            (fun k ->
+              if update_base_position i r then taints := k :: !taints;
+              if fst k = -1 then taints := k :: !taints)
+            keys)
+        (Instr.uses i);
+      List.iter
+        (fun r ->
+          Hashtbl.replace reg_of_hash (Reg.hash r) r;
+          let k = key_of_site r (Reaching.Def (Instr.uid i)) in
+          ignore (Union_find.find k);
+          if update_base_position i r then taints := k :: !taints)
+        (Instr.defs i))
+    instrs;
+  List.iter (fun k -> Hashtbl.replace tainted (Union_find.find k) ()) !taints;
+  (* 2. Gather webs: root -> member def uids, per register. *)
+  let webs = Hashtbl.create 32 in (* root key -> uid list *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun r ->
+          let k = key_of_site r (Reaching.Def (Instr.uid i)) in
+          let root = Union_find.find k in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt webs root) in
+          Hashtbl.replace webs root (Instr.uid i :: cur))
+        (Instr.defs i))
+    instrs;
+  (* 3. Per register, keep the first web (smallest uid), rename the
+     rest. *)
+  let by_reg = Hashtbl.create 32 in (* reg hash -> (min uid, root, uids) list *)
+  Hashtbl.iter
+    (fun ((_, rh) as root) uids ->
+      if not (Hashtbl.mem tainted (Union_find.find root)) then begin
+        let entry = (List.fold_left min max_int uids, root, uids) in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_reg rh) in
+        Hashtbl.replace by_reg rh (entry :: cur)
+      end)
+    webs;
+  let seen = ref 0 and renamed = ref 0 in
+  Hashtbl.iter
+    (fun rh entries ->
+      let r = Hashtbl.find reg_of_hash rh in
+      let sorted =
+        List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) entries
+      in
+      seen := !seen + List.length sorted;
+      (* The first web keeps the original name — and so does any web when
+         an external value of the same register exists somewhere (the
+         external web was tainted, but it still owns the name). *)
+      let renameable =
+        match sorted with [] -> [] | _first :: rest -> rest
+      in
+      List.iter
+        (fun (_, _, uids) ->
+          let fresh = Cfg.fresh_reg cfg r.Reg.cls in
+          let use_uids =
+            List.concat_map
+              (fun d -> Reaching.uses_of_def reach ~uid:d ~reg:r)
+              uids
+            |> List.sort_uniq Int.compare
+          in
+          List.iter
+            (fun d ->
+              ignore
+                (Cfg.update_instr cfg ~uid:d
+                   ~f:(Instr.rename_def ~from_reg:r ~to_reg:fresh)))
+            (List.sort_uniq Int.compare uids);
+          List.iter
+            (fun u ->
+              ignore
+                (Cfg.update_instr cfg ~uid:u
+                   ~f:(Instr.rename_uses ~from_reg:r ~to_reg:fresh)))
+            use_uids;
+          incr renamed)
+        renameable)
+    by_reg;
+  { webs_seen = !seen; webs_renamed = !renamed }

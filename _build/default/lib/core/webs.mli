@@ -1,0 +1,28 @@
+(** Register-web splitting — the renaming pre-pass of paper Section 4.2:
+    "To minimize the number of anti and output data dependences, which
+    may unnecessarily constrain the scheduling process, the XL compiler
+    does certain renaming of registers, which is similar to the effect
+    of the static single assignment form."
+
+    A {e web} is a maximal set of definitions of one register connected
+    through shared uses (two definitions are in the same web when some
+    use is reached by both). Distinct webs of the same register are
+    independent values that merely share a name; giving each web its own
+    fresh symbolic register removes the anti and output dependences
+    between them. Registers are symbolic and unbounded before register
+    allocation, so splitting costs nothing here.
+
+    A web is left untouched when renaming it is impossible or unsound:
+    it may reach a use also reachable by the procedure-entry (external)
+    value of the register, or one of its definitions is the base of an
+    update-form load/store (renaming the definition would also rename
+    the address use). *)
+
+type stats = {
+  webs_seen : int;  (** total webs discovered *)
+  webs_renamed : int;  (** webs given a fresh register *)
+}
+
+val split : Gis_ir.Cfg.t -> stats
+(** Split all splittable webs in place. Idempotent: a second run finds
+    nothing to rename. *)

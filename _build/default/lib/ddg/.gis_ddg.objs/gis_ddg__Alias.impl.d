@@ -1,0 +1,1 @@
+lib/ddg/alias.ml: Gis_ir Instr Reg

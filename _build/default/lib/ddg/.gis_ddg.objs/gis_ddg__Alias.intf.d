@@ -1,0 +1,1 @@
+lib/ddg/alias.mli: Gis_ir

@@ -1,0 +1,1 @@
+lib/ddg/ddg.ml: Alias Array Block Cfg Flow Fmt Fun Gis_analysis Gis_ir Gis_machine Gis_util Hashtbl Instr Ints Lazy List Option Reaching Reg Regions Vec

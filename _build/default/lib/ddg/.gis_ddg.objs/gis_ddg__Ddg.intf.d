@@ -1,0 +1,1 @@
+lib/ddg/ddg.mli: Fmt Gis_analysis Gis_ir Gis_machine

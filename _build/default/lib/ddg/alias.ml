@@ -1,0 +1,51 @@
+open Gis_ir
+
+type ref_info = {
+  base : Reg.t;
+  version : int;
+  offset : int;
+  width : int;
+}
+
+type access =
+  | Load_ref of ref_info
+  | Store_ref of ref_info
+  | Call_ref
+
+let width_of_reg (r : Reg.t) =
+  match r.Reg.cls with Reg.Fpr -> 8 | Reg.Gpr | Reg.Cr -> 4
+
+let access_of_instr ~version_of i =
+  match Instr.kind i with
+  | Instr.Load { dst; base; offset; _ } ->
+      Some
+        (Load_ref
+           { base; version = version_of base; offset; width = width_of_reg dst })
+  | Instr.Store { src; base; offset; _ } ->
+      Some
+        (Store_ref
+           { base; version = version_of base; offset; width = width_of_reg src })
+  | Instr.Call _ -> Some Call_ref
+  | Instr.Load_imm _ | Instr.Move _ | Instr.Binop _ | Instr.Fbinop _
+  | Instr.Compare _ | Instr.Fcompare _ | Instr.Branch_cond _ | Instr.Jump _
+  | Instr.Halt ->
+      None
+
+(* Proven-disjoint: same base value, non-overlapping [offset, offset+width)
+   intervals. Unknown versions (-1) still compare equal only to -1, which
+   is sound within one block scan: version -1 means "whatever the base
+   held at block entry", a single well-defined value. *)
+let ranges_disjoint a b =
+  a.offset + a.width <= b.offset || b.offset + b.width <= a.offset
+
+let disjoint a b =
+  Reg.equal a.base b.base && a.version = b.version && ranges_disjoint a b
+
+let conflict a b =
+  match a, b with
+  | Load_ref _, Load_ref _ -> false
+  | Call_ref, _ | _, Call_ref -> true
+  | Load_ref x, Store_ref y
+  | Store_ref x, Load_ref y
+  | Store_ref x, Store_ref y ->
+      not (disjoint x y)

@@ -1,0 +1,39 @@
+(** Memory disambiguation (paper Section 4.2, fourth dependence rule).
+
+    Two memory-touching instructions must be ordered unless it is proven
+    they address different locations. The proof here is syntactic, in
+    the spirit of the XL compiler: two references are independent when
+    they use the same base register holding the same *value* (the same
+    reaching definition during a single block scan) with accesses that
+    cannot overlap. Loads never conflict with loads. Calls conflict with
+    every memory reference. *)
+
+type ref_info = {
+  base : Gis_ir.Reg.t;
+  version : int;
+      (** uid of the base register's defining instruction at address
+          computation time, or [-1] when defined before the scan began
+          (unknown/external); two refs disambiguate positionally only
+          when versions are equal and non-conflicting offsets *)
+  offset : int;
+  width : int;  (** bytes accessed *)
+}
+
+type access =
+  | Load_ref of ref_info
+  | Store_ref of ref_info
+  | Call_ref  (** conservatively touches everything *)
+
+val access_of_instr :
+  version_of:(Gis_ir.Reg.t -> int) -> Gis_ir.Instr.t -> access option
+(** [None] when the instruction does not touch memory. [version_of]
+    supplies the current value-version of the base register. *)
+
+val conflict : access -> access -> bool
+(** Must the second access stay ordered after the first? *)
+
+val ranges_disjoint : ref_info -> ref_info -> bool
+(** Do the two [offset, offset+width) intervals miss each other?
+    (Base values are the caller's problem — used by the inter-block
+    disambiguator, which proves base equality through reaching
+    definitions instead of scan versions.) *)

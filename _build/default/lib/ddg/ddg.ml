@@ -1,0 +1,367 @@
+open Gis_util
+open Gis_ir
+open Gis_analysis
+
+type dep_kind = Flow | Anti | Output | Mem
+
+let pp_dep_kind ppf k =
+  Fmt.string ppf
+    (match k with Flow -> "flow" | Anti -> "anti" | Output -> "output" | Mem -> "mem")
+
+type node = {
+  idx : int;
+  uid : int;
+  instr : Instr.t option;
+  view_node : int;
+  pos : int;
+  defs : Reg.Set.t;
+  uses : Reg.Set.t;
+}
+
+type edge = {
+  src : int;
+  dst : int;
+  kind : dep_kind;
+  reg : Reg.t option;
+  delay : int;
+}
+
+type t = {
+  nodes : node array;
+  succs : edge list array;
+  preds : edge list array;
+  exec : int array;
+  of_uid : (int, int) Hashtbl.t;
+  by_view_node : int list array;
+  mem_access : Alias.access option array;
+}
+
+let num_nodes t = Array.length t.nodes
+let exec_time t i = t.exec.(i)
+let node t i = t.nodes.(i)
+let nodes_of_view_node t v = t.by_view_node.(v)
+let node_of_uid t u = Hashtbl.find_opt t.of_uid u
+let succs t i = t.succs.(i)
+let preds t i = t.preds.(i)
+let num_edges t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.succs
+
+let iter_edges f t = Array.iter (List.iter f) t.succs
+
+(* Does an inter-block pair of memory accesses conflict? Scan-local base
+   versions mean nothing across blocks; instead two references share a
+   base value when the base register's use has the same single reaching
+   definition at both instructions (then every execution reads the same
+   value there, whatever path it took). [base_sites] supplies those
+   reaching definitions. *)
+let interblock_mem_conflict ~base_sites (a_idx, a) (b_idx, b) =
+  match a, b with
+  | Alias.Load_ref _, Alias.Load_ref _ -> false
+  | Alias.Call_ref, _ | _, Alias.Call_ref -> true
+  | (Alias.Load_ref x | Alias.Store_ref x), (Alias.Load_ref y | Alias.Store_ref y)
+    -> (
+      if not (Reg.equal x.Alias.base y.Alias.base) then true
+      else
+        match base_sites a_idx, base_sites b_idx with
+        | Some [ sa ], Some [ sb ] when Reaching.equal_site sa sb ->
+            not (Alias.ranges_disjoint x y)
+        | _, _ -> true)
+
+(* One ordered scan over the nodes of a single block, adding flow, anti,
+   output and memory edges. Shared by the region builder and the
+   single-block builder. *)
+let intra_block_scan ~(nodes : node array) ~mem_access ~flow_delay ~mem_delay
+    ~add_edge node_idxs =
+  let last_def = Hashtbl.create 8 in   (* reg hash -> node idx *)
+  let uses_since = Hashtbl.create 8 in (* reg hash -> node idx list *)
+  let mem_before = ref [] in           (* earlier memory nodes, newest first *)
+  List.iter
+    (fun j ->
+      let nd = nodes.(j) in
+      Reg.Set.iter
+        (fun r ->
+          match Hashtbl.find_opt last_def (Reg.hash r) with
+          | Some d -> add_edge d j Flow (Some r) (flow_delay d j r)
+          | None -> ())
+        nd.uses;
+      Reg.Set.iter
+        (fun r ->
+          (match Hashtbl.find_opt last_def (Reg.hash r) with
+          | Some d -> add_edge d j Output (Some r) 0
+          | None -> ());
+          List.iter
+            (fun u -> add_edge u j Anti (Some r) 0)
+            (Option.value ~default:[]
+               (Hashtbl.find_opt uses_since (Reg.hash r))))
+        nd.defs;
+      (match mem_access.(j) with
+      | Some a ->
+          List.iter
+            (fun m ->
+              match mem_access.(m) with
+              | Some b -> if Alias.conflict b a then add_edge m j Mem None (mem_delay m j)
+              | None -> ())
+            !mem_before;
+          mem_before := j :: !mem_before
+      | None -> ());
+      Reg.Set.iter
+        (fun r ->
+          Hashtbl.replace last_def (Reg.hash r) j;
+          Hashtbl.replace uses_since (Reg.hash r) [])
+        nd.defs;
+      Reg.Set.iter
+        (fun r ->
+          let cur =
+            Option.value ~default:[] (Hashtbl.find_opt uses_since (Reg.hash r))
+          in
+          Hashtbl.replace uses_since (Reg.hash r) (j :: cur))
+        nd.uses)
+    node_idxs
+
+let finalize ~nodes ~mem_access ~exec ~by_view_node edges =
+  let n = Array.length nodes in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  Hashtbl.iter
+    (fun _ (e : edge) ->
+      succs.(e.src) <- e :: succs.(e.src);
+      preds.(e.dst) <- e :: preds.(e.dst))
+    edges;
+  let of_uid = Hashtbl.create (max 1 n) in
+  Array.iter (fun nd -> Hashtbl.replace of_uid nd.uid nd.idx) nodes;
+  { nodes; succs; preds; exec; of_uid; by_view_node; mem_access }
+
+let make_edge_table () =
+  let edges = Hashtbl.create 256 in
+  let add_edge src dst kind reg delay =
+    if src = dst then ()
+    else
+      match Hashtbl.find_opt edges (src, dst) with
+      | Some (e : edge) when e.delay >= delay -> ()
+      | Some _ | None ->
+          Hashtbl.replace edges (src, dst) { src; dst; kind; reg; delay }
+  in
+  (edges, add_edge)
+
+let flow_delay_fn machine (nodes : node array) a b r =
+  match nodes.(a).instr, nodes.(b).instr with
+  | Some p, Some c ->
+      Gis_machine.Machine.delay machine ~producer:p ~consumer:c ~reg:r
+  | None, _ | _, None -> 0
+
+let mem_delay_fn machine (nodes : node array) a b =
+  match nodes.(a).instr, nodes.(b).instr with
+  | Some p, Some c -> Gis_machine.Machine.mem_delay machine ~producer:p ~consumer:c
+  | None, _ | _, None -> 0
+
+let build_single_block machine (blk : Block.t) =
+  let nodes_v = Vec.create () in
+  let mem_v = Vec.create () in
+  let exec_v = Vec.create () in
+  let versions = Hashtbl.create 8 in
+  let version_of (r : Reg.t) =
+    Option.value ~default:(-1) (Hashtbl.find_opt versions (Reg.hash r))
+  in
+  let visit i =
+    let idx = Vec.length nodes_v in
+    Vec.push nodes_v
+      {
+        idx;
+        uid = Instr.uid i;
+        instr = Some i;
+        view_node = 0;
+        pos = idx;
+        defs = Reg.Set.of_list (Instr.defs i);
+        uses = Reg.Set.of_list (Instr.uses i);
+      };
+    Vec.push mem_v (Alias.access_of_instr ~version_of i);
+    Vec.push exec_v (Gis_machine.Machine.exec_time machine i);
+    List.iter
+      (fun r -> Hashtbl.replace versions (Reg.hash r) (Instr.uid i))
+      (Instr.defs i)
+  in
+  Vec.iter visit blk.Block.body;
+  visit blk.Block.term;
+  let nodes = Vec.to_array nodes_v in
+  let mem_access = Vec.to_array mem_v in
+  let exec = Vec.to_array exec_v in
+  let edges, add_edge = make_edge_table () in
+  intra_block_scan ~nodes ~mem_access
+    ~flow_delay:(flow_delay_fn machine nodes)
+    ~mem_delay:(mem_delay_fn machine nodes)
+    ~add_edge
+    (List.init (Array.length nodes) Fun.id);
+  finalize ~nodes ~mem_access ~exec
+    ~by_view_node:[| List.init (Array.length nodes) Fun.id |]
+    edges
+
+let build cfg machine regions (view : Regions.view) =
+  let loops_blocks c = Regions.summary_blocks regions ~loop_index:c in
+  (* ---- 1. Node table ---- *)
+  let nodes = Vec.create () in
+  let mem_access_v = Vec.create () in
+  let exec_v = Vec.create () in
+  let add_node ~uid ~instr ~view_node ~pos ~defs ~uses ~mem ~exec =
+    let idx = Vec.length nodes in
+    Vec.push nodes { idx; uid; instr; view_node; pos; defs; uses };
+    Vec.push mem_access_v mem;
+    Vec.push exec_v exec;
+    idx
+  in
+  let num_view_nodes = view.Regions.flow.Flow.num_nodes in
+  let by_view_node = Array.make num_view_nodes [] in
+  Array.iteri
+    (fun v kind ->
+      match kind with
+      | Regions.Block b ->
+          let blk = Cfg.block cfg b in
+          let versions = Hashtbl.create 8 in
+          let version_of (r : Reg.t) =
+            Option.value ~default:(-1) (Hashtbl.find_opt versions (Reg.hash r))
+          in
+          let pos = ref 0 in
+          let visit i =
+            let mem = Alias.access_of_instr ~version_of i in
+            let idx =
+              add_node ~uid:(Instr.uid i) ~instr:(Some i) ~view_node:v
+                ~pos:!pos
+                ~defs:(Reg.Set.of_list (Instr.defs i))
+                ~uses:(Reg.Set.of_list (Instr.uses i))
+                ~mem ~exec:(Gis_machine.Machine.exec_time machine i)
+            in
+            incr pos;
+            List.iter
+              (fun r -> Hashtbl.replace versions (Reg.hash r) (Instr.uid i))
+              (Instr.defs i);
+            by_view_node.(v) <- idx :: by_view_node.(v)
+          in
+          Vec.iter visit blk.Block.body;
+          visit blk.Block.term
+      | Regions.Inner_loop c ->
+          let defs = ref Reg.Set.empty and uses = ref Reg.Set.empty in
+          let mem = ref false in
+          Ints.Int_set.iter
+            (fun b ->
+              List.iter
+                (fun i ->
+                  List.iter (fun r -> defs := Reg.Set.add r !defs) (Instr.defs i);
+                  List.iter (fun r -> uses := Reg.Set.add r !uses) (Instr.uses i);
+                  if Instr.touches_memory i then mem := true)
+                (Block.instrs (Cfg.block cfg b)))
+            (loops_blocks c);
+          let idx =
+            add_node ~uid:(-c - 1) ~instr:None ~view_node:v ~pos:0 ~defs:!defs
+              ~uses:!uses
+              ~mem:(if !mem then Some Alias.Call_ref else None)
+              ~exec:1
+          in
+          by_view_node.(v) <- idx :: by_view_node.(v))
+    view.Regions.nodes;
+  let by_view_node = Array.map List.rev by_view_node in
+  let nodes = Vec.to_array nodes in
+  let mem_access = Vec.to_array mem_access_v in
+  let exec = Vec.to_array exec_v in
+  (* ---- 2. Edges ---- *)
+  let edges, add_edge = make_edge_table () in
+  let flow_delay = flow_delay_fn machine nodes in
+  let mem_delay = mem_delay_fn machine nodes in
+  (* Intra-block dependences: one ordered scan per view node. *)
+  Array.iter
+    (intra_block_scan ~nodes ~mem_access ~flow_delay ~mem_delay ~add_edge)
+    by_view_node;
+  (* Inter-block dependences over reachable view-node pairs. Reaching
+     definitions power the cross-block base-value proof; they are only
+     computed when some memory reference actually needs them. *)
+  let reaching = lazy (Reaching.compute cfg) in
+  let base_sites idx =
+    match nodes.(idx).instr, mem_access.(idx) with
+    | Some i, Some (Alias.Load_ref ri | Alias.Store_ref ri) ->
+        Some
+          (Reaching.defs_of_use (Lazy.force reaching) ~uid:(Instr.uid i)
+             ~reg:ri.Alias.base)
+    | _, _ -> None
+  in
+  let reach = Flow.reachable_matrix view.Regions.flow in
+  for va = 0 to num_view_nodes - 1 do
+    for vb = 0 to num_view_nodes - 1 do
+      if va <> vb && reach.(va).(vb) then
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                let na = nodes.(a) and nb = nodes.(b) in
+                Reg.Set.iter
+                  (fun r ->
+                    if Reg.Set.mem r nb.uses then
+                      add_edge a b Flow (Some r) (flow_delay a b r);
+                    if Reg.Set.mem r nb.defs then add_edge a b Output (Some r) 0)
+                  na.defs;
+                Reg.Set.iter
+                  (fun r ->
+                    if Reg.Set.mem r nb.defs then add_edge a b Anti (Some r) 0)
+                  na.uses;
+                match mem_access.(a), mem_access.(b) with
+                | Some x, Some y ->
+                    if interblock_mem_conflict ~base_sites (a, x) (b, y) then
+                      add_edge a b Mem None (mem_delay a b)
+                | None, _ | _, None -> ())
+              by_view_node.(vb))
+          by_view_node.(va)
+    done
+  done;
+  finalize ~nodes ~mem_access ~exec ~by_view_node edges
+
+let prune_transitive t =
+  let implied e =
+    List.exists
+      (fun (ab : edge) ->
+        ab.dst <> e.dst
+        && List.exists
+             (fun (bc : edge) ->
+               bc.dst = e.dst
+               && ab.delay + t.exec.(ab.dst) + bc.delay >= e.delay)
+             t.succs.(ab.dst))
+      t.succs.(e.src)
+  in
+  let keep = Hashtbl.create 256 in
+  Array.iter
+    (List.iter (fun e -> if not (implied e) then Hashtbl.replace keep (e.src, e.dst) e))
+    t.succs;
+  let n = Array.length t.nodes in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  Hashtbl.iter
+    (fun _ (e : edge) ->
+      succs.(e.src) <- e :: succs.(e.src);
+      preds.(e.dst) <- e :: preds.(e.dst))
+    keep;
+  { t with succs; preds }
+
+let is_acyclic t =
+  let n = Array.length t.nodes in
+  let color = Array.make n 0 in
+  let rec go v =
+    if color.(v) = 1 then false
+    else if color.(v) = 2 then true
+    else begin
+      color.(v) <- 1;
+      let ok = List.for_all (fun e -> go e.dst) t.succs.(v) in
+      color.(v) <- 2;
+      ok
+    end
+  in
+  let rec all v = v >= n || (go v && all (v + 1)) in
+  all 0
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  Array.iter
+    (fun nd ->
+      Fmt.pf ppf "%d (uid %d, view %d): %a@," nd.idx nd.uid nd.view_node
+        Fmt.(option ~none:(any "<summary>") Instr.pp)
+        nd.instr;
+      List.iter
+        (fun e ->
+          Fmt.pf ppf "   -> %d [%a%a d=%d]@," e.dst pp_dep_kind e.kind
+            Fmt.(option (fun ppf r -> pf ppf " %a" Reg.pp r))
+            e.reg e.delay)
+        t.succs.(nd.idx))
+    t.nodes;
+  Fmt.pf ppf "@]"

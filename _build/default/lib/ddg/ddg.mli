@@ -1,0 +1,78 @@
+(** The data dependence subgraph of the PDG (paper Section 4.2).
+
+    Built per scheduling region over a {!Gis_analysis.Regions.view}:
+    nodes are the instructions of the region's own blocks plus one
+    *summary node* per collapsed inner loop (so that nothing is ever
+    moved across a loop it depends on); edges are flow, anti, output and
+    memory dependences. Intra-block dependences relate instructions of
+    one block; inter-block dependences relate instructions of blocks
+    [A], [B] such that [B] is reachable from [A] in the region's forward
+    flow graph. Only definition-to-use (flow) edges carry a machine
+    delay. The graph is acyclic because the view is. *)
+
+type dep_kind = Flow | Anti | Output | Mem
+
+val pp_dep_kind : dep_kind Fmt.t
+
+type node = {
+  idx : int;  (** dense node index *)
+  uid : int;  (** instruction uid; negative for loop summaries *)
+  instr : Gis_ir.Instr.t option;  (** [None] for loop summaries *)
+  view_node : int;  (** region-view node containing this instruction *)
+  pos : int;  (** position within its block; the terminator is last *)
+  defs : Gis_ir.Reg.Set.t;
+  uses : Gis_ir.Reg.Set.t;
+}
+
+type edge = {
+  src : int;
+  dst : int;
+  kind : dep_kind;
+  reg : Gis_ir.Reg.t option;  (** register carrying the dependence *)
+  delay : int;
+}
+
+type t
+
+val build :
+  Gis_ir.Cfg.t ->
+  Gis_machine.Machine.t ->
+  Gis_analysis.Regions.t ->
+  Gis_analysis.Regions.view ->
+  t
+(** Dependences are computed pairwise with the transitive-closure
+    shortcut of Section 4.2 disabled (all edges are materialised); use
+    {!prune_transitive} to drop edges implied by longer paths. *)
+
+val build_single_block :
+  Gis_machine.Machine.t -> Gis_ir.Block.t -> t
+(** Intra-block dependences of one basic block only (view node 0) — the
+    input to the local (basic block) scheduler applied after global
+    scheduling, Section 5.1. *)
+
+val num_nodes : t -> int
+
+(** [exec_time t i] is the machine execution time of node [i]'s
+    instruction (1 for loop summaries). *)
+val exec_time : t -> int -> int
+val node : t -> int -> node
+val nodes_of_view_node : t -> int -> int list
+(** Node indices in block order (position order). *)
+
+val node_of_uid : t -> int -> int option
+val succs : t -> int -> edge list
+val preds : t -> int -> edge list
+val num_edges : t -> int
+
+val prune_transitive : t -> t
+(** Remove an edge [a -> c] when some intermediate [b] with edges
+    [a -> b -> c] already enforces at least as strong a timing
+    constraint: [delay(a,b) + exec(b) + delay(b,c) >= delay(a,c)].
+    Scheduling results are unchanged; the graph just gets smaller
+    (the paper's compile-time optimisation). *)
+
+val is_acyclic : t -> bool
+
+val iter_edges : (edge -> unit) -> t -> unit
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/frontend/codegen.ml: Ast Block Builder Cfg Fmt Gis_ir Gis_util Hashtbl Instr Label List Option Parser Reg Validate

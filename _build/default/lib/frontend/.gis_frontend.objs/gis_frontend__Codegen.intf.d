@@ -1,0 +1,1 @@
+lib/frontend/codegen.mli: Ast Gis_ir

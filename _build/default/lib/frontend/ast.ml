@@ -1,0 +1,108 @@
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type relop = Lt | Gt | Le | Ge | Eq | Ne
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Binop of binop * expr * expr
+  | Neg of expr
+
+type cond =
+  | Rel of relop * expr * expr
+  | Not of cond
+  | And_also of cond * cond
+  | Or_else of cond * cond
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Do_while of stmt list * cond
+  | For of stmt option * cond option * stmt option * stmt list
+  | Print of expr
+  | Block of stmt list
+
+type decl = Scalar of string * int option | Array of string * int
+
+type program = {
+  decls : decl list;
+  body : stmt list;
+}
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let relop_symbol = function
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let rec pp_expr ppf = function
+  | Int n -> Fmt.int ppf n
+  | Var v -> Fmt.string ppf v
+  | Index (a, e) -> Fmt.pf ppf "%s[%a]" a pp_expr e
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Neg e -> Fmt.pf ppf "(-%a)" pp_expr e
+
+let rec pp_cond ppf = function
+  | Rel (op, a, b) -> Fmt.pf ppf "%a %s %a" pp_expr a (relop_symbol op) pp_expr b
+  | Not c -> Fmt.pf ppf "!(%a)" pp_cond c
+  | And_also (a, b) -> Fmt.pf ppf "(%a && %a)" pp_cond a pp_cond b
+  | Or_else (a, b) -> Fmt.pf ppf "(%a || %a)" pp_cond a pp_cond b
+
+let rec pp_stmt ppf = function
+  | Assign (v, e) -> Fmt.pf ppf "%s = %a;" v pp_expr e
+  | Store (a, i, e) -> Fmt.pf ppf "%s[%a] = %a;" a pp_expr i pp_expr e
+  | If (c, t, []) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {%a@]@,}" pp_cond c pp_stmts t
+  | If (c, t, e) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_cond c
+        pp_stmts t pp_stmts e
+  | While (c, b) -> Fmt.pf ppf "@[<v 2>while (%a) {%a@]@,}" pp_cond c pp_stmts b
+  | Do_while (b, c) ->
+      Fmt.pf ppf "@[<v 2>do {%a@]@,} while (%a);" pp_stmts b pp_cond c
+  | For (init, c, step, b) ->
+      Fmt.pf ppf "@[<v 2>for (%a; %a; %a) {%a@]@,}"
+        Fmt.(option pp_stmt_inline)
+        init
+        Fmt.(option pp_cond)
+        c
+        Fmt.(option pp_stmt_inline)
+        step pp_stmts b
+  | Print e -> Fmt.pf ppf "print(%a);" pp_expr e
+  | Block b -> Fmt.pf ppf "@[<v 2>{%a@]@,}" pp_stmts b
+
+and pp_stmt_inline ppf s =
+  match s with
+  | Assign (v, e) -> Fmt.pf ppf "%s = %a" v pp_expr e
+  | Store (a, i, e) -> Fmt.pf ppf "%s[%a] = %a" a pp_expr i pp_expr e
+  | If _ | While _ | Do_while _ | For _ | Print _ | Block _ -> pp_stmt ppf s
+
+and pp_stmts ppf stmts = List.iter (fun s -> Fmt.pf ppf "@,%a" pp_stmt s) stmts
+
+let pp_decl ppf = function
+  | Scalar (v, None) -> Fmt.pf ppf "int %s;" v
+  | Scalar (v, Some n) -> Fmt.pf ppf "int %s = %d;" v n
+  | Array (a, n) -> Fmt.pf ppf "int %s[%d];" a n
+
+let pp_program ppf p =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun d -> Fmt.pf ppf "%a@," pp_decl d) p.decls;
+  List.iter (fun s -> Fmt.pf ppf "%a@," pp_stmt s) p.body;
+  Fmt.pf ppf "@]"

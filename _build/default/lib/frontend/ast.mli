@@ -1,0 +1,60 @@
+(** Abstract syntax of Tiny-C.
+
+    A deliberately small C subset — the constructs of the paper's
+    Figure 1 program and of the SPEC-style workloads: integer scalars
+    and arrays, arithmetic, short-circuit conditions, [if]/[while]/
+    [do-while]/[for], and a [print] statement that becomes an observable
+    call. Conditions and arithmetic expressions are separate syntactic
+    classes, mirroring how the code generator lowers comparisons to
+    condition registers and branches. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+
+type relop = Lt | Gt | Le | Ge | Eq | Ne
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** [a\[e\]] *)
+  | Binop of binop * expr * expr
+  | Neg of expr
+
+type cond =
+  | Rel of relop * expr * expr
+  | Not of cond
+  | And_also of cond * cond  (** short-circuit [&&] *)
+  | Or_else of cond * cond  (** short-circuit [||] *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [a\[e1\] = e2] *)
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Do_while of stmt list * cond
+  | For of stmt option * cond option * stmt option * stmt list
+  | Print of expr
+  | Block of stmt list
+
+type decl =
+  | Scalar of string * int option  (** [int x;] or [int x = 7;] *)
+  | Array of string * int  (** [int a\[100\];] *)
+
+type program = {
+  decls : decl list;
+  body : stmt list;
+}
+
+val pp_expr : expr Fmt.t
+val pp_cond : cond Fmt.t
+val pp_stmt : stmt Fmt.t
+val pp_program : program Fmt.t

@@ -1,0 +1,51 @@
+(** Hand-written lexer for Tiny-C (menhir/ocamllex are deliberately not
+    used — the grammar is small and the container is sealed). *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_PRINT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | BAR
+  | CARET
+  | SHL
+  | SHR
+  | LT
+  | GT
+  | LE
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | ASSIGN
+  | SEMI
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | EOF
+
+val pp_token : token Fmt.t
+
+exception Error of string
+(** Message includes the line and column of the offending character. *)
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers, ending with [(EOF, _)]. Supports
+    [//] line comments and [/* */] block comments. *)

@@ -1,0 +1,273 @@
+open Ast
+
+exception Error of string
+
+type state = {
+  tokens : (Lexer.token * int) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.tokens.(st.pos)
+let line st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise
+    (Error
+       (Fmt.str "line %d: %s (found %a)" (line st) msg Lexer.pp_token (peek st)))
+
+let eat st tok =
+  if peek st = tok then advance st
+  else fail st (Fmt.str "expected %a" Lexer.pp_token tok)
+
+let eat_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> fail st "expected an identifier"
+
+let eat_int st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      n
+  | Lexer.MINUS -> (
+      advance st;
+      match peek st with
+      | Lexer.INT n ->
+          advance st;
+          -n
+      | _ -> fail st "expected an integer literal")
+  | _ -> fail st "expected an integer literal"
+
+(* ---- expressions: precedence climbing ---- *)
+
+let binop_of_token = function
+  | Lexer.BAR -> Some (Or, 1)
+  | Lexer.CARET -> Some (Xor, 2)
+  | Lexer.AMP -> Some (And, 3)
+  | Lexer.SHL -> Some (Shl, 4)
+  | Lexer.SHR -> Some (Shr, 4)
+  | Lexer.PLUS -> Some (Add, 5)
+  | Lexer.MINUS -> Some (Sub, 5)
+  | Lexer.STAR -> Some (Mul, 6)
+  | Lexer.SLASH -> Some (Div, 6)
+  | Lexer.PERCENT -> Some (Rem, 6)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        lhs := Binop (op, !lhs, rhs)
+    | Some _ | None -> continue_ := false
+  done;
+  !lhs
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Int n
+  | Lexer.MINUS ->
+      advance st;
+      Neg (parse_primary st)
+  | Lexer.IDENT name -> (
+      advance st;
+      match peek st with
+      | Lexer.LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          eat st Lexer.RBRACKET;
+          Index (name, idx)
+      | _ -> Var name)
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      eat st Lexer.RPAREN;
+      e
+  | _ -> fail st "expected an expression"
+
+(* ---- conditions, with backtracking over "(": it may open a nested
+   condition or a parenthesized arithmetic operand ---- *)
+
+let relop_of_token = function
+  | Lexer.LT -> Some Lt
+  | Lexer.GT -> Some Gt
+  | Lexer.LE -> Some Le
+  | Lexer.GE -> Some Ge
+  | Lexer.EQEQ -> Some Eq
+  | Lexer.NEQ -> Some Ne
+  | _ -> None
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek st = Lexer.OROR do
+    advance st;
+    let rhs = parse_and st in
+    lhs := Or_else (!lhs, rhs)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cond_atom st) in
+  while peek st = Lexer.ANDAND do
+    advance st;
+    let rhs = parse_cond_atom st in
+    lhs := And_also (!lhs, rhs)
+  done;
+  !lhs
+
+and parse_cond_atom st =
+  match peek st with
+  | Lexer.BANG ->
+      advance st;
+      Not (parse_cond_atom st)
+  | Lexer.LPAREN -> (
+      let saved = st.pos in
+      (* Try a parenthesized condition first; fall back to a relation
+         whose left operand happens to start with "(". *)
+      advance st;
+      match
+        let c = parse_cond st in
+        eat st Lexer.RPAREN;
+        c
+      with
+      | c -> c
+      | exception Error _ ->
+          st.pos <- saved;
+          parse_relation st)
+  | _ -> parse_relation st
+
+and parse_relation st =
+  let lhs = parse_expr st in
+  match relop_of_token (peek st) with
+  | Some op ->
+      advance st;
+      let rhs = parse_expr st in
+      Rel (op, lhs, rhs)
+  | None -> fail st "expected a comparison operator"
+
+(* ---- statements ---- *)
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.IDENT _ ->
+      let s = parse_simple st in
+      eat st Lexer.SEMI;
+      s
+  | Lexer.KW_IF ->
+      advance st;
+      eat st Lexer.LPAREN;
+      let c = parse_cond st in
+      eat st Lexer.RPAREN;
+      let then_ = parse_body st in
+      let else_ =
+        if peek st = Lexer.KW_ELSE then begin
+          advance st;
+          parse_body st
+        end
+        else []
+      in
+      If (c, then_, else_)
+  | Lexer.KW_WHILE ->
+      advance st;
+      eat st Lexer.LPAREN;
+      let c = parse_cond st in
+      eat st Lexer.RPAREN;
+      While (c, parse_body st)
+  | Lexer.KW_DO ->
+      advance st;
+      let body = parse_body st in
+      eat st Lexer.KW_WHILE;
+      eat st Lexer.LPAREN;
+      let c = parse_cond st in
+      eat st Lexer.RPAREN;
+      eat st Lexer.SEMI;
+      Do_while (body, c)
+  | Lexer.KW_FOR ->
+      advance st;
+      eat st Lexer.LPAREN;
+      let init = if peek st = Lexer.SEMI then None else Some (parse_simple st) in
+      eat st Lexer.SEMI;
+      let c = if peek st = Lexer.SEMI then None else Some (parse_cond st) in
+      eat st Lexer.SEMI;
+      let step =
+        if peek st = Lexer.RPAREN then None else Some (parse_simple st)
+      in
+      eat st Lexer.RPAREN;
+      For (init, c, step, parse_body st)
+  | Lexer.KW_PRINT ->
+      advance st;
+      eat st Lexer.LPAREN;
+      let e = parse_expr st in
+      eat st Lexer.RPAREN;
+      eat st Lexer.SEMI;
+      Print e
+  | Lexer.LBRACE -> Block (parse_body st)
+  | _ -> fail st "expected a statement"
+
+and parse_simple st =
+  let name = eat_ident st in
+  match peek st with
+  | Lexer.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      eat st Lexer.RBRACKET;
+      eat st Lexer.ASSIGN;
+      Store (name, idx, parse_expr st)
+  | Lexer.ASSIGN ->
+      advance st;
+      Assign (name, parse_expr st)
+  | _ -> fail st "expected = or [ after identifier"
+
+and parse_body st =
+  if peek st = Lexer.LBRACE then begin
+    advance st;
+    let stmts = ref [] in
+    while peek st <> Lexer.RBRACE do
+      stmts := parse_stmt st :: !stmts
+    done;
+    advance st;
+    List.rev !stmts
+  end
+  else [ parse_stmt st ]
+
+let parse_decls st =
+  let decls = ref [] in
+  while peek st = Lexer.KW_INT do
+    advance st;
+    let name = eat_ident st in
+    (match peek st with
+    | Lexer.LBRACKET ->
+        advance st;
+        let size = eat_int st in
+        eat st Lexer.RBRACKET;
+        if size <= 0 then fail st "array size must be positive";
+        decls := Array (name, size) :: !decls
+    | Lexer.ASSIGN ->
+        advance st;
+        let v = eat_int st in
+        decls := Scalar (name, Some v) :: !decls
+    | _ -> decls := Scalar (name, None) :: !decls);
+    eat st Lexer.SEMI
+  done;
+  List.rev !decls
+
+let parse src =
+  let st = { tokens = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let decls = parse_decls st in
+  let body = ref [] in
+  while peek st <> Lexer.EOF do
+    body := parse_stmt st :: !body
+  done;
+  { decls; body = List.rev !body }

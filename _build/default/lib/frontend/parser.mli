@@ -1,0 +1,23 @@
+(** Recursive-descent parser for Tiny-C.
+
+    Grammar (declarations first, then statements):
+    {v
+    program   := decl* stmt* EOF
+    decl      := "int" IDENT ("=" "-"? INT | "[" INT "]")? ";"
+    stmt      := IDENT "=" expr ";"
+               | IDENT "[" expr "]" "=" expr ";"
+               | "if" "(" cond ")" body ("else" body)?
+               | "while" "(" cond ")" body
+               | "do" body "while" "(" cond ")" ";"
+               | "for" "(" simple? ";" cond? ";" simple? ")" body
+               | "print" "(" expr ")" ";"
+               | "{" stmt* "}"
+    cond      := ("!" | "(" ... ) with && and || short-circuit operators
+    expr      := C-like precedence over | ^ & << >> + - * / %
+    v} *)
+
+exception Error of string
+
+val parse : string -> Ast.program
+(** Raises {!Error} (or {!Lexer.Error}) with a line-annotated message on
+    malformed input. *)

@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Block Buffer Cfg Fmt Gis_util Hashtbl Instr Label List Reg String Validate Vec

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Cfg Fmt Gis_util Instr Label List

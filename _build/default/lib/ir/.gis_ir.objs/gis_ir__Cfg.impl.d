@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Block Fmt Gis_util Hashtbl Instr Int_set Ints Label List Reg Vec

@@ -1,0 +1,1 @@
+lib/ir/cfg.mli: Block Fmt Gis_util Instr Label Reg

@@ -1,0 +1,1 @@
+lib/ir/label.ml: Fmt Map Printf Set String

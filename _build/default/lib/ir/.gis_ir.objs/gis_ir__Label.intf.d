@@ -1,0 +1,1 @@
+lib/ir/label.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Block Cfg Fmt Gis_util Hashtbl Instr Label List Reg Vec

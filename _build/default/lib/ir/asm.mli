@@ -1,0 +1,22 @@
+(** Textual pseudo-assembly, round-trippable with the IR.
+
+    The syntax is the paper's Figure 2 notation as emitted by
+    {!Instr.pp} — [L r12=mem(r31,4)], [BF CL.4,cr7,gt], [AI r29=r29,2] —
+    plus labels ending in [:], comments starting with [;] or [#], and an
+    explicit fallthrough arrow on conditional branches whose fallthrough
+    is not the lexically next block ([BT CL.0,cr4,lt -> EXIT]).
+
+    {!print} and {!parse} are inverses up to instruction uids:
+    [parse (print cfg)] is structurally identical to [cfg] (same labels,
+    layout, entry, and instruction kinds), which the test suite checks
+    both directly and by simulating the two graphs against each other. *)
+
+exception Error of string
+(** Parse errors, with a line number. *)
+
+val print : Cfg.t -> string
+
+val parse : string -> Cfg.t
+(** The first block is the entry. Conditional branches must be block
+    terminators; instructions after one start a fresh anonymous block
+    only if labelled, otherwise it is an error. *)

@@ -1,0 +1,271 @@
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type cond = Lt | Gt | Eq | Le | Ge | Ne
+
+type operand = Reg of Reg.t | Imm of int
+
+type kind =
+  | Load of { dst : Reg.t; base : Reg.t; offset : int; update : bool }
+  | Store of { src : Reg.t; base : Reg.t; offset : int; update : bool }
+  | Load_imm of { dst : Reg.t; value : int }
+  | Move of { dst : Reg.t; src : Reg.t }
+  | Binop of { op : binop; dst : Reg.t; lhs : Reg.t; rhs : operand }
+  | Fbinop of { op : fbinop; dst : Reg.t; lhs : Reg.t; rhs : Reg.t }
+  | Compare of { dst : Reg.t; lhs : Reg.t; rhs : operand }
+  | Fcompare of { dst : Reg.t; lhs : Reg.t; rhs : Reg.t }
+  | Branch_cond of {
+      cr : Reg.t;
+      cond : cond;
+      expect : bool;
+      taken : Label.t;
+      fallthru : Label.t;
+    }
+  | Jump of { target : Label.t }
+  | Call of { name : string; args : Reg.t list; ret : Reg.t option }
+  | Halt
+
+type t = {
+  uid : int;
+  kind : kind;
+}
+
+type unit_ty = Fixed | Float | Branch
+
+module Gen = struct
+  type instr = t
+
+  type t = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let make gen kind =
+    let uid = gen.next in
+    gen.next <- uid + 1;
+    { uid; kind }
+
+  let copy gen i = make gen i.kind
+end
+
+let uid i = i.uid
+let kind i = i.kind
+let with_kind i kind = { i with kind }
+
+let operand_uses = function Reg r -> [ r ] | Imm _ -> []
+
+let defs i =
+  match i.kind with
+  | Load { dst; base; update; _ } -> if update then [ dst; base ] else [ dst ]
+  | Store { base; update; _ } -> if update then [ base ] else []
+  | Load_imm { dst; _ } -> [ dst ]
+  | Move { dst; _ } -> [ dst ]
+  | Binop { dst; _ } -> [ dst ]
+  | Fbinop { dst; _ } -> [ dst ]
+  | Compare { dst; _ } -> [ dst ]
+  | Fcompare { dst; _ } -> [ dst ]
+  | Branch_cond _ | Jump _ | Halt -> []
+  | Call { ret; _ } -> ( match ret with None -> [] | Some r -> [ r ])
+
+let uses i =
+  match i.kind with
+  | Load { base; _ } -> [ base ]
+  | Store { src; base; _ } -> [ src; base ]
+  | Load_imm _ -> []
+  | Move { src; _ } -> [ src ]
+  | Binop { lhs; rhs; _ } -> lhs :: operand_uses rhs
+  | Fbinop { lhs; rhs; _ } -> [ lhs; rhs ]
+  | Compare { lhs; rhs; _ } -> lhs :: operand_uses rhs
+  | Fcompare { lhs; rhs; _ } -> [ lhs; rhs ]
+  | Branch_cond { cr; _ } -> [ cr ]
+  | Jump _ | Halt -> []
+  | Call { args; _ } -> args
+
+let unit_ty i =
+  match i.kind with
+  | Branch_cond _ | Jump _ | Halt -> Branch
+  | Fbinop _ | Fcompare _ -> Float
+  | Load _ | Store _ | Load_imm _ | Move _ | Binop _ | Compare _ | Call _ ->
+      Fixed
+
+let is_branch i =
+  match i.kind with
+  | Branch_cond _ | Jump _ | Halt -> true
+  | Load _ | Store _ | Load_imm _ | Move _ | Binop _ | Fbinop _ | Compare _
+  | Fcompare _ | Call _ ->
+      false
+
+let is_cond_branch i =
+  match i.kind with Branch_cond _ -> true | _ -> false
+
+let is_load i = match i.kind with Load _ -> true | _ -> false
+let is_store i = match i.kind with Store _ -> true | _ -> false
+let is_call i = match i.kind with Call _ -> true | _ -> false
+
+let touches_memory i =
+  match i.kind with Load _ | Store _ | Call _ -> true | _ -> false
+
+let movable_across_blocks i = not (is_call i || is_branch i)
+
+let speculable i = movable_across_blocks i && not (is_store i)
+
+let rename_reg ~from_reg ~to_reg r = if Reg.equal r from_reg then to_reg else r
+
+let rename_uses i ~from_reg ~to_reg =
+  let rn = rename_reg ~from_reg ~to_reg in
+  let rn_op = function Reg r -> Reg (rn r) | Imm _ as op -> op in
+  let kind =
+    match i.kind with
+    | Load ({ base; _ } as l) -> Load { l with base = rn base }
+    | Store ({ src; base; _ } as s) -> Store { s with src = rn src; base = rn base }
+    | Load_imm _ as k -> k
+    | Move ({ src; _ } as m) -> Move { m with src = rn src }
+    | Binop ({ lhs; rhs; _ } as b) -> Binop { b with lhs = rn lhs; rhs = rn_op rhs }
+    | Fbinop ({ lhs; rhs; _ } as b) -> Fbinop { b with lhs = rn lhs; rhs = rn rhs }
+    | Compare ({ lhs; rhs; _ } as c) ->
+        Compare { c with lhs = rn lhs; rhs = rn_op rhs }
+    | Fcompare ({ lhs; rhs; _ } as c) ->
+        Fcompare { c with lhs = rn lhs; rhs = rn rhs }
+    | Branch_cond ({ cr; _ } as b) -> Branch_cond { b with cr = rn cr }
+    | Jump _ as k -> k
+    | Call ({ args; _ } as c) -> Call { c with args = List.map rn args }
+    | Halt -> Halt
+  in
+  { i with kind }
+
+let rename_def i ~from_reg ~to_reg =
+  let bad () =
+    invalid_arg
+      (Fmt.str "Instr.rename_def: %a does not (plainly) define %a" Fmt.int i.uid
+         Reg.pp from_reg)
+  in
+  let check r = if not (Reg.equal r from_reg) then bad () in
+  let kind =
+    match i.kind with
+    | Load ({ dst; base; update; _ } as l) ->
+        if update && Reg.equal base from_reg then bad ();
+        check dst;
+        Load { l with dst = to_reg }
+    | Store _ -> bad ()
+    | Load_imm ({ dst; _ } as l) ->
+        check dst;
+        Load_imm { l with dst = to_reg }
+    | Move ({ dst; _ } as m) ->
+        check dst;
+        Move { m with dst = to_reg }
+    | Binop ({ dst; _ } as b) ->
+        check dst;
+        Binop { b with dst = to_reg }
+    | Fbinop ({ dst; _ } as b) ->
+        check dst;
+        Fbinop { b with dst = to_reg }
+    | Compare ({ dst; _ } as c) ->
+        check dst;
+        Compare { c with dst = to_reg }
+    | Fcompare ({ dst; _ } as c) ->
+        check dst;
+        Fcompare { c with dst = to_reg }
+    | Branch_cond _ | Jump _ | Halt -> bad ()
+    | Call ({ ret = Some r; _ } as c) ->
+        check r;
+        Call { c with ret = Some to_reg }
+    | Call { ret = None; _ } -> bad ()
+  in
+  { i with kind }
+
+let negate_cond = function
+  | Lt -> Ge
+  | Gt -> Le
+  | Eq -> Ne
+  | Le -> Gt
+  | Ge -> Lt
+  | Ne -> Eq
+
+let eval_cond c ord =
+  match c with
+  | Lt -> ord < 0
+  | Gt -> ord > 0
+  | Eq -> ord = 0
+  | Le -> ord <= 0
+  | Ge -> ord >= 0
+  | Ne -> ord <> 0
+
+let equal_kind (a : kind) (b : kind) = a = b
+
+let pp_cond ppf c =
+  Fmt.string ppf
+    (match c with
+    | Lt -> "lt"
+    | Gt -> "gt"
+    | Eq -> "eq"
+    | Le -> "le"
+    | Ge -> "ge"
+    | Ne -> "ne")
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "A"
+    | Sub -> "S"
+    | Mul -> "MUL"
+    | Div -> "DIV"
+    | Rem -> "REM"
+    | And -> "AND"
+    | Or -> "OR"
+    | Xor -> "XOR"
+    | Shl -> "SL"
+    | Shr -> "SR")
+
+let pp_fbinop ppf op =
+  Fmt.string ppf
+    (match op with Fadd -> "FA" | Fsub -> "FS" | Fmul -> "FM" | Fdiv -> "FD")
+
+let pp_operand ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm n -> Fmt.int ppf n
+
+let pp_unit_ty ppf u =
+  Fmt.string ppf
+    (match u with Fixed -> "fixed" | Float -> "float" | Branch -> "branch")
+
+let pp ppf i =
+  match i.kind with
+  | Load { dst; base; offset; update = false } ->
+      Fmt.pf ppf "L     %a=mem(%a,%d)" Reg.pp dst Reg.pp base offset
+  | Load { dst; base; offset; update = true } ->
+      Fmt.pf ppf "LU    %a,%a=mem(%a,%d)" Reg.pp dst Reg.pp base Reg.pp base
+        offset
+  | Store { src; base; offset; update = false } ->
+      Fmt.pf ppf "ST    mem(%a,%d)=%a" Reg.pp base offset Reg.pp src
+  | Store { src; base; offset; update = true } ->
+      Fmt.pf ppf "STU   mem(%a,%d),%a=%a" Reg.pp base offset Reg.pp base Reg.pp
+        src
+  | Load_imm { dst; value } -> Fmt.pf ppf "LI    %a=%d" Reg.pp dst value
+  | Move { dst; src } -> Fmt.pf ppf "LR    %a=%a" Reg.pp dst Reg.pp src
+  | Binop { op; dst; lhs; rhs = Imm n } ->
+      Fmt.pf ppf "%aI   %a=%a,%d" pp_binop op Reg.pp dst Reg.pp lhs n
+  | Binop { op; dst; lhs; rhs } ->
+      Fmt.pf ppf "%a    %a=%a,%a" pp_binop op Reg.pp dst Reg.pp lhs pp_operand
+        rhs
+  | Fbinop { op; dst; lhs; rhs } ->
+      Fmt.pf ppf "%a    %a=%a,%a" pp_fbinop op Reg.pp dst Reg.pp lhs Reg.pp rhs
+  | Compare { dst; lhs; rhs } ->
+      Fmt.pf ppf "C     %a=%a,%a" Reg.pp dst Reg.pp lhs pp_operand rhs
+  | Fcompare { dst; lhs; rhs } ->
+      Fmt.pf ppf "FC    %a=%a,%a" Reg.pp dst Reg.pp lhs Reg.pp rhs
+  | Branch_cond { cr; cond; expect; taken; _ } ->
+      Fmt.pf ppf "%s    %a,%a,%a"
+        (if expect then "BT" else "BF")
+        Label.pp taken Reg.pp cr pp_cond cond
+  | Jump { target } -> Fmt.pf ppf "B     %a" Label.pp target
+  | Call { name; args; ret } ->
+      let pp_ret ppf = function
+        | None -> ()
+        | Some r -> Fmt.pf ppf "%a=" Reg.pp r
+      in
+      (* A plain comma, not [Fmt.comma]: its break hint could wrap the
+         line, and this rendering must stay parseable by {!Asm}. *)
+      Fmt.pf ppf "CALL  %a%s(%a)" pp_ret ret name
+        Fmt.(list ~sep:(any ",") Reg.pp)
+        args
+  | Halt -> Fmt.string ppf "HALT"

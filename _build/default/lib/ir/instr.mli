@@ -1,0 +1,148 @@
+(** Machine instructions.
+
+    The instruction set is the fixed-point RS/6000 subset used throughout
+    the paper (Figure 2), plus the floating-point operations needed by the
+    full delay model of Section 2.1. Memory is touched only by loads,
+    stores and calls; everything else computes in registers.
+
+    Every instruction carries a unique id ([uid]) that survives code
+    motion, so dependence graphs built over uids stay valid while the
+    scheduler moves instructions between blocks. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+(** Condition tested by a conditional branch against a condition
+    register. A compare writes the three-way ordering of its operands to
+    a condition register; the branch tests one of these predicates. *)
+type cond = Lt | Gt | Eq | Le | Ge | Ne
+
+type operand =
+  | Reg of Reg.t
+  | Imm of int
+
+(** Instruction payload. Conventions:
+    - [update] on loads/stores is the RS/6000 "with update" form ([LU] in
+      Figure 2): the base register is post-incremented by [offset].
+    - [Branch_cond] with [expect = true] is the paper's [BT], with
+      [expect = false] its [BF]; [taken] is the branch target and
+      [fallthru] the block executed otherwise. Branches appear only as
+      block terminators.
+    - [Call] models an opaque runtime routine (e.g. [printf]): it reads
+      its argument registers, optionally defines a result register, and
+      conservatively touches memory. Calls never move across block
+      boundaries (Section 5.1). *)
+type kind =
+  | Load of { dst : Reg.t; base : Reg.t; offset : int; update : bool }
+  | Store of { src : Reg.t; base : Reg.t; offset : int; update : bool }
+  | Load_imm of { dst : Reg.t; value : int }
+  | Move of { dst : Reg.t; src : Reg.t }
+  | Binop of { op : binop; dst : Reg.t; lhs : Reg.t; rhs : operand }
+  | Fbinop of { op : fbinop; dst : Reg.t; lhs : Reg.t; rhs : Reg.t }
+  | Compare of { dst : Reg.t; lhs : Reg.t; rhs : operand }
+  | Fcompare of { dst : Reg.t; lhs : Reg.t; rhs : Reg.t }
+  | Branch_cond of {
+      cr : Reg.t;
+      cond : cond;
+      expect : bool;
+      taken : Label.t;
+      fallthru : Label.t;
+    }
+  | Jump of { target : Label.t }
+  | Call of { name : string; args : Reg.t list; ret : Reg.t option }
+  | Halt  (** leaves the procedure; terminator of exit blocks *)
+
+type t = private {
+  uid : int;
+  kind : kind;
+}
+
+(** Functional-unit types of the parametric machine (Section 2): a
+    machine has some number of units of each type. Fixed-point units
+    also execute all loads/stores (they generate the addresses), as on
+    the RS/6000. *)
+type unit_ty = Fixed | Float | Branch
+
+module Gen : sig
+  type instr = t
+  type t
+
+  val create : unit -> t
+  val make : t -> kind -> instr
+
+  val copy : t -> instr -> instr
+  (** Same kind, fresh uid — for unrolling/rotation duplicates. *)
+end
+
+val uid : t -> int
+val kind : t -> kind
+
+val with_kind : t -> kind -> t
+(** Same uid, replaced payload — for register renaming in place. *)
+
+val defs : t -> Reg.t list
+(** Registers written. For [update] loads/stores this includes the base. *)
+
+val uses : t -> Reg.t list
+(** Registers read. *)
+
+val unit_ty : t -> unit_ty
+
+val is_branch : t -> bool
+(** Conditional branch, jump, or halt — i.e. only valid as terminator. *)
+
+val is_cond_branch : t -> bool
+val is_load : t -> bool
+val is_store : t -> bool
+val is_call : t -> bool
+
+val touches_memory : t -> bool
+(** Loads, stores and calls; used for memory disambiguation. *)
+
+val movable_across_blocks : t -> bool
+(** The paper excludes some instructions from interblock motion even
+    between equivalent blocks: calls and branches (Section 5.1). *)
+
+val speculable : t -> bool
+(** May this instruction execute on a path where it was not originally
+    present?  Stores and calls may not (Section 5.1); loads are allowed,
+    matching the paper's Figure 6 (the implementation assumes loads
+    cannot fault, as pre-virtual-memory compilers did; a trap-safe
+    variant simply also excludes loads). *)
+
+val rename_uses : t -> from_reg:Reg.t -> to_reg:Reg.t -> t
+(** Substitute a register in use positions (def positions untouched,
+    except that the base of an [update] load/store is both a use and a
+    def and is renamed). *)
+
+val rename_def : t -> from_reg:Reg.t -> to_reg:Reg.t -> t
+(** Substitute the defined register. Raises [Invalid_argument] if
+    [from_reg] is not defined by the instruction, or if it is defined
+    via an [update] base (renaming those would change the use too). *)
+
+val negate_cond : cond -> cond
+
+val eval_cond : cond -> int -> bool
+(** [eval_cond c ord] interprets the three-way ordering [ord] (negative,
+    zero, positive as written by a compare) under predicate [c]. *)
+
+val equal_kind : kind -> kind -> bool
+val pp_cond : cond Fmt.t
+val pp_binop : binop Fmt.t
+val pp_fbinop : fbinop Fmt.t
+val pp_operand : operand Fmt.t
+val pp_unit_ty : unit_ty Fmt.t
+
+val pp : t Fmt.t
+(** Paper-style rendering, e.g. [C cr7=r12,r0] or [BF CL.4,cr7,gt]. *)

@@ -1,0 +1,14 @@
+type t = string
+
+let equal = String.equal
+let compare = String.compare
+let pp = Fmt.string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+let counter = ref 0
+
+let fresh ~prefix () =
+  incr counter;
+  Printf.sprintf "%s.%d" prefix !counter

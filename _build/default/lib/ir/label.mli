@@ -1,0 +1,19 @@
+(** Branch-target labels.
+
+    Labels name basic blocks; the paper's pseudo-code uses labels such as
+    [CL.0], [CL.4]. A label is a string plus an equality/compare/hash
+    suite, so that it can key maps and hash tables. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val fresh : prefix:string -> unit -> t
+(** [fresh ~prefix ()] generates a label unique within the process,
+    e.g. [fresh ~prefix:"CL" () = "CL.17"]. Used by CFG transformations
+    (unrolling, rotation) that must invent new block names. *)

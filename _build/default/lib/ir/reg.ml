@@ -1,0 +1,53 @@
+type cls = Gpr | Cr | Fpr
+
+type t = {
+  id : int;
+  cls : cls;
+}
+
+let equal a b = a.id = b.id && a.cls = b.cls
+
+let cls_rank = function Gpr -> 0 | Cr -> 1 | Fpr -> 2
+
+let compare a b =
+  let c = Int.compare (cls_rank a.cls) (cls_rank b.cls) in
+  if c <> 0 then c else Int.compare a.id b.id
+
+let hash a = (a.id * 4) + cls_rank a.cls
+
+let pp_cls ppf = function
+  | Gpr -> Fmt.string ppf "gpr"
+  | Cr -> Fmt.string ppf "cr"
+  | Fpr -> Fmt.string ppf "fpr"
+
+let pp ppf r =
+  match r.cls with
+  | Gpr -> Fmt.pf ppf "r%d" r.id
+  | Cr -> Fmt.pf ppf "cr%d" r.id
+  | Fpr -> Fmt.pf ppf "f%d" r.id
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Gen = struct
+  type reg = t
+
+  type t = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let fresh gen cls =
+    let id = gen.next in
+    gen.next <- id + 1;
+    { id; cls }
+
+  let reserve gen cls n =
+    if n >= gen.next then gen.next <- n + 1;
+    { id = n; cls }
+end

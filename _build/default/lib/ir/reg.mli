@@ -1,0 +1,44 @@
+(** Symbolic machine registers.
+
+    Scheduling happens before register allocation (paper, Section 2), so
+    the supply of registers is unbounded. Three classes mirror the
+    RS/6000: general-purpose (fixed point), condition registers set by
+    compares and read by branches, and floating-point registers. *)
+
+type cls =
+  | Gpr  (** general purpose (fixed point) register, printed [rN] *)
+  | Cr   (** condition register, printed [crN] *)
+  | Fpr  (** floating point register, printed [fN] *)
+
+type t = private {
+  id : int;   (** unique within a register generator *)
+  cls : cls;
+}
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+val pp_cls : cls Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+(** A register generator: a counter producing fresh symbolic registers.
+    Each CFG owns one, so that renaming during scheduling can always
+    invent a register that clashes with nothing. *)
+module Gen : sig
+  type reg = t
+  type t
+
+  val create : unit -> t
+
+  val fresh : t -> cls -> reg
+  (** A register never produced before by this generator. *)
+
+  val reserve : t -> cls -> int -> reg
+  (** [reserve gen cls n] returns the register [n] of class [cls] and
+      bumps the generator's counter past [n], so that later [fresh]
+      calls do not collide. Used to build code with the paper's
+      concrete register numbers (r0, r12, r28...). *)
+end

@@ -1,0 +1,95 @@
+open Gis_util
+
+let reg_is cls (r : Reg.t) = r.Reg.cls = cls
+
+let check_kind ~err ~where kind =
+  let expect what ok =
+    if not ok then err (Fmt.str "%s: %s" where what)
+  in
+  match kind with
+  | Instr.Load { dst; base; update; _ } ->
+      expect "load destination must be gpr or fpr" (not (reg_is Reg.Cr dst));
+      expect "load base must be gpr" (reg_is Reg.Gpr base);
+      if update then begin
+        expect "update load destination must be gpr" (reg_is Reg.Gpr dst);
+        expect "update load with dst = base is ambiguous"
+          (not (Reg.equal dst base))
+      end
+  | Instr.Store { src; base; _ } ->
+      expect "store source must be gpr or fpr" (not (reg_is Reg.Cr src));
+      expect "store base must be gpr" (reg_is Reg.Gpr base)
+  | Instr.Load_imm { dst; _ } -> expect "li destination must be gpr" (reg_is Reg.Gpr dst)
+  | Instr.Move { dst; src } ->
+      expect "move operands must share a class" (dst.Reg.cls = src.Reg.cls);
+      expect "move of condition registers is not a machine instruction"
+        (not (reg_is Reg.Cr dst))
+  | Instr.Binop { dst; lhs; rhs; _ } ->
+      expect "binop registers must be gpr"
+        (reg_is Reg.Gpr dst && reg_is Reg.Gpr lhs
+        && (match rhs with Instr.Reg r -> reg_is Reg.Gpr r | Instr.Imm _ -> true))
+  | Instr.Fbinop { dst; lhs; rhs; _ } ->
+      expect "fbinop registers must be fpr"
+        (reg_is Reg.Fpr dst && reg_is Reg.Fpr lhs && reg_is Reg.Fpr rhs)
+  | Instr.Compare { dst; lhs; rhs } ->
+      expect "compare destination must be cr" (reg_is Reg.Cr dst);
+      expect "compare operands must be gpr"
+        (reg_is Reg.Gpr lhs
+        && (match rhs with Instr.Reg r -> reg_is Reg.Gpr r | Instr.Imm _ -> true))
+  | Instr.Fcompare { dst; lhs; rhs } ->
+      expect "fcompare destination must be cr" (reg_is Reg.Cr dst);
+      expect "fcompare operands must be fpr" (reg_is Reg.Fpr lhs && reg_is Reg.Fpr rhs)
+  | Instr.Branch_cond { cr; _ } ->
+      expect "branch must test a condition register" (reg_is Reg.Cr cr)
+  | Instr.Jump _ | Instr.Halt -> ()
+  | Instr.Call { args; ret; _ } ->
+      expect "call arguments must be gpr or fpr"
+        (List.for_all (fun r -> not (reg_is Reg.Cr r)) args);
+      expect "call result must be gpr or fpr"
+        (match ret with None -> true | Some r -> not (reg_is Reg.Cr r))
+
+let is_branch_kind = function
+  | Instr.Branch_cond _ | Instr.Jump _ | Instr.Halt -> true
+  | Instr.Load _ | Instr.Store _ | Instr.Load_imm _ | Instr.Move _
+  | Instr.Binop _ | Instr.Fbinop _ | Instr.Compare _ | Instr.Fcompare _
+  | Instr.Call _ ->
+      false
+
+let check cfg =
+  let errors = ref [] in
+  let err msg = errors := msg :: !errors in
+  let seen_uids = Hashtbl.create 64 in
+  let check_instr ~where ~terminator i =
+    let u = Instr.uid i in
+    if Hashtbl.mem seen_uids u then err (Fmt.str "%s: duplicate uid %d" where u)
+    else Hashtbl.add seen_uids u ();
+    let branchy = is_branch_kind (Instr.kind i) in
+    if terminator && not branchy then
+      err (Fmt.str "%s: terminator is not a branch" where);
+    if (not terminator) && branchy then
+      err (Fmt.str "%s: branch in block body" where);
+    check_kind ~err ~where (Instr.kind i)
+  in
+  Cfg.iter_blocks
+    (fun b ->
+      let label = b.Block.label in
+      Vec.iteri
+        (fun idx i ->
+          let where = Fmt.str "%a[%d] %a" Label.pp label idx Instr.pp i in
+          check_instr ~where ~terminator:false i)
+        b.Block.body;
+      let where = Fmt.str "%a[term] %a" Label.pp label Instr.pp b.Block.term in
+      check_instr ~where ~terminator:true b.Block.term;
+      List.iter
+        (fun target ->
+          if Cfg.find_label cfg target = None then
+            err (Fmt.str "%a: unresolved branch target %a" Label.pp label Label.pp target))
+        (try Block.successor_labels b with Invalid_argument m -> err m; []))
+    cfg;
+  if Cfg.num_blocks cfg = 0 then err "empty graph";
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let check_exn cfg =
+  match check cfg with
+  | Ok () -> ()
+  | Error es ->
+      failwith (Fmt.str "invalid IR:@,%a" Fmt.(list ~sep:cut string) es)

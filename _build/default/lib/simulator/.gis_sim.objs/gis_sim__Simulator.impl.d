@@ -1,0 +1,1 @@
+lib/simulator/simulator.ml: Block Cfg Float Fmt Gis_ir Gis_machine Gis_util Hashtbl Instr Label List Machine Option Reg String

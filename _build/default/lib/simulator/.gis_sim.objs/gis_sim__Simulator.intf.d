@@ -1,0 +1,1 @@
+lib/simulator/simulator.mli: Fmt Gis_ir Gis_machine

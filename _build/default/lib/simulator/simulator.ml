@@ -1,0 +1,288 @@
+open Gis_ir
+open Gis_machine
+
+type input = {
+  int_regs : (Reg.t * int) list;
+  float_regs : (Reg.t * float) list;
+  memory : (int * int) list;
+  float_memory : (int * float) list;
+}
+
+let no_input = { int_regs = []; float_regs = []; memory = []; float_memory = [] }
+
+type stop_reason = Halted | Out_of_fuel | Trap of string
+
+let pp_stop_reason ppf = function
+  | Halted -> Fmt.string ppf "halted"
+  | Out_of_fuel -> Fmt.string ppf "out-of-fuel"
+  | Trap m -> Fmt.pf ppf "trap: %s" m
+
+type outcome = {
+  stop : stop_reason;
+  cycles : int;
+  instructions : int;
+  output : string list;
+  final_memory : (int * int) list;
+  final_float_memory : (int * float) list;
+  read_int : Reg.t -> int option;
+  block_counts : (Label.t * int) list;
+}
+
+exception Trapped of string
+
+type state = {
+  machine : Machine.t;
+  cfg : Cfg.t;
+  ints : (int, int) Hashtbl.t;  (** Reg.hash -> value (GPR and CR) *)
+  floats : (int, float) Hashtbl.t;
+  mem : (int, int) Hashtbl.t;
+  fmem : (int, float) Hashtbl.t;
+  producers : (int, Instr.t * int) Hashtbl.t;
+      (** Reg.hash -> (producing instruction, cycle its result leaves the
+          unit); consumer readiness adds the pair-specific delay *)
+  unit_use : (int * int, int) Hashtbl.t;  (** (cycle, unit rank) -> issues *)
+  mutable cursor : int;  (** issue cycle of the previous instruction *)
+  mutable last_done : int;  (** completion cycle of the latest instruction *)
+  mutable executed : int;
+  mutable out : string list;
+  mutable header_entries : int list;  (** issue cycles, newest first *)
+  counts : (Label.t, int) Hashtbl.t;
+  mutable last_write : (Instr.t * int) option;
+      (** last memory-writing instruction and its completion cycle, for
+          the secondary [mem_delay] constraint *)
+}
+
+let unit_rank = function Instr.Fixed -> 0 | Instr.Float -> 1 | Instr.Branch -> 2
+
+let read_int st r = Option.value ~default:0 (Hashtbl.find_opt st.ints (Reg.hash r))
+let read_float st r =
+  Option.value ~default:0.0 (Hashtbl.find_opt st.floats (Reg.hash r))
+
+let write_int st r v = Hashtbl.replace st.ints (Reg.hash r) v
+let write_float st r v = Hashtbl.replace st.floats (Reg.hash r) v
+
+let operand_value st = function
+  | Instr.Reg r -> read_int st r
+  | Instr.Imm n -> n
+
+let binop_value op a b =
+  match op with
+  | Instr.Add -> a + b
+  | Instr.Sub -> a - b
+  | Instr.Mul -> a * b
+  | Instr.Div -> if b = 0 then raise (Trapped "division by zero") else a / b
+  | Instr.Rem -> if b = 0 then raise (Trapped "remainder by zero") else a mod b
+  | Instr.And -> a land b
+  | Instr.Or -> a lor b
+  | Instr.Xor -> a lxor b
+  | Instr.Shl -> a lsl (b land 31)
+  | Instr.Shr -> a asr (b land 31)
+
+let fbinop_value op a b =
+  match op with
+  | Instr.Fadd -> a +. b
+  | Instr.Fsub -> a -. b
+  | Instr.Fmul -> a *. b
+  | Instr.Fdiv -> a /. b
+
+let sign n = if n < 0 then -1 else if n > 0 then 1 else 0
+
+(* Issue the instruction: find its cycle under in-order issue, operand
+   interlocks and per-cycle unit slots; record its defs' producers. *)
+let issue st i =
+  let ready =
+    List.fold_left
+      (fun acc r ->
+        match Hashtbl.find_opt st.producers (Reg.hash r) with
+        | Some (producer, avail) ->
+            max acc (avail + Machine.delay st.machine ~producer ~consumer:i ~reg:r)
+        | None -> acc)
+      0 (Instr.uses i)
+  in
+  let ready =
+    (* Secondary memory delay: only a non-zero [mem_delay] constrains
+       issue (zero means the hardware forwards). *)
+    if Instr.touches_memory i then
+      match st.last_write with
+      | Some (producer, fin) ->
+          let d = Machine.mem_delay st.machine ~producer ~consumer:i in
+          if d > 0 then max ready (fin + d) else ready
+      | None -> ready
+    else ready
+  in
+  let u = unit_rank (Instr.unit_ty i) in
+  let cap = Machine.units st.machine (Instr.unit_ty i) in
+  let cycle = ref (max st.cursor ready) in
+  let used c = Option.value ~default:0 (Hashtbl.find_opt st.unit_use (c, u)) in
+  while used !cycle >= cap do
+    incr cycle
+  done;
+  Hashtbl.replace st.unit_use (!cycle, u) (used !cycle + 1);
+  st.cursor <- !cycle;
+  let fin = !cycle + Machine.exec_time st.machine i in
+  st.last_done <- max st.last_done fin;
+  List.iter (fun r -> Hashtbl.replace st.producers (Reg.hash r) (i, fin)) (Instr.defs i);
+  if Instr.is_store i || Instr.is_call i then st.last_write <- Some (i, fin);
+  st.executed <- st.executed + 1
+
+(* Execute the instruction's semantics; returns the label to jump to
+   when it is a taken branch terminator. *)
+let execute st i =
+  match Instr.kind i with
+  | Instr.Load { dst; base; offset; update } ->
+      let addr = read_int st base + offset in
+      (match dst.Reg.cls with
+      | Reg.Fpr ->
+          write_float st dst
+            (Option.value ~default:0.0 (Hashtbl.find_opt st.fmem addr))
+      | Reg.Gpr | Reg.Cr ->
+          write_int st dst
+            (Option.value ~default:0 (Hashtbl.find_opt st.mem addr)));
+      if update then write_int st base addr;
+      None
+  | Instr.Store { src; base; offset; update } ->
+      let addr = read_int st base + offset in
+      (match src.Reg.cls with
+      | Reg.Fpr -> Hashtbl.replace st.fmem addr (read_float st src)
+      | Reg.Gpr | Reg.Cr -> Hashtbl.replace st.mem addr (read_int st src));
+      if update then write_int st base addr;
+      None
+  | Instr.Load_imm { dst; value } ->
+      write_int st dst value;
+      None
+  | Instr.Move { dst; src } ->
+      (match dst.Reg.cls with
+      | Reg.Fpr -> write_float st dst (read_float st src)
+      | Reg.Gpr | Reg.Cr -> write_int st dst (read_int st src));
+      None
+  | Instr.Binop { op; dst; lhs; rhs } ->
+      write_int st dst (binop_value op (read_int st lhs) (operand_value st rhs));
+      None
+  | Instr.Fbinop { op; dst; lhs; rhs } ->
+      write_float st dst (fbinop_value op (read_float st lhs) (read_float st rhs));
+      None
+  | Instr.Compare { dst; lhs; rhs } ->
+      write_int st dst (sign (compare (read_int st lhs) (operand_value st rhs)));
+      None
+  | Instr.Fcompare { dst; lhs; rhs } ->
+      write_int st dst (sign (Float.compare (read_float st lhs) (read_float st rhs)));
+      None
+  | Instr.Branch_cond { cr; cond; expect; taken; fallthru } ->
+      let holds = Instr.eval_cond cond (read_int st cr) in
+      Some (if holds = expect then taken else fallthru)
+  | Instr.Jump { target } -> Some target
+  | Instr.Call { name; args; ret } ->
+      let rendered =
+        Fmt.str "%s(%s)" name
+          (String.concat ","
+             (List.map
+                (fun r ->
+                  match r.Reg.cls with
+                  | Reg.Fpr -> Fmt.str "%g" (read_float st r)
+                  | Reg.Gpr | Reg.Cr -> string_of_int (read_int st r))
+                args))
+      in
+      st.out <- rendered :: st.out;
+      (match ret with Some r -> write_int st r 0 | None -> ());
+      None
+  | Instr.Halt -> None
+
+let run_with_header ~fuel machine cfg ~header input =
+  let st =
+    {
+      machine;
+      cfg;
+      ints = Hashtbl.create 64;
+      floats = Hashtbl.create 16;
+      mem = Hashtbl.create 256;
+      fmem = Hashtbl.create 16;
+      producers = Hashtbl.create 64;
+      unit_use = Hashtbl.create 1024;
+      cursor = 0;
+      last_done = 0;
+      executed = 0;
+      out = [];
+      header_entries = [];
+      counts = Hashtbl.create 16;
+      last_write = None;
+    }
+  in
+  List.iter (fun (r, v) -> write_int st r v) input.int_regs;
+  List.iter (fun (r, v) -> write_float st r v) input.float_regs;
+  List.iter (fun (a, v) -> Hashtbl.replace st.mem a v) input.memory;
+  List.iter (fun (a, v) -> Hashtbl.replace st.fmem a v) input.float_memory;
+  let stop = ref None in
+  let block = ref (Cfg.block cfg (Cfg.entry cfg)) in
+  (try
+     while !stop = None do
+       let b = !block in
+       Hashtbl.replace st.counts b.Block.label
+         (1 + Option.value ~default:0 (Hashtbl.find_opt st.counts b.Block.label));
+       (match header with
+       | Some h when Label.equal b.Block.label h ->
+           st.header_entries <- st.cursor :: st.header_entries
+       | Some _ | None -> ());
+       let body = b.Block.body in
+       for idx = 0 to Gis_util.Vec.length body - 1 do
+         if !stop = None then begin
+           if st.executed >= fuel then stop := Some Out_of_fuel
+           else begin
+             let i = Gis_util.Vec.get body idx in
+             issue st i;
+             ignore (execute st i)
+           end
+         end
+       done;
+       if !stop = None then begin
+         if st.executed >= fuel then stop := Some Out_of_fuel
+         else begin
+           let t = b.Block.term in
+           issue st t;
+           match execute st t with
+           | Some target -> block := Cfg.block_of_label cfg target
+           | None -> (
+               match Instr.kind t with
+               | Instr.Halt -> stop := Some Halted
+               | _ -> stop := Some (Trap "fell off a non-halt terminator"))
+         end
+       end
+     done
+   with Trapped m -> stop := Some (Trap m));
+  let dump tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  ( {
+      stop = Option.value ~default:(Trap "internal") !stop;
+      cycles = st.last_done;
+      instructions = st.executed;
+      output = List.rev st.out;
+      final_memory = dump st.mem;
+      final_float_memory = dump st.fmem;
+      read_int = (fun r -> Hashtbl.find_opt st.ints (Reg.hash r));
+      block_counts =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.counts []);
+    },
+    List.rev st.header_entries )
+
+let run ?fuel machine cfg input =
+  fst (run_with_header ~fuel:(Option.value ~default:2_000_000 fuel) machine cfg ~header:None input)
+
+let profile_fn o label =
+  Option.value ~default:0 (List.assoc_opt label o.block_counts)
+
+let observables o =
+  Fmt.str "@[<v>stop=%a@,out=[%a]@,mem=[%a]@,fmem=[%a]@]" pp_stop_reason o.stop
+    Fmt.(list ~sep:semi string)
+    o.output
+    Fmt.(list ~sep:semi (pair ~sep:(any ":") int int))
+    o.final_memory
+    Fmt.(list ~sep:semi (pair ~sep:(any ":") int float))
+    o.final_float_memory
+
+let cycles_per_iteration ?(fuel = 2_000_000) machine cfg ~header input =
+  let outcome, entries = run_with_header ~fuel machine cfg ~header:(Some header) input in
+  ignore outcome;
+  match entries with
+  | [] | [ _ ] -> failwith "cycles_per_iteration: header entered fewer than twice"
+  | first :: _ ->
+      let last = List.nth entries (List.length entries - 1) in
+      float_of_int (last - first) /. float_of_int (List.length entries - 1)

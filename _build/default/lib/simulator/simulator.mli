@@ -1,0 +1,72 @@
+(** Functional and timing simulation of the parametric machine.
+
+    The simulator plays two roles:
+
+    - {b Semantics}: it executes the program — registers, memory,
+      branches, calls — producing an observable trace (call outputs and
+      final memory). Scheduling must never change these observables;
+      the test suite checks exactly that.
+    - {b Timing}: it assigns every dynamically executed instruction an
+      issue cycle under the paper's machine model (Section 2): issue
+      cycles are non-decreasing in program order (in-order issue), each
+      unit type issues at most its unit count per cycle (units are fully
+      pipelined), and a consumer of a register issues no earlier than
+      [issue(producer) + exec(producer) + delay(producer, consumer)] —
+      the hardware-interlock rule. This model reproduces the paper's
+      hand counts: Figure 2 runs in 20–22 cycles per iteration, Figure 5
+      in 12–13, Figure 6 in 11–12.
+
+    Calls are builtins: ["print_int"] appends its argument to the
+    output trace; unknown names trap. *)
+
+type input = {
+  int_regs : (Gis_ir.Reg.t * int) list;  (** initial GPR values *)
+  float_regs : (Gis_ir.Reg.t * float) list;
+  memory : (int * int) list;  (** byte address (4-aligned) -> word *)
+  float_memory : (int * float) list;  (** byte address (8-aligned) -> double *)
+}
+
+val no_input : input
+
+type stop_reason = Halted | Out_of_fuel | Trap of string
+
+val pp_stop_reason : stop_reason Fmt.t
+
+type outcome = {
+  stop : stop_reason;
+  cycles : int;  (** issue cycle of the last instruction + its latency *)
+  instructions : int;  (** dynamically executed instructions *)
+  output : string list;  (** call trace, oldest first *)
+  final_memory : (int * int) list;  (** sorted by address *)
+  final_float_memory : (int * float) list;
+  read_int : Gis_ir.Reg.t -> int option;  (** final register contents *)
+  block_counts : (Gis_ir.Label.t * int) list;
+      (** dynamic execution count of every block entered at least once —
+          the profile information the paper's introduction mentions
+          ("branch probabilities, whenever available, e.g. computed by
+          profiling") *)
+}
+
+val run :
+  ?fuel:int -> Gis_machine.Machine.t -> Gis_ir.Cfg.t -> input -> outcome
+(** [fuel] bounds the number of dynamic instructions (default 2_000_000). *)
+
+val profile_fn : outcome -> Gis_ir.Label.t -> int
+(** Lookup into {!field-block_counts}; 0 for blocks never executed. *)
+
+val observables : outcome -> string
+(** A canonical rendering of everything scheduling must preserve:
+    stop reason, output trace and final memories (registers excluded —
+    renaming may legitimately change them). *)
+
+val cycles_per_iteration :
+  ?fuel:int ->
+  Gis_machine.Machine.t ->
+  Gis_ir.Cfg.t ->
+  header:Gis_ir.Label.t ->
+  input ->
+  float
+(** Average issue-to-issue distance between successive dynamic entries
+    to [header] — the per-iteration cycle count used throughout the
+    paper's running example. Raises [Failure] if the label is entered
+    fewer than twice. *)

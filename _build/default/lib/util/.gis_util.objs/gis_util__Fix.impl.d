@@ -1,0 +1,1 @@
+lib/util/fix.ml: Ints Vec

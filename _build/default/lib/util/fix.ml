@@ -1,0 +1,38 @@
+(** Fixpoint iteration helpers for dataflow-style computations. *)
+
+(** [iterate ~max_rounds step] calls [step ()] until it returns [false]
+    (no change), or raises [Failure] after [max_rounds] rounds — a guard
+    against non-monotone transfer functions during development. Returns
+    the number of rounds executed. *)
+let iterate ?(max_rounds = 1_000_000) step =
+  let rec go rounds =
+    if rounds >= max_rounds then failwith "Fix.iterate: did not converge";
+    if step () then go (rounds + 1) else rounds + 1
+  in
+  go 0
+
+(** A mutable worklist with set semantics: an element is present at most
+    once; [pop] order is LIFO. *)
+module Worklist = struct
+  type t = {
+    stack : int Vec.t;
+    mutable members : Ints.Int_set.t;
+  }
+
+  let create () = { stack = Vec.create (); members = Ints.Int_set.empty }
+
+  let add t x =
+    if not (Ints.Int_set.mem x t.members) then begin
+      Vec.push t.stack x;
+      t.members <- Ints.Int_set.add x t.members
+    end
+
+  let pop t =
+    match Vec.pop t.stack with
+    | None -> None
+    | Some x ->
+        t.members <- Ints.Int_set.remove x t.members;
+        Some x
+
+  let is_empty t = Vec.is_empty t.stack
+end

@@ -1,0 +1,8 @@
+(** Integer sets and maps, shared across the code base so that analysis
+    results can be passed between libraries without conversion. *)
+
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+let pp_int_set ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") int) (Int_set.elements s)

@@ -1,0 +1,129 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds [0,%d)" i v.len)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let data = Array.make cap' x in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then None
+  else begin
+    v.len <- v.len - 1;
+    Some v.data.(v.len)
+  end
+
+let last v = if v.len = 0 then None else Some v.data.(v.len - 1)
+
+let insert v i x =
+  if i < 0 || i > v.len then invalid_arg "Vec.insert: index out of bounds";
+  push v x;
+  (* [push] made room; shift the tail right and place [x]. *)
+  if i < v.len - 1 then begin
+    Array.blit v.data i v.data (i + 1) (v.len - 1 - i);
+    v.data.(i) <- x
+  end
+
+let remove v i =
+  check v i;
+  let x = v.data.(i) in
+  Array.blit v.data (i + 1) v.data i (v.len - 1 - i);
+  v.len <- v.len - 1;
+  x
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let find_opt p v =
+  let rec loop i =
+    if i >= v.len then None
+    else if p v.data.(i) then Some v.data.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let find_index p v =
+  let rec loop i =
+    if i >= v.len then None else if p v.data.(i) then Some i else loop (i + 1)
+  in
+  loop 0
+
+let filter_in_place p v =
+  let j = ref 0 in
+  for i = 0 to v.len - 1 do
+    if p v.data.(i) then begin
+      v.data.(!j) <- v.data.(i);
+      incr j
+    end
+  done;
+  v.len <- !j
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.len - 1) []
+
+let to_array v = Array.sub v.data 0 v.len
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let of_list l = of_array (Array.of_list l)
+
+let copy v = { data = Array.copy v.data; len = v.len }
+
+let map f v =
+  if v.len = 0 then create ()
+  else begin
+    let data = Array.init v.len (fun i -> f v.data.(i)) in
+    { data; len = v.len }
+  end
+
+let append dst src = iter (push dst) src

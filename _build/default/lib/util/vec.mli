@@ -1,0 +1,67 @@
+(** Growable arrays.
+
+    OCaml 5.1 does not ship [Dynarray]; this is the small subset the
+    scheduler needs: amortized O(1) push, O(1) random access, in-place
+    removal and insertion. Indices are 0-based. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh empty vector. *)
+
+val of_list : 'a list -> 'a t
+
+val of_array : 'a array -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] raises [Invalid_argument] when [i] is out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element. *)
+
+val last : 'a t -> 'a option
+
+val insert : 'a t -> int -> 'a -> unit
+(** [insert v i x] shifts elements [i..] right by one and writes [x] at
+    [i]. [i] may equal [length v] (append). *)
+
+val remove : 'a t -> int -> 'a
+(** [remove v i] deletes and returns the element at [i], shifting the
+    tail left by one. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+
+val find_index : ('a -> bool) -> 'a t -> int option
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val copy : 'a t -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val append : 'a t -> 'a t -> unit
+(** [append dst src] pushes every element of [src] onto [dst]. *)

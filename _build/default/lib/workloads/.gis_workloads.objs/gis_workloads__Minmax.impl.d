@@ -1,0 +1,1 @@
+lib/workloads/minmax.ml: Array Builder Cfg Gis_ir Gis_sim Instr Label List Reg Validate

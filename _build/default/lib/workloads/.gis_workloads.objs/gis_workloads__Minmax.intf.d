@@ -1,0 +1,1 @@
+lib/workloads/minmax.mli: Gis_ir Gis_sim

@@ -1,0 +1,1 @@
+lib/workloads/random_prog.ml: Gis_frontend Gis_sim List Printf Prng

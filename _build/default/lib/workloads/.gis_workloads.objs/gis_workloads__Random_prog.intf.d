@@ -1,0 +1,1 @@
+lib/workloads/random_prog.mli: Gis_frontend Gis_sim

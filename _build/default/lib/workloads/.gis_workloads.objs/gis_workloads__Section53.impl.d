@@ -1,0 +1,1 @@
+lib/workloads/section53.ml: Block Builder Cfg Gis_ir Gis_sim Gis_util Instr Label Reg Validate

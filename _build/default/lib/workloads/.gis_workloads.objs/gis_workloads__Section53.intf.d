@@ -1,0 +1,1 @@
+lib/workloads/section53.mli: Gis_ir Gis_sim

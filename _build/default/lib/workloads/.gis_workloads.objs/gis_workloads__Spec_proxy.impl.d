@@ -1,0 +1,1 @@
+lib/workloads/spec_proxy.ml: Array Codegen Gis_frontend Gis_sim List Prng Simulator

@@ -1,0 +1,1 @@
+lib/workloads/spec_proxy.mli: Gis_frontend Gis_sim

@@ -1,0 +1,144 @@
+open Gis_ir
+module B = Builder
+
+type t = {
+  cfg : Cfg.t;
+  a_base : int;
+  n_reg : Reg.t;
+  min_reg : Reg.t;
+  max_reg : Reg.t;
+  loop_header : Label.t;
+}
+
+let a_base = 1024
+
+let build () =
+  let gen = Reg.Gen.create () in
+  let r n = Reg.Gen.reserve gen Reg.Gpr n in
+  let cr n = Reg.Gen.reserve gen Reg.Cr n in
+  (* Figure 2's register assignment. *)
+  let v = r 0 and u = r 12 in
+  let n_reg = r 27 and min_r = r 28 and i_reg = r 29 in
+  let max_r = r 30 and addr = r 31 in
+  let cr4 = cr 4 and cr6 = cr 6 and cr7 = cr 7 in
+  let cfg =
+    B.func ~reg_gen:gen
+      [
+        (* Entry: min = a[0]; max = min; i = 1; enter the loop if i < n. *)
+        ( "L.entry",
+          [
+            B.li ~dst:addr a_base;
+            B.load ~dst:min_r ~base:addr ~offset:0;
+            B.mr ~dst:max_r ~src:min_r;
+            B.li ~dst:i_reg 1;
+            B.cmp ~dst:cr4 ~lhs:i_reg ~rhs:n_reg;
+          ],
+          B.bt ~cr:cr4 ~cond:Instr.Lt ~taken:"CL.0" ~fallthru:"L.exit" );
+        (* BL1: loads, u > v test. *)
+        ( "CL.0",
+          [
+            B.load ~dst:u ~base:addr ~offset:4 (* I1 *);
+            B.load_update ~dst:v ~base:addr ~offset:8 (* I2 *);
+            B.cmp ~dst:cr7 ~lhs:u ~rhs:v (* I3 *);
+          ],
+          B.bf ~cr:cr7 ~cond:Instr.Gt ~taken:"CL.4" ~fallthru:"BL2" (* I4 *) );
+        (* BL2: u > max? *)
+        ( "BL2",
+          [ B.cmp ~dst:cr6 ~lhs:u ~rhs:max_r (* I5 *) ],
+          B.bf ~cr:cr6 ~cond:Instr.Gt ~taken:"CL.6" ~fallthru:"BL3" (* I6 *) );
+        (* BL3: max = u *)
+        ("BL3", [ B.mr ~dst:max_r ~src:u (* I7 *) ], B.jmp "CL.6");
+        (* BL4: v < min? *)
+        ( "CL.6",
+          [ B.cmp ~dst:cr7 ~lhs:v ~rhs:min_r (* I8 *) ],
+          B.bf ~cr:cr7 ~cond:Instr.Lt ~taken:"CL.9" ~fallthru:"BL5" (* I9 *) );
+        (* BL5: min = v *)
+        ("BL5", [ B.mr ~dst:min_r ~src:v (* I10 *) ], B.jmp "CL.9" (* I11 *));
+        (* BL6: v > max? *)
+        ( "CL.4",
+          [ B.cmp ~dst:cr6 ~lhs:v ~rhs:max_r (* I12 *) ],
+          B.bf ~cr:cr6 ~cond:Instr.Gt ~taken:"CL.11" ~fallthru:"BL7" (* I13 *) );
+        (* BL7: max = v *)
+        ("BL7", [ B.mr ~dst:max_r ~src:v (* I14 *) ], B.jmp "CL.11");
+        (* BL8: u < min? *)
+        ( "CL.11",
+          [ B.cmp ~dst:cr7 ~lhs:u ~rhs:min_r (* I15 *) ],
+          B.bf ~cr:cr7 ~cond:Instr.Lt ~taken:"CL.9" ~fallthru:"BL9" (* I16 *) );
+        (* BL9: min = u *)
+        ("BL9", [ B.mr ~dst:min_r ~src:u (* I17 *) ], B.jmp "CL.9");
+        (* BL10: i = i + 2; loop while i < n. *)
+        ( "CL.9",
+          [
+            B.addi ~dst:i_reg ~lhs:i_reg 2 (* I18 *);
+            B.cmp ~dst:cr4 ~lhs:i_reg ~rhs:n_reg (* I19 *);
+          ],
+          B.bt ~cr:cr4 ~cond:Instr.Lt ~taken:"CL.0" ~fallthru:"L.exit" (* I20 *) );
+        ( "L.exit",
+          [ B.call "print_int" [ min_r ]; B.call "print_int" [ max_r ] ],
+          Instr.Halt );
+      ]
+  in
+  Validate.check_exn cfg;
+  {
+    cfg;
+    a_base;
+    n_reg;
+    min_reg = min_r;
+    max_reg = max_r;
+    loop_header = "CL.0";
+  }
+
+let input t elements =
+  {
+    Gis_sim.Simulator.no_input with
+    Gis_sim.Simulator.int_regs = [ (t.n_reg, List.length elements) ];
+    memory = List.mapi (fun i v -> (t.a_base + (4 * i), v)) elements;
+  }
+
+let reference_min_max elements =
+  let a = Array.of_list elements in
+  let n = Array.length a in
+  let get i = if i < n then a.(i) else 0 in
+  let min_v = ref (get 0) and max_v = ref (get 0) in
+  let i = ref 1 in
+  while !i < n do
+    let u = get !i and v = get (!i + 1) in
+    if u > v then begin
+      if u > !max_v then max_v := u;
+      if v < !min_v then min_v := v
+    end
+    else begin
+      if v > !max_v then max_v := v;
+      if u < !min_v then min_v := u
+    end;
+    i := !i + 2
+  done;
+  (!min_v, !max_v)
+
+let source =
+  {|
+int a[512];
+int n;
+int i;
+int u;
+int v;
+int min;
+int max;
+min = a[0];
+max = min;
+i = 1;
+while (i < n) {
+  u = a[i];
+  v = a[i + 1];
+  if (u > v) {
+    if (u > max) { max = u; }
+    if (v < min) { min = v; }
+  } else {
+    if (v > max) { max = v; }
+    if (u < min) { min = u; }
+  }
+  i = i + 2;
+}
+print(min);
+print(max);
+|}

@@ -1,0 +1,34 @@
+(** The paper's running example: the minimum/maximum program of
+    Figures 1–2, hand-built to match the published RS/6000 pseudo-code
+    instruction for instruction (same register numbers, same block
+    structure BL1–BL10, labels CL.0/CL.4/CL.6/CL.9/CL.11).
+
+    The paper's cycle estimates for one loop iteration on the RS/6000
+    model: 20–22 cycles as compiled (Figure 2), 12–13 after useful-only
+    global scheduling (Figure 5), 11–12 after useful + 1-branch
+    speculative scheduling (Figure 6). *)
+
+type t = {
+  cfg : Gis_ir.Cfg.t;
+  a_base : int;  (** byte address of the array [a] *)
+  n_reg : Gis_ir.Reg.t;  (** r27, must be set to the element count *)
+  min_reg : Gis_ir.Reg.t;  (** r28 *)
+  max_reg : Gis_ir.Reg.t;  (** r30 *)
+  loop_header : Gis_ir.Label.t;  (** CL.0 — BL1's label *)
+}
+
+val build : unit -> t
+(** A fresh copy (fresh mutable blocks) of the Figure 2 procedure,
+    wrapped with an entry block that initialises [min]/[max]/[i] and an
+    exit block that prints both results. *)
+
+val input : t -> int list -> Gis_sim.Simulator.input
+(** Simulator input placing the array in memory and its length in r27.
+    The iteration pattern reads pairs, so use an even element count. *)
+
+val reference_min_max : int list -> int * int
+(** What the program should print (the paper's C semantics: elements are
+    scanned in pairs starting at index 1). *)
+
+val source : string
+(** The Figure 1 program in Tiny-C, for the frontend pipeline. *)

@@ -1,0 +1,18 @@
+(** Deterministic pseudo-random numbers for workload inputs and random
+    program generation. [Stdlib.Random] is avoided so that test inputs
+    and generated programs are stable across OCaml versions. *)
+
+type t
+
+val create : seed:int -> t
+
+val bits : t -> int
+(** 30 pseudo-random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [\[0, bound)]; [bound > 0]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val bool : t -> bool

@@ -1,0 +1,133 @@
+open Gis_frontend.Ast
+
+type ctx = {
+  rng : Prng.t;
+  scalars : string list;  (** assignable scalars *)
+  arrays : string list;
+  mutable counters : int;  (** loop counters allocated so far *)
+}
+
+let rec gen_expr ctx depth =
+  if depth = 0 then
+    match Prng.int ctx.rng 3 with
+    | 0 -> Int (Prng.int ctx.rng 64 - 16)
+    | 1 -> Var (Prng.pick ctx.rng ctx.scalars)
+    | _ -> (
+        match ctx.arrays with
+        | [] -> Var (Prng.pick ctx.rng ctx.scalars)
+        | arrays -> Index (Prng.pick ctx.rng arrays, Int (Prng.int ctx.rng 16)))
+  else
+    match Prng.int ctx.rng 6 with
+    | 0 ->
+        let op = Prng.pick ctx.rng [ Add; Sub; Mul; And; Or; Xor ] in
+        Binop (op, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 1 ->
+        (* Division and remainder only by a non-zero literal. *)
+        let op = Prng.pick ctx.rng [ Div; Rem ] in
+        Binop (op, gen_expr ctx (depth - 1), Int (1 + Prng.int ctx.rng 9))
+    | 2 ->
+        let op = Prng.pick ctx.rng [ Shl; Shr ] in
+        Binop (op, gen_expr ctx (depth - 1), Int (Prng.int ctx.rng 5))
+    | 3 -> Neg (gen_expr ctx (depth - 1))
+    | 4 -> (
+        match ctx.arrays with
+        | [] -> gen_expr ctx 0
+        | arrays -> Index (Prng.pick ctx.rng arrays, gen_expr ctx (depth - 1)))
+    | _ -> gen_expr ctx 0
+
+let rec gen_cond ctx depth =
+  if depth = 0 || Prng.int ctx.rng 3 = 0 then
+    let op = Prng.pick ctx.rng [ Lt; Gt; Le; Ge; Eq; Ne ] in
+    Rel (op, gen_expr ctx 1, gen_expr ctx 1)
+  else
+    match Prng.int ctx.rng 3 with
+    | 0 -> Not (gen_cond ctx (depth - 1))
+    | 1 -> And_also (gen_cond ctx (depth - 1), gen_cond ctx (depth - 1))
+    | _ -> Or_else (gen_cond ctx (depth - 1), gen_cond ctx (depth - 1))
+
+(* Array stores use a masked index expression so that runs stay inside
+   the address space deterministically even for wild indices. *)
+let store_index ctx = Binop (And, gen_expr ctx 1, Int 15)
+
+let max_counters = 12
+
+let rec gen_stmt ctx depth =
+  let choices =
+    if depth = 0 then 3 else if ctx.counters >= max_counters then 4 else 7
+  in
+  match Prng.int ctx.rng choices with
+  | 0 -> Assign (Prng.pick ctx.rng ctx.scalars, gen_expr ctx 2)
+  | 1 -> (
+      match ctx.arrays with
+      | [] -> Assign (Prng.pick ctx.rng ctx.scalars, gen_expr ctx 2)
+      | arrays ->
+          Store (Prng.pick ctx.rng arrays, store_index ctx, gen_expr ctx 2))
+  | 2 -> Print (gen_expr ctx 2)
+  | 3 ->
+      If
+        ( gen_cond ctx 2,
+          gen_stmts ctx (depth - 1) (1 + Prng.int ctx.rng 3),
+          if Prng.bool ctx.rng then gen_stmts ctx (depth - 1) (1 + Prng.int ctx.rng 2)
+          else [] )
+  | 4 | 5 ->
+      (* A bounded loop driven by a private counter. *)
+      let c = Printf.sprintf "c%d" ctx.counters in
+      ctx.counters <- ctx.counters + 1;
+      let bound = 2 + Prng.int ctx.rng 6 in
+      let body =
+        gen_stmts ctx (depth - 1) (1 + Prng.int ctx.rng 3)
+        @ [ Assign (c, Binop (Add, Var c, Int 1)) ]
+      in
+      Block [ Assign (c, Int 0); While (Rel (Lt, Var c, Int bound), body) ]
+  | _ ->
+      let c = Printf.sprintf "c%d" ctx.counters in
+      ctx.counters <- ctx.counters + 1;
+      let bound = 1 + Prng.int ctx.rng 4 in
+      Block
+        [
+          For
+            ( Some (Assign (c, Int 0)),
+              Some (Rel (Lt, Var c, Int bound)),
+              Some (Assign (c, Binop (Add, Var c, Int 1))),
+              gen_stmts ctx (depth - 1) (1 + Prng.int ctx.rng 3) );
+        ]
+
+and gen_stmts ctx depth count = List.init count (fun _ -> gen_stmt ctx depth)
+
+let generate ~seed =
+  let rng = Prng.create ~seed in
+  let n_scalars = 3 + Prng.int rng 4 in
+  let scalars = List.init n_scalars (Printf.sprintf "x%d") in
+  let n_arrays = 1 + Prng.int rng 2 in
+  let arrays = List.init n_arrays (Printf.sprintf "a%d") in
+  let ctx = { rng; scalars; arrays; counters = 0 } in
+  let body = gen_stmts ctx 2 (3 + Prng.int rng 5) in
+  let decls =
+    List.map (fun s -> Scalar (s, Some (Prng.int rng 32))) scalars
+    @ List.map (fun a -> Array (a, 16)) arrays
+    @ List.init max_counters (fun i -> Scalar (Printf.sprintf "c%d" i, Some 0))
+  in
+  let epilogue = List.map (fun s -> Print (Var s)) scalars in
+  { decls; body = body @ epilogue }
+
+let generate_compiled ~seed =
+  let rec try_seed s attempts =
+    if attempts = 0 then failwith "Random_prog: generation kept failing"
+    else
+      let prog = generate ~seed:s in
+      match Gis_frontend.Codegen.compile prog with
+      | compiled -> compiled
+      | exception Gis_frontend.Codegen.Error _ -> try_seed (s + 7919) (attempts - 1)
+  in
+  try_seed seed 10
+
+let random_input ~seed compiled =
+  let rng = Prng.create ~seed:(seed + 101) in
+  {
+    Gis_sim.Simulator.no_input with
+    Gis_sim.Simulator.memory =
+      List.concat_map
+        (fun (_, base, len) ->
+          List.init len (fun i -> (base + (4 * i), Prng.int rng 256 - 64)))
+        compiled.Gis_frontend.Codegen.arrays;
+  }

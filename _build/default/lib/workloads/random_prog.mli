@@ -1,0 +1,18 @@
+(** Random structured Tiny-C programs for differential testing.
+
+    Generated programs always terminate (every loop is driven by a
+    dedicated counter the body never writes), never divide by a variable
+    (division and remainder only get non-zero literal divisors), and end
+    by printing every scalar — so two runs are behaviourally equal iff
+    their observable traces match. Generation is deterministic in the
+    seed. *)
+
+val generate : seed:int -> Gis_frontend.Ast.program
+
+val generate_compiled : seed:int -> Gis_frontend.Codegen.compiled
+(** Generate and compile; retries with derived seeds in the unlikely
+    event the program dies of a codegen restriction. *)
+
+val random_input :
+  seed:int -> Gis_frontend.Codegen.compiled -> Gis_sim.Simulator.input
+(** Random contents for every declared array. *)

@@ -1,0 +1,45 @@
+open Gis_ir
+module B = Builder
+
+type t = {
+  cfg : Cfg.t;
+  cond_reg : Reg.t;
+  x5_uid : int;
+  x3_uid : int;
+  dispatch : Label.t;
+}
+
+let build () =
+  let gen = Reg.Gen.create () in
+  let cond_reg = Reg.Gen.fresh gen Reg.Gpr in
+  let x = Reg.Gen.fresh gen Reg.Gpr in
+  let cr = Reg.Gen.fresh gen Reg.Cr in
+  let cfg =
+    B.func ~reg_gen:gen
+      [
+        ( "B1",
+          [ B.cmpi ~dst:cr ~lhs:cond_reg 0 ],
+          B.bt ~cr ~cond:Instr.Ne ~taken:"B2" ~fallthru:"B3" );
+        ("B2", [ B.li ~dst:x 5 ], B.jmp "B4");
+        ("B3", [ B.li ~dst:x 3 ], B.jmp "B4");
+        ("B4", [ B.call "print_int" [ x ] ], Instr.Halt);
+      ]
+  in
+  Validate.check_exn cfg;
+  let uid_of_li label =
+    let blk = Cfg.block_of_label cfg label in
+    Instr.uid (Gis_util.Vec.get blk.Block.body 0)
+  in
+  {
+    cfg;
+    cond_reg;
+    x5_uid = uid_of_li "B2";
+    x3_uid = uid_of_li "B3";
+    dispatch = "B1";
+  }
+
+let input ~selector t =
+  {
+    Gis_sim.Simulator.no_input with
+    Gis_sim.Simulator.int_regs = [ (t.cond_reg, selector) ];
+  }

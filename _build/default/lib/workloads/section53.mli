@@ -1,0 +1,22 @@
+(** The speculative-scheduling counterexample of paper Section 5.3:
+
+    {v
+    if (cond) { x = 5; } else { x = 3; }  print(x);
+    v}
+
+    Each assignment alone may move into the dispatch block B1, but once
+    one of them has moved, [x] becomes live on exit from B1 and the
+    other motion must be rejected (and cannot be renamed, because the
+    print's use of [x] is reached by both definitions). *)
+
+type t = {
+  cfg : Gis_ir.Cfg.t;
+  cond_reg : Gis_ir.Reg.t;  (** nonzero selects the x = 5 branch *)
+  x5_uid : int;  (** uid of the [x = 5] instruction *)
+  x3_uid : int;  (** uid of the [x = 3] instruction *)
+  dispatch : Gis_ir.Label.t;  (** B1 *)
+}
+
+val build : unit -> t
+
+val input : selector:int -> t -> Gis_sim.Simulator.input

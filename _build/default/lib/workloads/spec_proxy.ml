@@ -1,0 +1,211 @@
+open Gis_frontend
+open Gis_sim
+
+type t = {
+  name : string;
+  source : string;
+  setup : Codegen.compiled -> Simulator.input;
+}
+
+let input_with compiled ~n ~arrays =
+  {
+    Simulator.no_input with
+    Simulator.int_regs = [ (Codegen.var_reg compiled "n", n) ];
+    memory = Codegen.array_input compiled arrays;
+  }
+
+let gen_list ~seed ~len f =
+  let rng = Prng.create ~seed in
+  List.init len (fun i -> f rng i)
+
+(* Interpreter-style dispatch over a pointer-chased heap (the Lisp
+   interpreter's cdr-walk): the loop-closing test depends on the cell
+   just loaded, so useful motion cannot start the next iteration early —
+   the compares inside the branch arms, ready from the previous
+   iteration's state, are the only instructions that can fill the delay
+   slots, and moving them is speculative. *)
+let li =
+  {
+    name = "li";
+    source =
+      {|
+int heap[512];
+int n;
+int acc;
+int i;
+int t;
+int lim;
+i = 1;
+acc = 0;
+lim = 1000000;
+while (i != 0) {
+  t = heap[i];
+  i = t & 511;
+  if (t > 4096) {
+    if (acc < lim) { acc = acc + t; }
+    else { acc = acc - t; }
+  } else {
+    if (t > 2048) {
+      if (acc > 0) { acc = acc ^ t; }
+    } else {
+      acc = acc + 1;
+    }
+  }
+}
+print(acc);
+|};
+    setup =
+      (fun c ->
+        (* A single chain 1 -> p1 -> p2 -> ... -> 0 through the whole
+           heap, with pseudo-random tag bits above the pointer. *)
+        let rng = Prng.create ~seed:11 in
+        let len = 448 in
+        let order =
+          (* a deterministic shuffle of 2..len-1 *)
+          let arr = Array.init (len - 2) (fun k -> k + 2) in
+          for k = Array.length arr - 1 downto 1 do
+            let j = Prng.int rng (k + 1) in
+            let tmp = arr.(k) in
+            arr.(k) <- arr.(j);
+            arr.(j) <- tmp
+          done;
+          Array.to_list arr
+        in
+        let chain = (1 :: order) @ [ 0 ] in
+        let heap = Array.make len 0 in
+        let rec link = function
+          | a :: (b :: _ as rest) ->
+              heap.(a) <- b lor (Prng.int rng 16 * 512);
+              link rest
+          | [ last ] -> heap.(last) <- 0
+          | [] -> ()
+        in
+        link chain;
+        input_with c ~n:0 ~arrays:[ ("heap", Array.to_list heap) ]);
+  }
+
+(* eqntott's cmppt: scan two vectors, rare inequality. Useful motion
+   (latch into the load block) covers the delayed loads. *)
+let eqntott =
+  {
+    name = "eqntott";
+    source =
+      {|
+int a[512];
+int b[512];
+int n;
+int i;
+int res;
+int u;
+int v;
+i = 0;
+res = 0;
+while (i < n) {
+  u = a[i];
+  v = b[i];
+  if (u != v) {
+    if (u < v) { res = res - 1; } else { res = res + 1; }
+  }
+  i = i + 1;
+}
+print(res);
+|};
+    setup =
+      (fun c ->
+        let base = gen_list ~seed:23 ~len:448 (fun rng _ -> Prng.int rng 1000) in
+        let b_side =
+          List.mapi (fun i v -> if i mod 17 = 0 then v + 1 else v) base
+        in
+        input_with c ~n:448 ~arrays:[ ("a", base); ("b", b_side) ]);
+  }
+
+(* espresso: dense bitwise kernel in one large block — the local
+   scheduler already fills the fixed point unit. *)
+let espresso =
+  {
+    name = "espresso";
+    source =
+      {|
+int a[512];
+int b[512];
+int c[512];
+int n;
+int i;
+int s;
+int x;
+int y;
+int t1;
+int t2;
+int t3;
+int t4;
+i = 0;
+s = 0;
+while (i < n) {
+  x = a[i];
+  y = b[i];
+  t1 = x & y;
+  t2 = x | y;
+  t3 = x ^ y;
+  t4 = (t1 << 1) + (t2 >> 1);
+  c[i] = t4 + t3;
+  s = s + t1;
+  s = s ^ t2;
+  s = s + (t3 & 255);
+  i = i + 1;
+}
+print(s);
+|};
+    setup =
+      (fun c ->
+        input_with c ~n:384
+          ~arrays:
+            [
+              ("a", gen_list ~seed:37 ~len:384 (fun rng _ -> Prng.bits rng));
+              ("b", gen_list ~seed:41 ~len:384 (fun rng _ -> Prng.bits rng));
+            ]);
+  }
+
+(* gcc: unpredictable branches whose arms are dominated by stores, which
+   may never be moved speculatively (Section 5.1), and which read [i] so
+   the latch cannot be hoisted usefully either — the shape that left the
+   paper's gcc without improvement. *)
+let gcc =
+  {
+    name = "gcc";
+    source =
+      {|
+int tab[512];
+int n;
+int i;
+int x;
+int h;
+int acc;
+i = 0;
+acc = 0;
+while (i < n) {
+  x = tab[i];
+  h = x ^ (i << 5);
+  h = h + (h >> 3);
+  h = h ^ (h << 2);
+  h = h + (h >> 5);
+  h = h & 1023;
+  if (x > 150) {
+    tab[i] = h;
+  } else {
+    if (x > 40) { tab[i] = h + 1; }
+    else { acc = acc + h; }
+  }
+  i = i + 1;
+}
+print(acc);
+|};
+    setup =
+      (fun c ->
+        input_with c ~n:384
+          ~arrays:
+            [ ("tab", gen_list ~seed:53 ~len:384 (fun rng _ -> Prng.int rng 200)) ]);
+  }
+
+let all = [ li; eqntott; espresso; gcc ]
+
+let compile t = Codegen.compile_string t.source

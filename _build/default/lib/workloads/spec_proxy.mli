@@ -1,0 +1,42 @@
+(** Synthetic proxies for the paper's four SPEC C benchmarks
+    (Section 6, Figures 7–8).
+
+    The originals (Lisp interpreter, eqntott, espresso, gcc) cannot be
+    compiled by a Tiny-C frontend, and their 1991 inputs are long gone.
+    What Figure 8's *shape* depends on is the control structure of each
+    hot loop, so each proxy reproduces that structure:
+
+    - {b li}: interpreter-style dispatch — tiny blocks behind a cascade
+      of data-dependent branches, each arm a compare plus a one-line
+      update. Most of the win must come from {e speculative} motion,
+      as the paper reports (2.0% useful vs 6.9% speculative).
+    - {b eqntott}: a compare-and-accumulate scan in equivalent-block
+      pairs — delay slots that {e useful} motion alone fills (7.1%
+      useful, 7.3% speculative in the paper).
+    - {b espresso}: dense bitwise kernels in large basic blocks; the
+      local scheduler already saturates the machine, so global motion
+      adds roughly nothing (-0.5% / 0%).
+    - {b gcc}: branchy code whose arms are dominated by stores — stores
+      may not be moved speculatively (Section 5.1), so global motion
+      again adds roughly nothing (-1.5% / 0%).
+
+    Each proxy carries the Tiny-C source, deterministic input data, and
+    the registers/arrays needed to set up a simulation. *)
+
+type t = {
+  name : string;
+  source : string;
+  setup : Gis_frontend.Codegen.compiled -> Gis_sim.Simulator.input;
+      (** input for one measured run (deterministic) *)
+}
+
+val li : t
+val eqntott : t
+val espresso : t
+val gcc : t
+
+val all : t list
+(** In the paper's Figure 8 order: li, eqntott, espresso, gcc. *)
+
+val compile : t -> Gis_frontend.Codegen.compiled
+(** Compile the proxy's source with the Tiny-C frontend. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Block Builder Cdg Cfg Dominance Flow Fmt Fun Gis_analysis Gis_ir Gis_util Gis_workloads Instr Int Int_set List Liveness Loops Option Reaching Reg Regions

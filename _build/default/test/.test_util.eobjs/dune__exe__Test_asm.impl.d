@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Asm Cfg Fmt Gis_core Gis_frontend Gis_ir Gis_machine Gis_sim Gis_workloads Instr List Machine Minmax Random_prog Reg Simulator Validate

@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Array Block Builder Cfg Ddg Flow Fmt Gis_analysis Gis_ddg Gis_ir Gis_machine Gis_util Gis_workloads Hashtbl Instr List Machine Option Reg Regions

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Codegen Fmt Gis_analysis Gis_frontend Gis_ir Gis_machine Gis_sim Gis_workloads Lexer List Machine Parser Simulator

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Block Builder Cfg Fmt Fun Gis_ir Gis_util Instr List Reg Validate

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Builder Gis_ir Gis_machine Instr Machine Reg

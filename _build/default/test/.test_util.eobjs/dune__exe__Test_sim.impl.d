@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Block Builder Cfg Fmt Gis_ir Gis_machine Gis_sim Gis_util Gis_workloads Instr List Machine Reg Simulator

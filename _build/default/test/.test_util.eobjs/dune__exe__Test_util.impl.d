@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Fix Fmt Gis_util Ints Vec

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cfg Codegen Fmt Gis_frontend Gis_ir Gis_machine Gis_sim Gis_workloads List Machine Minmax Prng Random_prog Reg Section53 Simulator Spec_proxy Validate

@@ -1,0 +1,456 @@
+open Gis_ir
+open Gis_analysis
+open Gis_util.Ints
+module B = Builder
+
+(* ---- synthetic flow graphs ---- *)
+
+let flow_of succ ~entry =
+  Flow.make ~entry ~to_block:(Array.init (Array.length succ) Fun.id) succ
+
+(* The diamond: 0 -> 1,2 -> 3. *)
+let diamond = flow_of [| [ 1; 2 ]; [ 3 ]; [ 3 ]; [] |] ~entry:0
+
+let test_postorder () =
+  let rpo = Flow.reverse_postorder diamond in
+  Alcotest.(check int) "first is entry" 0 (List.hd rpo);
+  Alcotest.(check int) "length" 4 (List.length rpo);
+  Alcotest.(check bool) "3 last" true (List.nth rpo 3 = 3)
+
+let test_reachability () =
+  let m = Flow.reachable_matrix diamond in
+  Alcotest.(check bool) "0->3" true m.(0).(3);
+  Alcotest.(check bool) "1->2" false m.(1).(2);
+  Alcotest.(check bool) "self" true m.(1).(1)
+
+let test_acyclicity () =
+  Alcotest.(check bool) "diamond acyclic" true (Flow.is_acyclic diamond);
+  let loop = flow_of [| [ 1 ]; [ 0 ] |] ~entry:0 in
+  Alcotest.(check bool) "loop cyclic" false (Flow.is_acyclic loop)
+
+let test_dominance_diamond () =
+  let dom = Dominance.compute diamond in
+  Alcotest.(check bool) "0 dom 3" true (Dominance.dominates dom 0 3);
+  Alcotest.(check bool) "1 !dom 3" false (Dominance.dominates dom 1 3);
+  Alcotest.(check bool) "reflexive" true (Dominance.dominates dom 2 2);
+  Alcotest.(check (option int)) "idom 3" (Some 0) (Dominance.idom dom 3);
+  Alcotest.(check (option int)) "idom of entry" None (Dominance.idom dom 0);
+  Alcotest.(check int) "depth 3" 1 (Dominance.dom_tree_depth dom 3)
+
+let test_postdominance_diamond () =
+  let post = Dominance.Post.compute diamond in
+  Alcotest.(check bool) "3 pdom 0" true (Dominance.Post.postdominates post 3 0);
+  Alcotest.(check bool) "1 !pdom 0" false (Dominance.Post.postdominates post 1 0);
+  let dom = Dominance.compute diamond in
+  Alcotest.(check bool) "0 equiv 3" true (Dominance.equivalent dom post 0 3);
+  Alcotest.(check bool) "0 !equiv 1" false (Dominance.equivalent dom post 0 1)
+
+(* Cross-check the CHK dominators against the naive set-intersection
+   reference on a handful of irregular graphs. *)
+let test_dominance_vs_naive () =
+  let graphs =
+    [
+      diamond;
+      flow_of [| [ 1 ]; [ 2; 3 ]; [ 4 ]; [ 4 ]; [ 1; 5 ]; [] |] ~entry:0;
+      flow_of [| [ 1; 2 ]; [ 3 ]; [ 3; 4 ]; [ 5 ]; [ 5 ]; [ 1 ] |] ~entry:0;
+      flow_of [| [ 0 ] |] ~entry:0;
+      (* unreachable node 3 *)
+      flow_of [| [ 1 ]; [ 2 ]; []; [ 2 ] |] ~entry:0;
+    ]
+  in
+  List.iteri
+    (fun gi flow ->
+      let dom = Dominance.compute flow in
+      let naive = Dominance.naive_dominators flow in
+      for a = 0 to flow.Flow.num_nodes - 1 do
+        for b = 0 to flow.Flow.num_nodes - 1 do
+          let fast = Dominance.dominates dom a b in
+          let slow =
+            (not (Int_set.is_empty naive.(b))) && Int_set.mem a naive.(b)
+          in
+          Alcotest.(check bool) (Fmt.str "graph %d: %d dom %d" gi a b) slow fast
+        done
+      done)
+    graphs
+
+(* ---- the paper's Figure 3/4 structure via the minmax program ---- *)
+
+let minmax_view () =
+  let t = Gis_workloads.Minmax.build () in
+  let regions = Regions.compute t.Gis_workloads.Minmax.cfg in
+  let region =
+    List.find (fun r -> r.Regions.loop <> None) (Regions.regions regions)
+  in
+  let view = Regions.view t.Gis_workloads.Minmax.cfg regions region in
+  let node_of label =
+    let blk = Cfg.block_of_label t.Gis_workloads.Minmax.cfg label in
+    match view.Regions.block_node blk.Block.id with
+    | Some v -> v
+    | None -> Alcotest.failf "label %s not in loop view" label
+  in
+  (t, view, node_of)
+
+let test_minmax_loop_shape () =
+  let _, view, _ = minmax_view () in
+  Alcotest.(check int) "ten blocks" 10 view.Regions.flow.Flow.num_nodes;
+  Alcotest.(check bool) "forward graph acyclic" true
+    (Flow.is_acyclic view.Regions.flow)
+
+(* Figure 4's equivalences: {BL1,BL10}, {BL2,BL4}, {BL6,BL8}. *)
+let test_minmax_equivalences () =
+  let _, view, node_of = minmax_view () in
+  let dom = Dominance.compute view.Regions.flow in
+  let post = Dominance.Post.compute view.Regions.flow in
+  let equiv a b = Dominance.equivalent dom post (node_of a) (node_of b) in
+  Alcotest.(check bool) "BL1~BL10" true (equiv "CL.0" "CL.9");
+  Alcotest.(check bool) "BL2~BL4" true (equiv "BL2" "CL.6");
+  Alcotest.(check bool) "BL6~BL8" true (equiv "CL.4" "CL.11");
+  Alcotest.(check bool) "BL1!~BL2" false (equiv "CL.0" "BL2");
+  Alcotest.(check bool) "BL2!~BL6" false (equiv "BL2" "CL.4");
+  Alcotest.(check bool) "BL3!~BL1" false (equiv "CL.0" "BL3")
+
+(* Figure 4's control dependence edges. *)
+let test_minmax_cdg () =
+  let _, view, node_of = minmax_view () in
+  let cdg =
+    Cdg.compute ~edge_label:view.Regions.edge_label view.Regions.flow
+  in
+  let parents label =
+    List.map fst (Cdg.parents cdg (node_of label)) |> List.sort_uniq Int.compare
+  in
+  Alcotest.(check (list int)) "BL1 has no parents" [] (parents "CL.0");
+  Alcotest.(check (list int)) "BL10 has no parents" [] (parents "CL.9");
+  Alcotest.(check (list int)) "BL2 <- BL1" [ node_of "CL.0" ] (parents "BL2");
+  Alcotest.(check (list int)) "BL4 <- BL1" [ node_of "CL.0" ] (parents "CL.6");
+  Alcotest.(check (list int)) "BL6 <- BL1" [ node_of "CL.0" ] (parents "CL.4");
+  Alcotest.(check (list int)) "BL8 <- BL1" [ node_of "CL.0" ] (parents "CL.11");
+  Alcotest.(check (list int)) "BL3 <- BL2" [ node_of "BL2" ] (parents "BL3");
+  Alcotest.(check (list int)) "BL5 <- BL4" [ node_of "CL.6" ] (parents "BL5");
+  (* Identically-dependent labels coincide with Definition 3. *)
+  Alcotest.(check bool) "BL2 ~id~ BL4" true
+    (Cdg.identically_dependent cdg (node_of "BL2") (node_of "CL.6"));
+  Alcotest.(check bool) "BL2 !~id~ BL6" false
+    (Cdg.identically_dependent cdg (node_of "BL2") (node_of "CL.4"))
+
+(* Definition 7: moving from BL8 to BL1 gambles on one branch, from BL5
+   to BL1 on two. *)
+let test_minmax_speculation_degree () =
+  let _, view, node_of = minmax_view () in
+  let cdg =
+    Cdg.compute ~edge_label:view.Regions.edge_label view.Regions.flow
+  in
+  let deg a b = Cdg.speculation_degree cdg ~src:(node_of a) ~dst:(node_of b) in
+  Alcotest.(check (option int)) "BL1->BL8" (Some 1) (deg "CL.0" "CL.11");
+  Alcotest.(check (option int)) "BL1->BL5" (Some 2) (deg "CL.0" "BL5");
+  Alcotest.(check (option int)) "BL1->BL1" (Some 0) (deg "CL.0" "CL.0");
+  Alcotest.(check (option int)) "BL2->BL6" None (deg "BL2" "CL.4");
+  let succs = Cdg.immediate_successors cdg (node_of "CL.0") in
+  Alcotest.(check int) "BL1 controls four blocks" 4 (List.length succs)
+
+(* Regression: a loop body must not postdominate (nor be equivalent to)
+   a header whose exit edge leaves the region view — dropping the exit
+   edge used to make them look equivalent, letting loop-variant code
+   hoist above the exit test. *)
+let test_loop_exit_not_equivalent () =
+  let g = Reg.Gen.create () in
+  let acc = Reg.Gen.fresh g Reg.Gpr in
+  let i = Reg.Gen.fresh g Reg.Gpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ("PRE", [ B.li ~dst:i 0 ], B.jmp "H");
+        ("H", [ B.cmpi ~dst:c ~lhs:i 7 ],
+         B.bt ~cr:c ~cond:Instr.Lt ~taken:"BODY" ~fallthru:"POST");
+        ("BODY",
+         [ B.add ~dst:acc ~lhs:acc ~rhs:i; B.addi ~dst:i ~lhs:i 1 ],
+         B.jmp "H");
+        ("POST", [ B.call "print_int" [ acc ] ], Instr.Halt);
+      ]
+  in
+  let regions = Regions.compute cfg in
+  let region =
+    List.find (fun r -> r.Regions.loop <> None) (Regions.regions regions)
+  in
+  let view = Regions.view cfg regions region in
+  let node l =
+    Option.get (view.Regions.block_node (Cfg.block_of_label cfg l).Block.id)
+  in
+  let dom = Dominance.compute view.Regions.flow in
+  let post = Dominance.Post.compute view.Regions.flow in
+  Alcotest.(check bool) "header is an exit of the view" true
+    (List.mem (node "H") (Flow.exit_nodes view.Regions.flow));
+  Alcotest.(check bool) "BODY does not postdominate H" false
+    (Dominance.Post.postdominates post (node "BODY") (node "H"));
+  Alcotest.(check bool) "H not equivalent to BODY" false
+    (Dominance.equivalent dom post (node "H") (node "BODY"));
+  (* And the CDG records BODY as control dependent on H. *)
+  let cdg = Cdg.compute ~edge_label:view.Regions.edge_label view.Regions.flow in
+  Alcotest.(check (list int)) "BODY <- H" [ node "H" ]
+    (List.map fst (Cdg.parents cdg (node "BODY")))
+
+(* ---- liveness ---- *)
+
+let test_liveness_diamond () =
+  let g = Reg.Gen.create () in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let y = Reg.Gen.fresh g Reg.Gpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ("A", [ B.cmpi ~dst:c ~lhs:y 0 ],
+         B.bt ~cr:c ~cond:Instr.Eq ~taken:"B" ~fallthru:"C");
+        ("B", [ B.li ~dst:x 1 ], B.jmp "D");
+        ("C", [ B.li ~dst:x 2 ], B.jmp "D");
+        ("D", [ B.call "print_int" [ x ] ], Instr.Halt);
+      ]
+  in
+  let live = Liveness.compute cfg in
+  let blk l = (Cfg.block_of_label cfg l).Block.id in
+  (* x defined on both paths before D: not live out of A. *)
+  Alcotest.(check bool) "x not live out of A" false
+    (Reg.Set.mem x (Liveness.live_out live (blk "A")));
+  Alcotest.(check bool) "x live out of B" true
+    (Reg.Set.mem x (Liveness.live_out live (blk "B")));
+  Alcotest.(check bool) "x live into D" true
+    (Reg.Set.mem x (Liveness.live_in live (blk "D")));
+  Alcotest.(check bool) "y live into A" true
+    (Reg.Set.mem y (Liveness.live_in live (blk "A")));
+  (* After removing B's definition, x becomes live out of A. *)
+  ignore (Block.remove_by_uid (Cfg.block_of_label cfg "B")
+            ~uid:(Instr.uid (Gis_util.Vec.get (Cfg.block_of_label cfg "B").Block.body 0)));
+  let live = Liveness.compute cfg in
+  Alcotest.(check bool) "x now live out of A" true
+    (Reg.Set.mem x (Liveness.live_out live (blk "A")))
+
+let test_liveness_loop_carried () =
+  let g = Reg.Gen.create () in
+  let acc = Reg.Gen.fresh g Reg.Gpr in
+  let i = Reg.Gen.fresh g Reg.Gpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ("H", [ B.cmpi ~dst:c ~lhs:i 10 ],
+         B.bt ~cr:c ~cond:Instr.Lt ~taken:"BODY" ~fallthru:"X");
+        ("BODY",
+         [ B.add ~dst:acc ~lhs:acc ~rhs:i; B.addi ~dst:i ~lhs:i 1 ],
+         B.jmp "H");
+        ("X", [ B.call "print_int" [ acc ] ], Instr.Halt);
+      ]
+  in
+  let live = Liveness.compute cfg in
+  let blk l = (Cfg.block_of_label cfg l).Block.id in
+  Alcotest.(check bool) "acc live around the loop" true
+    (Reg.Set.mem acc (Liveness.live_out live (blk "BODY")));
+  Alcotest.(check bool) "i live into H" true
+    (Reg.Set.mem i (Liveness.live_in live (blk "H")));
+  Alcotest.(check bool) "live before terminator includes branch source" true
+    (Reg.Set.mem c (Liveness.live_before_terminator live cfg (blk "H")))
+
+(* ---- reaching definitions ---- *)
+
+let test_reaching_sole_def () =
+  let g = Reg.Gen.create () in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let y = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ("A", [ B.li ~dst:x 1; B.mr ~dst:y ~src:x ], B.jmp "B");
+        ("B", [ B.call "print_int" [ y ] ], Instr.Halt);
+      ]
+  in
+  let reach = Reaching.compute cfg in
+  let a = Cfg.block_of_label cfg "A" in
+  let def_x = Instr.uid (Gis_util.Vec.get a.Block.body 0) in
+  let use_x = Instr.uid (Gis_util.Vec.get a.Block.body 1) in
+  (match Reaching.defs_of_use reach ~uid:use_x ~reg:x with
+  | [ Reaching.Def d ] -> Alcotest.(check int) "ud chain" def_x d
+  | other ->
+      Alcotest.failf "unexpected: %a" Fmt.(list Reaching.pp_site) other);
+  (match Reaching.sole_def_of_all_uses reach ~uid:def_x ~reg:x with
+  | Some uses -> Alcotest.(check (list int)) "du chain" [ use_x ] uses
+  | None -> Alcotest.fail "expected sole def")
+
+(* The Section 5.3 shape: a use reached by two definitions is not
+   renameable through either. *)
+let test_reaching_merge () =
+  let s = Gis_workloads.Section53.build () in
+  let cfg = s.Gis_workloads.Section53.cfg in
+  let reach = Reaching.compute cfg in
+  let x =
+    match
+      Instr.defs
+        (Gis_util.Vec.get (Cfg.block_of_label cfg "B2").Block.body 0)
+    with
+    | [ r ] -> r
+    | _ -> Alcotest.fail "x5 should define one register"
+  in
+  Alcotest.(check bool) "x5 not sole" true
+    (Reaching.sole_def_of_all_uses reach ~uid:s.Gis_workloads.Section53.x5_uid ~reg:x
+    = None);
+  Alcotest.(check bool) "x3 not sole" true
+    (Reaching.sole_def_of_all_uses reach ~uid:s.Gis_workloads.Section53.x3_uid ~reg:x
+    = None);
+  (* The print's use is reached by both definitions. *)
+  let print_uid =
+    Instr.uid (Gis_util.Vec.get (Cfg.block_of_label cfg "B4").Block.body 0)
+  in
+  Alcotest.(check int) "two reaching defs" 2
+    (List.length (Reaching.defs_of_use reach ~uid:print_uid ~reg:x))
+
+let test_reaching_external () =
+  let g = Reg.Gen.create () in
+  let n = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g [ ("A", [ B.call "print_int" [ n ] ], Instr.Halt) ]
+  in
+  let reach = Reaching.compute cfg in
+  let use = Instr.uid (Gis_util.Vec.get (Cfg.block_of_label cfg "A").Block.body 0) in
+  match Reaching.defs_of_use reach ~uid:use ~reg:n with
+  | [ Reaching.External ] -> ()
+  | other -> Alcotest.failf "unexpected: %a" Fmt.(list Reaching.pp_site) other
+
+(* ---- loops and regions ---- *)
+
+let test_minmax_loop_detect () =
+  let t = Gis_workloads.Minmax.build () in
+  let info = Loops.compute t.Gis_workloads.Minmax.cfg in
+  Alcotest.(check bool) "reducible" true (Loops.reducible info);
+  Alcotest.(check int) "one loop" 1 (Array.length (Loops.loops info));
+  let l = (Loops.loops info).(0) in
+  Alcotest.(check int) "ten blocks" 10 (Int_set.cardinal l.Loops.blocks);
+  Alcotest.(check string) "header is CL.0" "CL.0"
+    (Cfg.block t.Gis_workloads.Minmax.cfg l.Loops.header).Block.label;
+  Alcotest.(check int) "depth" 1 l.Loops.depth
+
+let nested_loops_cfg () =
+  let g = Reg.Gen.create () in
+  let i = Reg.Gen.fresh g Reg.Gpr in
+  let j = Reg.Gen.fresh g Reg.Gpr in
+  let ci = Reg.Gen.fresh g Reg.Cr in
+  let cj = Reg.Gen.fresh g Reg.Cr in
+  B.func ~reg_gen:g
+    [
+      ("PRE", [ B.li ~dst:i 0 ], B.jmp "OH");
+      ("OH", [ B.cmpi ~dst:ci ~lhs:i 8 ],
+       B.bt ~cr:ci ~cond:Instr.Lt ~taken:"OB" ~fallthru:"EXIT");
+      ("OB", [ B.li ~dst:j 0 ], B.jmp "IH");
+      ("IH", [ B.cmpi ~dst:cj ~lhs:j 4 ],
+       B.bt ~cr:cj ~cond:Instr.Lt ~taken:"IB" ~fallthru:"OL");
+      ("IB", [ B.addi ~dst:j ~lhs:j 1 ], B.jmp "IH");
+      ("OL", [ B.addi ~dst:i ~lhs:i 1 ], B.jmp "OH");
+      ("EXIT", [], Instr.Halt);
+    ]
+
+let test_nested_loops () =
+  let cfg = nested_loops_cfg () in
+  let info = Loops.compute cfg in
+  Alcotest.(check int) "two loops" 2 (Array.length (Loops.loops info));
+  let inner =
+    List.find (fun l -> l.Loops.depth = 2) (Array.to_list (Loops.loops info))
+  in
+  let outer =
+    List.find (fun l -> l.Loops.depth = 1) (Array.to_list (Loops.loops info))
+  in
+  Alcotest.(check int) "inner size" 2 (Int_set.cardinal inner.Loops.blocks);
+  Alcotest.(check bool) "nesting" true (inner.Loops.parent = Some outer.Loops.index);
+  Alcotest.(check (list int)) "children" [ inner.Loops.index ] outer.Loops.children;
+  let order = Loops.innermost_first info in
+  Alcotest.(check int) "innermost first" 2 (List.hd order).Loops.depth
+
+let test_irreducible () =
+  (* Two entries into a cycle: A -> B, A -> C, B <-> C. *)
+  let g = Reg.Gen.create () in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ("A", [ B.cmpi ~dst:c ~lhs:x 0 ],
+         B.bt ~cr:c ~cond:Instr.Eq ~taken:"B" ~fallthru:"C");
+        ("B", [], B.jmp "C");
+        ("C", [ B.addi ~dst:x ~lhs:x 1 ],
+         B.bt ~cr:c ~cond:Instr.Ne ~taken:"B" ~fallthru:"D");
+        ("D", [], Instr.Halt);
+      ]
+  in
+  let info = Loops.compute cfg in
+  Alcotest.(check bool) "irreducible" false (Loops.reducible info)
+
+let test_regions_structure () =
+  let cfg = nested_loops_cfg () in
+  let regions = Regions.compute cfg in
+  let rs = Regions.regions regions in
+  Alcotest.(check int) "three regions" 3 (List.length rs);
+  (match rs with
+  | first :: _ ->
+      Alcotest.(check int) "innermost first" 2 first.Regions.nesting
+  | [] -> Alcotest.fail "no regions");
+  let top = List.nth rs 2 in
+  Alcotest.(check bool) "toplevel last" true (top.Regions.loop = None);
+  (* The outer loop region excludes the inner loop's blocks. *)
+  let outer = List.nth rs 1 in
+  Alcotest.(check int) "outer own blocks" 3
+    (Int_set.cardinal outer.Regions.own_blocks)
+
+let test_region_view_collapse () =
+  let cfg = nested_loops_cfg () in
+  let regions = Regions.compute cfg in
+  let outer = List.nth (Regions.regions regions) 1 in
+  let view = Regions.view cfg regions outer in
+  Alcotest.(check int) "3 blocks + 1 summary" 4 view.Regions.flow.Flow.num_nodes;
+  Alcotest.(check bool) "acyclic after masking" true
+    (Flow.is_acyclic view.Regions.flow);
+  let summaries =
+    Array.to_list view.Regions.nodes
+    |> List.filter (function Regions.Inner_loop _ -> true | Regions.Block _ -> false)
+  in
+  Alcotest.(check int) "one summary node" 1 (List.length summaries)
+
+let () =
+  Alcotest.run "gis_analysis"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "postorder" `Quick test_postorder;
+          Alcotest.test_case "reachability" `Quick test_reachability;
+          Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+        ] );
+      ( "dominance",
+        [
+          Alcotest.test_case "diamond" `Quick test_dominance_diamond;
+          Alcotest.test_case "postdominance" `Quick test_postdominance_diamond;
+          Alcotest.test_case "vs-naive" `Quick test_dominance_vs_naive;
+        ] );
+      ( "minmax (Figures 3-4)",
+        [
+          Alcotest.test_case "loop shape" `Quick test_minmax_loop_shape;
+          Alcotest.test_case "equivalences" `Quick test_minmax_equivalences;
+          Alcotest.test_case "control deps" `Quick test_minmax_cdg;
+          Alcotest.test_case "speculation degree" `Quick test_minmax_speculation_degree;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "diamond" `Quick test_liveness_diamond;
+          Alcotest.test_case "loop-carried" `Quick test_liveness_loop_carried;
+        ] );
+      ( "reaching",
+        [
+          Alcotest.test_case "sole-def" `Quick test_reaching_sole_def;
+          Alcotest.test_case "merge" `Quick test_reaching_merge;
+          Alcotest.test_case "external" `Quick test_reaching_external;
+        ] );
+      ( "loops/regions",
+        [
+          Alcotest.test_case "minmax" `Quick test_minmax_loop_detect;
+          Alcotest.test_case "nested" `Quick test_nested_loops;
+          Alcotest.test_case "irreducible" `Quick test_irreducible;
+          Alcotest.test_case "regions" `Quick test_regions_structure;
+          Alcotest.test_case "view-collapse" `Quick test_region_view_collapse;
+          Alcotest.test_case "loop-exit postdominance" `Quick
+            test_loop_exit_not_equivalent;
+        ] );
+    ]

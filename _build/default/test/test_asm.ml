@@ -1,0 +1,164 @@
+open Gis_ir
+open Gis_machine
+open Gis_sim
+open Gis_workloads
+
+let machine = Machine.rs6k
+
+let test_roundtrip_minmax () =
+  let t = Minmax.build () in
+  let printed = Asm.print t.Minmax.cfg in
+  let reparsed = Asm.parse printed in
+  Alcotest.(check string) "print . parse . print is the identity" printed
+    (Asm.print reparsed);
+  (* Registers keep their ids, so the same simulator input applies. *)
+  let input = Minmax.input t [ 8; 2; 9; 4; 6; 1 ] in
+  Alcotest.(check string) "same behaviour"
+    (Simulator.observables (Simulator.run machine t.Minmax.cfg input))
+    (Simulator.observables (Simulator.run machine reparsed input))
+
+let test_roundtrip_random () =
+  List.iter
+    (fun seed ->
+      let compiled = Random_prog.generate_compiled ~seed in
+      let cfg = compiled.Gis_frontend.Codegen.cfg in
+      let printed = Asm.print cfg in
+      let reparsed = Asm.parse printed in
+      Validate.check_exn reparsed;
+      Alcotest.(check string) (Fmt.str "fixpoint seed %d" seed) printed
+        (Asm.print reparsed);
+      let input = Random_prog.random_input ~seed compiled in
+      Alcotest.(check string)
+        (Fmt.str "behaviour seed %d" seed)
+        (Simulator.observables (Simulator.run machine cfg input))
+        (Simulator.observables (Simulator.run machine reparsed input)))
+    [ 2; 44; 171; 508; 999 ]
+
+(* A scheduled, rotated graph exercises the explicit-fallthrough
+   arrow (fallthrough != lexically next block). *)
+let test_roundtrip_scheduled () =
+  let t = Minmax.build () in
+  let cfg = Cfg.deep_copy t.Minmax.cfg in
+  ignore (Gis_core.Pipeline.run machine Gis_core.Config.speculative cfg);
+  let printed = Asm.print cfg in
+  let reparsed = Asm.parse printed in
+  Alcotest.(check string) "fixpoint" printed (Asm.print reparsed);
+  let input = Minmax.input t [ 5; 4; 3; 2; 1; 0 ] in
+  Alcotest.(check string) "behaviour"
+    (Simulator.observables (Simulator.run machine cfg input))
+    (Simulator.observables (Simulator.run machine reparsed input))
+
+(* Hand-written text in the paper's Figure 2 notation. *)
+let test_parse_handwritten () =
+  let src =
+    {|
+; the BL1 block of Figure 2, plus an exit
+CL.0:
+  L     r12=mem(r31,4)
+  LU    r0,r31=mem(r31,8)
+  C     cr7=r12,r0
+  BF    CL.4,cr7,gt
+MID:
+  AI   r29=r29,2       # comments work here too
+  B     CL.4
+CL.4:
+  CALL  print_int(r29)
+  HALT
+|}
+  in
+  let cfg = Asm.parse src in
+  Alcotest.(check int) "three blocks" 3 (Cfg.num_blocks cfg);
+  let o =
+    Simulator.run machine cfg
+      {
+        Simulator.no_input with
+        Simulator.memory = [ (1028, 7); (1032, 3) ];
+        int_regs =
+          [
+            (Reg.Gen.reserve (Cfg.regs cfg) Reg.Gpr 31, 1024);
+            (Reg.Gen.reserve (Cfg.regs cfg) Reg.Gpr 29, 10);
+          ];
+      }
+  in
+  (* u=7 > v=3, so the branch falls through to MID: i = 10+2. *)
+  Alcotest.(check (list string)) "runs" [ "print_int(12)" ] o.Simulator.output
+
+let test_parse_implicit_fallthrough_block () =
+  (* A block without a terminator flows into the next one. *)
+  let cfg = Asm.parse "A:\n  LI r1=4\nB:\n  CALL print_int(r1)\n  HALT\n" in
+  let o = Simulator.run machine cfg Simulator.no_input in
+  Alcotest.(check (list string)) "flows" [ "print_int(4)" ] o.Simulator.output
+
+let test_parse_errors () =
+  List.iter
+    (fun (what, src) ->
+      Alcotest.(check bool) what true
+        (match Asm.parse src with
+        | exception Asm.Error _ -> true
+        | _ -> false))
+    [
+      ("empty", "   \n ; nothing\n");
+      ("instr before label", "  LI r1=4\n");
+      ("unknown mnemonic", "A:\n  FROB r1=2\n  HALT\n");
+      ("bad register", "A:\n  LI x9=2\n  HALT\n");
+      ("bad branch target", "A:\n  LI r1=2\n  B NOWHERE\n");
+      ("code after terminator", "A:\n  HALT\n  LI r1=2\n");
+      ("trailing cond branch", "A:\n  C cr1=r0,0\n  BT A,cr1,lt\n");
+      ("update base mismatch", "A:\n  LU r0,r2=mem(r1,4)\n  HALT\n");
+    ]
+
+let test_float_and_update_forms_roundtrip () =
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let f0 = Reg.Gen.fresh g Reg.Fpr in
+  let f1 = Reg.Gen.fresh g Reg.Fpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let r = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    Gis_ir.Builder.func ~reg_gen:g
+      [
+        ( "A",
+          [
+            Gis_ir.Builder.li ~dst:base 64;
+            Gis_ir.Builder.load ~dst:f0 ~base ~offset:0;
+            Gis_ir.Builder.load_update ~dst:x ~base ~offset:8;
+            Gis_ir.Builder.fbinop Instr.Fmul ~dst:f1 ~lhs:f0 ~rhs:f0;
+            Gis_ir.Builder.fcmp ~dst:c ~lhs:f1 ~rhs:f0;
+            Gis_ir.Builder.store_update ~src:x ~base ~offset:4;
+            Gis_ir.Builder.call ~ret:r "runtime_helper" [ x; base ];
+          ],
+          Gis_ir.Builder.bt ~cr:c ~cond:Instr.Ge ~taken:"A" ~fallthru:"B" );
+        ("B", [], Instr.Halt);
+      ]
+  in
+  Validate.check_exn cfg;
+  let printed = Asm.print cfg in
+  let reparsed = Asm.parse printed in
+  Validate.check_exn reparsed;
+  Alcotest.(check string) "fp/update/call fixpoint" printed (Asm.print reparsed)
+
+let test_negative_immediates () =
+  let cfg = Asm.parse "A:\n  LI r1=-7\n  AI r2=r1,-3\n  CALL print_int(r2)\n  HALT\n" in
+  let o = Simulator.run machine cfg Simulator.no_input in
+  Alcotest.(check (list string)) "negatives" [ "print_int(-10)" ] o.Simulator.output
+
+let () =
+  Alcotest.run "gis_asm"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "minmax" `Quick test_roundtrip_minmax;
+          Alcotest.test_case "random programs" `Quick test_roundtrip_random;
+          Alcotest.test_case "scheduled code" `Quick test_roundtrip_scheduled;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "handwritten" `Quick test_parse_handwritten;
+          Alcotest.test_case "implicit fallthrough" `Quick test_parse_implicit_fallthrough_block;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "negative immediates" `Quick test_negative_immediates;
+          Alcotest.test_case "fp/update/call forms" `Quick
+            test_float_and_update_forms_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,107 @@
+open Gis_ir
+open Gis_machine
+module B = Builder
+
+let gen = Reg.Gen.create ()
+let r0 = Reg.Gen.reserve gen Reg.Gpr 0
+let r1 = Reg.Gen.reserve gen Reg.Gpr 1
+let cr0 = Reg.Gen.reserve gen Reg.Cr 0
+let f0 = Reg.Gen.reserve gen Reg.Fpr 0
+let f1 = Reg.Gen.reserve gen Reg.Fpr 1
+let igen = Instr.Gen.create ()
+let mk kind = Instr.Gen.make igen kind
+
+let test_units () =
+  Alcotest.(check int) "rs6k fixed" 1 (Machine.units Machine.rs6k Instr.Fixed);
+  Alcotest.(check int) "rs6k float" 1 (Machine.units Machine.rs6k Instr.Float);
+  Alcotest.(check int) "rs6k branch" 1 (Machine.units Machine.rs6k Instr.Branch);
+  let wide = Machine.superscalar ~width:4 in
+  Alcotest.(check int) "wide fixed" 4 (Machine.units wide Instr.Fixed);
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Machine.superscalar: width must be positive") (fun () ->
+      ignore (Machine.superscalar ~width:0))
+
+let test_exec_times () =
+  let t k = Machine.exec_time Machine.rs6k (mk k) in
+  Alcotest.(check int) "add" 1 (t (B.add ~dst:r0 ~lhs:r0 ~rhs:r1));
+  Alcotest.(check int) "mul" 5 (t (B.mul ~dst:r0 ~lhs:r0 ~rhs:r1));
+  Alcotest.(check int) "div" 19 (t (B.binop Instr.Div ~dst:r0 ~lhs:r0 ~rhs:(Instr.Reg r1)));
+  Alcotest.(check int) "load" 1 (t (B.load ~dst:r0 ~base:r1 ~offset:0));
+  Alcotest.(check int) "fdiv" 19 (t (B.fbinop Instr.Fdiv ~dst:f0 ~lhs:f0 ~rhs:f1));
+  Alcotest.(check int) "fadd" 1 (t (B.fbinop Instr.Fadd ~dst:f0 ~lhs:f0 ~rhs:f1))
+
+(* The four delay rules of Section 2.1. *)
+let test_delays () =
+  let d producer consumer reg =
+    Machine.delay Machine.rs6k ~producer ~consumer ~reg
+  in
+  let load = mk (B.load ~dst:r0 ~base:r1 ~offset:0) in
+  let lu = mk (B.load_update ~dst:r0 ~base:r1 ~offset:8) in
+  let use = mk (B.add ~dst:r1 ~lhs:r0 ~rhs:r0) in
+  let cmp = mk (B.cmp ~dst:cr0 ~lhs:r0 ~rhs:r1) in
+  let fcmp = mk (B.fcmp ~dst:cr0 ~lhs:f0 ~rhs:f1) in
+  let branch = mk (B.bt ~cr:cr0 ~cond:Instr.Lt ~taken:"X" ~fallthru:"Y") in
+  let fadd = mk (B.fbinop Instr.Fadd ~dst:f0 ~lhs:f0 ~rhs:f1) in
+  Alcotest.(check int) "delayed load" 1 (d load use r0);
+  Alcotest.(check int) "lu value delayed" 1 (d lu use r0);
+  Alcotest.(check int) "lu base not delayed" 0 (d lu use r1);
+  Alcotest.(check int) "cmp->branch" 3 (d cmp branch cr0);
+  Alcotest.(check int) "fcmp->branch" 5 (d fcmp branch cr0);
+  Alcotest.(check int) "float result" 1 (d fadd fadd f0);
+  Alcotest.(check int) "alu no delay" 0 (d use use r1);
+  Alcotest.(check int) "cmp->non-branch" 0 (d cmp use cr0)
+
+let test_zero_delay_machine () =
+  let m = Machine.zero_delay_single_issue in
+  let load = mk (B.load ~dst:r0 ~base:r1 ~offset:0) in
+  let use = mk (B.add ~dst:r1 ~lhs:r0 ~rhs:r0) in
+  Alcotest.(check int) "no delay" 0 (Machine.delay m ~producer:load ~consumer:use ~reg:r0);
+  Alcotest.(check int) "unit exec" 1
+    (Machine.exec_time m (mk (B.mul ~dst:r0 ~lhs:r0 ~rhs:r1)))
+
+let test_detailed_model () =
+  let store = mk (B.store ~src:r0 ~base:r1 ~offset:0) in
+  let load = mk (B.load ~dst:r0 ~base:r1 ~offset:0) in
+  let d m = Machine.mem_delay m ~producer:store ~consumer:load in
+  Alcotest.(check int) "rs6k store->load" 0 (d Machine.rs6k);
+  Alcotest.(check int) "detailed store->load" 1 (d Machine.rs6k_detailed);
+  Alcotest.(check int) "detailed load->load" 0
+    (Machine.mem_delay Machine.rs6k_detailed ~producer:load ~consumer:load);
+  (* Primary delays are unchanged on the detailed model. *)
+  let use = mk (B.add ~dst:r1 ~lhs:r0 ~rhs:r0) in
+  Alcotest.(check int) "delayed load still 1" 1
+    (Machine.delay Machine.rs6k_detailed ~producer:load ~consumer:use ~reg:r0)
+
+let test_custom_machine () =
+  let m =
+    Machine.make ~name:"custom" ~fixed_units:2 ~float_units:0 ~branch_units:1
+      ~exec_time:(fun _ -> 2) ()
+  in
+  Alcotest.(check int) "fixed" 2 (Machine.units m Instr.Fixed);
+  Alcotest.(check int) "float" 0 (Machine.units m Instr.Float);
+  Alcotest.(check int) "exec override" 2
+    (Machine.exec_time m (mk (B.li ~dst:r0 1)));
+  (* Default delay rules still apply. *)
+  let cmp = mk (B.cmp ~dst:cr0 ~lhs:r0 ~rhs:r1) in
+  let branch = mk (B.bt ~cr:cr0 ~cond:Instr.Lt ~taken:"X" ~fallthru:"Y") in
+  Alcotest.(check int) "default delays" 3
+    (Machine.delay m ~producer:cmp ~consumer:branch ~reg:cr0);
+  Alcotest.check_raises "no branch unit"
+    (Invalid_argument "Machine.make: need at least one fixed and one branch unit")
+    (fun () ->
+      ignore
+        (Machine.make ~name:"bad" ~fixed_units:1 ~float_units:1 ~branch_units:0 ()))
+
+let () =
+  Alcotest.run "gis_machine"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "units" `Quick test_units;
+          Alcotest.test_case "exec-times" `Quick test_exec_times;
+          Alcotest.test_case "delays" `Quick test_delays;
+          Alcotest.test_case "zero-delay" `Quick test_zero_delay_machine;
+          Alcotest.test_case "detailed model" `Quick test_detailed_model;
+          Alcotest.test_case "custom" `Quick test_custom_machine;
+        ] );
+    ]

@@ -1,0 +1,302 @@
+open Gis_ir
+open Gis_machine
+open Gis_sim
+module B = Builder
+
+let machine = Machine.rs6k
+
+let run ?(input = Simulator.no_input) cfg = Simulator.run machine cfg input
+
+let straight_line kinds =
+  let cfg = Cfg.create () in
+  let b = Cfg.add_block cfg ~label:"A" in
+  Cfg.set_entry cfg b.Block.id;
+  List.iter (fun k -> Gis_util.Vec.push b.Block.body (Cfg.make_instr cfg k)) kinds;
+  cfg
+
+let test_arithmetic () =
+  let g = Reg.Gen.create () in
+  let a = Reg.Gen.fresh g Reg.Gpr in
+  let b = Reg.Gen.fresh g Reg.Gpr in
+  let c = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "A",
+          [
+            B.li ~dst:a 10;
+            B.li ~dst:b 3;
+            B.binop Instr.Mul ~dst:c ~lhs:a ~rhs:(Instr.Reg b);
+            B.call "print_int" [ c ];
+            B.binop Instr.Div ~dst:c ~lhs:a ~rhs:(Instr.Reg b);
+            B.call "print_int" [ c ];
+            B.binop Instr.Rem ~dst:c ~lhs:a ~rhs:(Instr.Reg b);
+            B.call "print_int" [ c ];
+            B.binop Instr.Shl ~dst:c ~lhs:a ~rhs:(Instr.Imm 2);
+            B.call "print_int" [ c ];
+            B.binop Instr.Xor ~dst:c ~lhs:a ~rhs:(Instr.Imm 6);
+            B.call "print_int" [ c ];
+          ],
+          Instr.Halt );
+      ]
+  in
+  let o = run cfg in
+  Alcotest.(check (list string)) "outputs"
+    [ "print_int(30)"; "print_int(3)"; "print_int(1)"; "print_int(40)";
+      "print_int(12)" ]
+    o.Simulator.output;
+  Alcotest.(check bool) "halted" true (o.Simulator.stop = Simulator.Halted)
+
+let test_div_by_zero_traps () =
+  let g = Reg.Gen.create () in
+  let a = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ("A", [ B.li ~dst:a 1; B.binop Instr.Div ~dst:a ~lhs:a ~rhs:(Instr.Imm 0) ],
+         Instr.Halt);
+      ]
+  in
+  match (run cfg).Simulator.stop with
+  | Simulator.Trap _ -> ()
+  | Simulator.Halted | Simulator.Out_of_fuel -> Alcotest.fail "expected trap"
+
+let test_memory_and_update_forms () =
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let y = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "A",
+          [
+            B.li ~dst:base 100;
+            B.li ~dst:x 7;
+            (* STU writes to 104 and leaves base=104. *)
+            B.store_update ~src:x ~base ~offset:4;
+            (* LU reads from 112 and leaves base=112. *)
+            B.load_update ~dst:y ~base ~offset:8;
+            B.call "print_int" [ y ];
+            B.call "print_int" [ base ];
+          ],
+          Instr.Halt );
+      ]
+  in
+  let input =
+    { Simulator.no_input with Simulator.memory = [ (112, 55) ] }
+  in
+  let o = run ~input cfg in
+  Alcotest.(check (list string)) "update semantics"
+    [ "print_int(55)"; "print_int(112)" ]
+    o.Simulator.output;
+  Alcotest.(check bool) "store landed at 104" true
+    (List.mem (104, 7) o.Simulator.final_memory)
+
+let test_branches () =
+  let g = Reg.Gen.create () in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let cfg sel =
+    let cfg =
+      B.func ~reg_gen:g
+        [
+          ("A", [ B.li ~dst:x sel; B.cmpi ~dst:c ~lhs:x 5 ],
+           B.bt ~cr:c ~cond:Instr.Lt ~taken:"LT" ~fallthru:"GE");
+          ("LT", [ B.call "print_int" [ x ] ], Instr.Halt);
+          ("GE", [ B.li ~dst:x 99; B.call "print_int" [ x ] ], Instr.Halt);
+        ]
+    in
+    cfg
+  in
+  Alcotest.(check (list string)) "taken" [ "print_int(3)" ]
+    (run (cfg 3)).Simulator.output;
+  Alcotest.(check (list string)) "fallthru" [ "print_int(99)" ]
+    (run (cfg 7)).Simulator.output
+
+let test_fuel () =
+  let cfg = B.func [ ("A", [], B.jmp "A") ] in
+  let o = Simulator.run ~fuel:100 machine cfg Simulator.no_input in
+  Alcotest.(check bool) "out of fuel" true (o.Simulator.stop = Simulator.Out_of_fuel);
+  Alcotest.(check int) "counted" 100 o.Simulator.instructions
+
+let test_float_path () =
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let fa = Reg.Gen.fresh g Reg.Fpr in
+  let fb = Reg.Gen.fresh g Reg.Fpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "A",
+          [
+            B.li ~dst:base 0;
+            B.load ~dst:fa ~base ~offset:0;
+            B.load ~dst:fb ~base ~offset:8;
+            B.fbinop Instr.Fadd ~dst:fa ~lhs:fa ~rhs:fb;
+            B.fcmp ~dst:c ~lhs:fa ~rhs:fb;
+          ],
+          B.bt ~cr:c ~cond:Instr.Gt ~taken:"BIG" ~fallthru:"SMALL" );
+        ("BIG", [ B.li ~dst:x 1; B.call "print_int" [ x ] ], Instr.Halt);
+        ("SMALL", [ B.li ~dst:x 0; B.call "print_int" [ x ] ], Instr.Halt);
+      ]
+  in
+  let input =
+    { Simulator.no_input with Simulator.float_memory = [ (0, 2.5); (8, 1.5) ] }
+  in
+  let o = run ~input cfg in
+  Alcotest.(check (list string)) "float compare" [ "print_int(1)" ] o.Simulator.output;
+  Alcotest.(check bool) "float memory dumped" true
+    (o.Simulator.final_float_memory = [ (0, 2.5); (8, 1.5) ])
+
+(* ---- timing model ---- *)
+
+let issue_cycles kinds =
+  (* Cycles of a straight-line block, via total cycle count. *)
+  let cfg = straight_line kinds in
+  (run cfg).Simulator.cycles
+
+let test_delayed_load_stall () =
+  let g = Reg.Gen.create () in
+  let a = Reg.Gen.fresh g Reg.Gpr in
+  let b = Reg.Gen.fresh g Reg.Gpr in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  (* load @0; dependent add must wait: ready = 0+1+1 = 2; halt @2. *)
+  let dependent =
+    issue_cycles [ B.load ~dst:a ~base ~offset:0; B.addi ~dst:b ~lhs:a 1 ]
+  in
+  (* independent add issues @1. *)
+  let independent =
+    issue_cycles [ B.load ~dst:a ~base ~offset:0; B.addi ~dst:b ~lhs:base 1 ]
+  in
+  Alcotest.(check bool)
+    (Fmt.str "dependent (%d) slower than independent (%d)" dependent independent)
+    true
+    (dependent = independent + 1)
+
+let test_compare_branch_delay () =
+  let g = Reg.Gen.create () in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ("A", [ B.li ~dst:x 1; B.cmpi ~dst:c ~lhs:x 0 ],
+         B.bt ~cr:c ~cond:Instr.Gt ~taken:"B" ~fallthru:"B");
+        ("B", [], Instr.Halt);
+      ]
+  in
+  (* li@0, cmp@1, branch at 1+1+3=5; B's halt takes the branch unit at
+     6 and completes at 7. *)
+  Alcotest.(check int) "3-cycle compare->branch" 7 (run cfg).Simulator.cycles
+
+let test_detailed_store_load_penalty () =
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let y = Reg.Gen.fresh g Reg.Gpr in
+  let kinds =
+    [ B.store ~src:x ~base ~offset:0; B.load ~dst:y ~base ~offset:4 ]
+  in
+  let cycles m =
+    let cfg = straight_line kinds in
+    (Simulator.run m cfg Simulator.no_input).Simulator.cycles
+  in
+  Alcotest.(check int) "one extra cycle on the detailed model"
+    (cycles Machine.rs6k + 1)
+    (cycles Machine.rs6k_detailed)
+
+let test_parallel_units () =
+  let g = Reg.Gen.create () in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let kinds = [ B.li ~dst:x 1; B.li ~dst:x 2; B.li ~dst:x 3; B.li ~dst:x 4 ] in
+  let narrow = issue_cycles kinds in
+  let cfg = straight_line kinds in
+  let wide = (Simulator.run (Machine.superscalar ~width:4) cfg Simulator.no_input).Simulator.cycles in
+  Alcotest.(check bool)
+    (Fmt.str "4-issue (%d) beats 1-issue (%d)" wide narrow)
+    true (wide < narrow)
+
+(* The paper's Section 3 estimate: Figure 2 runs in 20-22 cycles per
+   iteration depending on how many min/max updates happen. *)
+let test_fcompare_branch_delay () =
+  let g = Reg.Gen.create () in
+  let f0 = Reg.Gen.fresh g Reg.Fpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ("A", [ B.fcmp ~dst:c ~lhs:f0 ~rhs:f0 ],
+         B.bt ~cr:c ~cond:Instr.Eq ~taken:"B" ~fallthru:"B");
+        ("B", [], Instr.Halt);
+      ]
+  in
+  (* fcmp@0; branch at 0+1+5=6; halt@7; done at 8. *)
+  Alcotest.(check int) "5-cycle fcompare->branch" 8 (run cfg).Simulator.cycles
+
+let test_minmax_iteration_bands () =
+  let t = Gis_workloads.Minmax.build () in
+  (* All elements equal: u > v never holds; max updates... choose inputs
+     forcing specific paths. Increasing data: u<v every pair -> the
+     "else" arm with one update (max). *)
+  let increasing = List.init 32 (fun i -> i * 3) in
+  let per_iter =
+    Simulator.cycles_per_iteration machine t.Gis_workloads.Minmax.cfg
+      ~header:t.Gis_workloads.Minmax.loop_header
+      (Gis_workloads.Minmax.input t increasing)
+  in
+  Alcotest.(check bool) (Fmt.str "band (%f)" per_iter) true
+    (per_iter >= 19.0 && per_iter <= 23.0)
+
+let test_cycles_per_iteration_errors () =
+  let t = Gis_workloads.Minmax.build () in
+  (* n = 1: the loop header is never entered twice. *)
+  Alcotest.(check bool) "too few entries" true
+    (match
+       Simulator.cycles_per_iteration machine t.Gis_workloads.Minmax.cfg
+         ~header:t.Gis_workloads.Minmax.loop_header
+         (Gis_workloads.Minmax.input t [ 7 ])
+     with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_observables_stable () =
+  let t = Gis_workloads.Minmax.build () in
+  let input = Gis_workloads.Minmax.input t [ 4; 9; 2; 7; 5; 1 ] in
+  let a = Simulator.run machine t.Gis_workloads.Minmax.cfg input in
+  let b = Simulator.run machine t.Gis_workloads.Minmax.cfg input in
+  Alcotest.(check string) "deterministic" (Simulator.observables a)
+    (Simulator.observables b);
+  let min_v, max_v = Gis_workloads.Minmax.reference_min_max [ 4; 9; 2; 7; 5; 1 ] in
+  Alcotest.(check (list string)) "min/max"
+    [ Fmt.str "print_int(%d)" min_v; Fmt.str "print_int(%d)" max_v ]
+    a.Simulator.output
+
+let () =
+  Alcotest.run "gis_sim"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "div-by-zero" `Quick test_div_by_zero_traps;
+          Alcotest.test_case "memory/update" `Quick test_memory_and_update_forms;
+          Alcotest.test_case "branches" `Quick test_branches;
+          Alcotest.test_case "fuel" `Quick test_fuel;
+          Alcotest.test_case "floats" `Quick test_float_path;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "delayed load" `Quick test_delayed_load_stall;
+          Alcotest.test_case "compare-branch delay" `Quick test_compare_branch_delay;
+          Alcotest.test_case "parallel units" `Quick test_parallel_units;
+          Alcotest.test_case "detailed store->load" `Quick
+            test_detailed_store_load_penalty;
+          Alcotest.test_case "fcompare-branch delay" `Quick test_fcompare_branch_delay;
+          Alcotest.test_case "minmax 20-22" `Quick test_minmax_iteration_bands;
+          Alcotest.test_case "determinism" `Quick test_observables_stable;
+          Alcotest.test_case "cycles-per-iteration errors" `Quick
+            test_cycles_per_iteration_errors;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+open Gis_ir
+open Gis_machine
+open Gis_sim
+open Gis_frontend
+open Gis_workloads
+
+let machine = Machine.rs6k
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 in
+  let b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.bits a) (Prng.bits b)
+  done;
+  let c = Prng.create ~seed:43 in
+  Alcotest.(check bool) "different seed diverges" true
+    (List.init 10 (fun _ -> Prng.bits a) <> List.init 10 (fun _ -> Prng.bits c))
+
+let test_prng_bounds () =
+  let rng = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_minmax_structure () =
+  let t = Minmax.build () in
+  Validate.check_exn t.Minmax.cfg;
+  Alcotest.(check int) "twelve blocks (loop + entry + exit)" 12
+    (Cfg.num_blocks t.Minmax.cfg);
+  (* The paper's register assignment survives construction. *)
+  Alcotest.(check string) "min reg" "r28" (Fmt.str "%a" Reg.pp t.Minmax.min_reg);
+  Alcotest.(check string) "max reg" "r30" (Fmt.str "%a" Reg.pp t.Minmax.max_reg);
+  Alcotest.(check string) "n reg" "r27" (Fmt.str "%a" Reg.pp t.Minmax.n_reg)
+
+let test_minmax_against_reference () =
+  let t = Minmax.build () in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let elements = List.init (2 * (4 + Prng.int rng 20)) (fun _ -> Prng.int rng 500) in
+      let o = Simulator.run machine t.Minmax.cfg (Minmax.input t elements) in
+      let min_v, max_v = Minmax.reference_min_max elements in
+      Alcotest.(check (list string))
+        (Fmt.str "seed %d" seed)
+        [ Fmt.str "print_int(%d)" min_v; Fmt.str "print_int(%d)" max_v ]
+        o.Simulator.output)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_minmax_empty_input () =
+  let t = Minmax.build () in
+  let o = Simulator.run machine t.Minmax.cfg (Minmax.input t [ 7 ]) in
+  (* n = 1: the loop is never entered; min = max = a[0]. *)
+  Alcotest.(check (list string)) "no iterations"
+    [ "print_int(7)"; "print_int(7)" ] o.Simulator.output
+
+let test_section53 () =
+  let s = Section53.build () in
+  Validate.check_exn s.Section53.cfg;
+  let run sel =
+    (Simulator.run machine s.Section53.cfg (Section53.input ~selector:sel s))
+      .Simulator.output
+  in
+  Alcotest.(check (list string)) "true arm" [ "print_int(5)" ] (run 1);
+  Alcotest.(check (list string)) "false arm" [ "print_int(3)" ] (run 0)
+
+let test_proxies_compile_and_run () =
+  List.iter
+    (fun (p : Spec_proxy.t) ->
+      let compiled = Spec_proxy.compile p in
+      Validate.check_exn compiled.Codegen.cfg;
+      let input = p.Spec_proxy.setup compiled in
+      let o = Simulator.run machine compiled.Codegen.cfg input in
+      Alcotest.(check bool)
+        (Fmt.str "%s halted" p.Spec_proxy.name)
+        true
+        (o.Simulator.stop = Simulator.Halted);
+      Alcotest.(check bool)
+        (Fmt.str "%s produced output" p.Spec_proxy.name)
+        true
+        (o.Simulator.output <> []);
+      (* Inputs are deterministic: run twice, observe the same. *)
+      let o2 = Simulator.run machine compiled.Codegen.cfg input in
+      Alcotest.(check string)
+        (Fmt.str "%s deterministic" p.Spec_proxy.name)
+        (Simulator.observables o) (Simulator.observables o2))
+    Spec_proxy.all
+
+let test_proxy_names () =
+  Alcotest.(check (list string)) "paper order"
+    [ "li"; "eqntott"; "espresso"; "gcc" ]
+    (List.map (fun p -> p.Spec_proxy.name) Spec_proxy.all)
+
+let test_random_programs_generate () =
+  List.iter
+    (fun seed ->
+      let compiled = Random_prog.generate_compiled ~seed in
+      Validate.check_exn compiled.Codegen.cfg;
+      let input = Random_prog.random_input ~seed compiled in
+      let o = Simulator.run machine compiled.Codegen.cfg input in
+      (* Generated programs always terminate and always print. *)
+      Alcotest.(check bool) (Fmt.str "seed %d halts" seed) true
+        (o.Simulator.stop = Simulator.Halted);
+      Alcotest.(check bool) (Fmt.str "seed %d prints" seed) true
+        (o.Simulator.output <> []))
+    (List.init 25 (fun i -> i * 13 + 1))
+
+let () =
+  Alcotest.run "gis_workloads"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+        ] );
+      ( "minmax",
+        [
+          Alcotest.test_case "structure" `Quick test_minmax_structure;
+          Alcotest.test_case "vs reference" `Quick test_minmax_against_reference;
+          Alcotest.test_case "degenerate input" `Quick test_minmax_empty_input;
+        ] );
+      ("section53", [ Alcotest.test_case "both arms" `Quick test_section53 ]);
+      ( "spec-proxies",
+        [
+          Alcotest.test_case "compile+run" `Quick test_proxies_compile_and_run;
+          Alcotest.test_case "names" `Quick test_proxy_names;
+        ] );
+      ( "random programs",
+        [ Alcotest.test_case "generate+run" `Quick test_random_programs_generate ] );
+    ]
