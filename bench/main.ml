@@ -2,6 +2,8 @@
    evaluation (Section 6) plus the ablations called out in DESIGN.md.
 
      dune exec bench/main.exe
+     dune exec bench/main.exe -- --json            # also write BENCH_gis.json
+     dune exec bench/main.exe -- --json out.json
 
    Tables:
      E1-E3  Figures 2/5/6 — minmax cycles per iteration at each level
@@ -18,7 +20,9 @@
      A8     extension     — restricted scheduling-with-duplication
 
    E4 uses Bechamel (one Test.make per program+configuration); the other
-   tables are simulator measurements, which are deterministic. *)
+   tables are simulator measurements, which are deterministic. Every
+   table function returns its data as JSON so --json can dump the whole
+   evaluation machine-readably. *)
 
 open Gis_ir
 open Gis_machine
@@ -26,6 +30,7 @@ open Gis_core
 open Gis_sim
 open Gis_frontend
 open Gis_workloads
+open Gis_obs
 
 let rs6k = Machine.rs6k
 
@@ -56,12 +61,30 @@ let bench_figures_256 () =
     ignore (Pipeline.run rs6k (fig_config level) cfg);
     Simulator.cycles_per_iteration rs6k cfg ~header:t.Minmax.loop_header input
   in
+  let rows =
+    [
+      ("Figure 2 (base, local)", "local", "20-22", measure Config.Local);
+      ("Figure 5 (useful only)", "useful", "12-13", measure Config.Useful);
+      ("Figure 6 (+speculative)", "speculative", "11-12",
+       measure Config.Speculative);
+    ]
+  in
   Fmt.pr "  %-26s | paper      | measured@." "schedule";
   Fmt.pr "  %-26s-+------------+---------@." (String.make 26 '-');
-  let row name paper v = Fmt.pr "  %-26s | %-10s | %5.1f@." name paper v in
-  row "Figure 2 (base, local)" "20-22" (measure Config.Local);
-  row "Figure 5 (useful only)" "12-13" (measure Config.Useful);
-  row "Figure 6 (+speculative)" "11-12" (measure Config.Speculative)
+  List.iter
+    (fun (name, _, paper, v) -> Fmt.pr "  %-26s | %-10s | %5.1f@." name paper v)
+    rows;
+  Json.List
+    (List.map
+       (fun (name, level, paper, v) ->
+         Json.Obj
+           [
+             ("figure", Json.String name);
+             ("level", Json.String level);
+             ("paper_cycles", Json.String paper);
+             ("cycles_per_iteration", Json.Float v);
+           ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* E4: Figure 7 — compile-time overhead, via Bechamel                  *)
@@ -92,37 +115,47 @@ let bench_figure7 () =
     "  (BASE = parse + lower + local scheduling; CTO = extra time for the \
      full global pipeline)@.";
   Fmt.pr "  %-10s | base (us) | full (us) | CTO meas. | CTO paper@." "program";
-  List.iter
-    (fun (p : Spec_proxy.t) ->
-      let compile config () =
-        let compiled = Codegen.compile_string p.Spec_proxy.source in
-        ignore (Pipeline.run rs6k config compiled.Codegen.cfg)
-      in
-      let t_base =
-        nanoseconds_of_test
-          (Bechamel.Test.make
-             ~name:(p.Spec_proxy.name ^ "-base")
-             (Bechamel.Staged.stage (compile Config.base)))
-      in
-      let t_full =
-        nanoseconds_of_test
-          (Bechamel.Test.make
-             ~name:(p.Spec_proxy.name ^ "-full")
-             (Bechamel.Staged.stage (compile Config.speculative)))
-      in
-      let paper_cto =
-        match p.Spec_proxy.name with
-        | "li" -> "13%"
-        | "eqntott" -> "17%"
-        | "espresso" -> "12%"
-        | "gcc" -> "13%"
-        | _ -> "?"
-      in
-      Fmt.pr "  %-10s | %9.1f | %9.1f | %+8.0f%% | %s@." p.Spec_proxy.name
-        (t_base /. 1e3) (t_full /. 1e3)
-        (100.0 *. ((t_full /. t_base) -. 1.0))
-        paper_cto)
-    Spec_proxy.all
+  let rows =
+    List.map
+      (fun (p : Spec_proxy.t) ->
+        let compile config () =
+          let compiled = Codegen.compile_string p.Spec_proxy.source in
+          ignore (Pipeline.run rs6k config compiled.Codegen.cfg)
+        in
+        let t_base =
+          nanoseconds_of_test
+            (Bechamel.Test.make
+               ~name:(p.Spec_proxy.name ^ "-base")
+               (Bechamel.Staged.stage (compile Config.base)))
+        in
+        let t_full =
+          nanoseconds_of_test
+            (Bechamel.Test.make
+               ~name:(p.Spec_proxy.name ^ "-full")
+               (Bechamel.Staged.stage (compile Config.speculative)))
+        in
+        let paper_cto =
+          match p.Spec_proxy.name with
+          | "li" -> "13%"
+          | "eqntott" -> "17%"
+          | "espresso" -> "12%"
+          | "gcc" -> "13%"
+          | _ -> "?"
+        in
+        let cto = 100.0 *. ((t_full /. t_base) -. 1.0) in
+        Fmt.pr "  %-10s | %9.1f | %9.1f | %+8.0f%% | %s@." p.Spec_proxy.name
+          (t_base /. 1e3) (t_full /. 1e3) cto paper_cto;
+        Json.Obj
+          [
+            ("program", Json.String p.Spec_proxy.name);
+            ("base_us", Json.Float (t_base /. 1e3));
+            ("full_us", Json.Float (t_full /. 1e3));
+            ("cto_percent", Json.Float cto);
+            ("paper_cto", Json.String paper_cto);
+          ])
+      Spec_proxy.all
+  in
+  Json.List rows
 
 (* ------------------------------------------------------------------ *)
 (* E5: Figure 8 — run-time improvement                                 *)
@@ -133,23 +166,37 @@ let bench_figure8 () =
   Fmt.pr "  %-10s | base cyc | useful RTI (paper) | spec RTI (paper)@." "program";
   let paper = [ ("li", ("2.0%", "6.9%")); ("eqntott", ("7.1%", "7.3%"));
                 ("espresso", ("-0.5%", "0%")); ("gcc", ("-1.5%", "0%")) ] in
-  List.iter
-    (fun (p : Spec_proxy.t) ->
-      let compiled = Spec_proxy.compile p in
-      let input = p.Spec_proxy.setup compiled in
-      let cycles config =
-        let cfg = Cfg.deep_copy compiled.Codegen.cfg in
-        ignore (Pipeline.run rs6k config cfg);
-        (Simulator.run rs6k cfg input).Simulator.cycles
-      in
-      let base = cycles Config.base in
-      let useful = cycles Config.useful_only in
-      let spec = cycles Config.speculative in
-      let rti x = 100.0 *. (1.0 -. (float_of_int x /. float_of_int base)) in
-      let pu, ps = List.assoc p.Spec_proxy.name paper in
-      Fmt.pr "  %-10s | %8d | %8.1f%% (%5s) | %8.1f%% (%4s)@."
-        p.Spec_proxy.name base (rti useful) pu (rti spec) ps)
-    Spec_proxy.all
+  let rows =
+    List.map
+      (fun (p : Spec_proxy.t) ->
+        let compiled = Spec_proxy.compile p in
+        let input = p.Spec_proxy.setup compiled in
+        let cycles config =
+          let cfg = Cfg.deep_copy compiled.Codegen.cfg in
+          ignore (Pipeline.run rs6k config cfg);
+          (Simulator.run rs6k cfg input).Simulator.cycles
+        in
+        let base = cycles Config.base in
+        let useful = cycles Config.useful_only in
+        let spec = cycles Config.speculative in
+        let rti x = 100.0 *. (1.0 -. (float_of_int x /. float_of_int base)) in
+        let pu, ps = List.assoc p.Spec_proxy.name paper in
+        Fmt.pr "  %-10s | %8d | %8.1f%% (%5s) | %8.1f%% (%4s)@."
+          p.Spec_proxy.name base (rti useful) pu (rti spec) ps;
+        Json.Obj
+          [
+            ("program", Json.String p.Spec_proxy.name);
+            ("base_cycles", Json.Int base);
+            ("useful_cycles", Json.Int useful);
+            ("speculative_cycles", Json.Int spec);
+            ("useful_rti_percent", Json.Float (rti useful));
+            ("speculative_rti_percent", Json.Float (rti spec));
+            ("paper_useful_rti", Json.String pu);
+            ("paper_speculative_rti", Json.String ps);
+          ])
+      Spec_proxy.all
+  in
+  Json.List rows
 
 (* ------------------------------------------------------------------ *)
 (* E6: Section 5.3 — the rejected motion                               *)
@@ -161,12 +208,21 @@ let bench_section53 () =
   let reports =
     Global_sched.schedule rs6k (fig_config Config.Speculative) s.Section53.cfg
   in
+  let moved = ref [] and blocked = ref [] in
   List.iter
     (fun (r : Global_sched.region_report) ->
       List.iter
         (fun (m : Global_sched.move) ->
           Fmt.pr "  moved:   uid %d  %a -> %a@." m.Global_sched.uid Label.pp
-            m.Global_sched.from_label Label.pp m.Global_sched.to_label)
+            m.Global_sched.from_label Label.pp m.Global_sched.to_label;
+          moved :=
+            Json.Obj
+              [
+                ("uid", Json.Int m.Global_sched.uid);
+                ("from", Json.String m.Global_sched.from_label);
+                ("to", Json.String m.Global_sched.to_label);
+              ]
+            :: !moved)
         r.Global_sched.moves;
       List.iter
         (fun (b : Global_sched.blocked) ->
@@ -175,10 +231,22 @@ let bench_section53 () =
             | `Live_on_exit reg -> Fmt.str "%a live on exit" Reg.pp reg
             | `Rename_unsafe reg -> Fmt.str "%a not renameable" Reg.pp reg
           in
-          Fmt.pr "  blocked: uid %d  (%s)@." b.Global_sched.blocked_uid reason)
+          Fmt.pr "  blocked: uid %d  (%s)@." b.Global_sched.blocked_uid reason;
+          blocked :=
+            Json.Obj
+              [
+                ("uid", Json.Int b.Global_sched.blocked_uid);
+                ("reason", Json.String reason);
+              ]
+            :: !blocked)
         r.Global_sched.blocked)
     reports;
-  Fmt.pr "  (the paper requires exactly one of x=5 / x=3 to move)@."
+  Fmt.pr "  (the paper requires exactly one of x=5 / x=3 to move)@.";
+  Json.Obj
+    [
+      ("moved", Json.List (List.rev !moved));
+      ("blocked", Json.List (List.rev !blocked));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* A1: issue-width sweep                                               *)
@@ -197,26 +265,38 @@ let bench_width_sweep () =
          Spec_proxy.all
   in
   Fmt.pr "  %-10s |  width 1 |  width 2 |  width 4 |  width 8@." "program";
-  List.iter
-    (fun (name, (cfg0, input)) ->
-      let rtis =
-        List.map
-          (fun width ->
-            let machine = Machine.superscalar ~width in
-            let cycles config =
-              let cfg = Cfg.deep_copy cfg0 in
-              ignore (Pipeline.run machine config cfg);
-              (Simulator.run machine cfg input).Simulator.cycles
-            in
-            let base = cycles Config.base in
-            let spec = cycles Config.speculative in
-            100.0 *. (1.0 -. (float_of_int spec /. float_of_int base)))
-          [ 1; 2; 4; 8 ]
-      in
-      Fmt.pr "  %-10s |%a@." name
-        Fmt.(list ~sep:(any " |") (fun ppf -> pf ppf "%8.1f%%"))
-        rtis)
-    programs
+  let rows =
+    List.map
+      (fun (name, (cfg0, input)) ->
+        let rtis =
+          List.map
+            (fun width ->
+              let machine = Machine.superscalar ~width in
+              let cycles config =
+                let cfg = Cfg.deep_copy cfg0 in
+                ignore (Pipeline.run machine config cfg);
+                (Simulator.run machine cfg input).Simulator.cycles
+              in
+              let base = cycles Config.base in
+              let spec = cycles Config.speculative in
+              (width, 100.0 *. (1.0 -. (float_of_int spec /. float_of_int base))))
+            [ 1; 2; 4; 8 ]
+        in
+        Fmt.pr "  %-10s |%a@." name
+          Fmt.(list ~sep:(any " |") (fun ppf (_, r) -> pf ppf "%8.1f%%" r))
+          rtis;
+        Json.Obj
+          [
+            ("program", Json.String name);
+            ( "rti_percent_by_width",
+              Json.Obj
+                (List.map
+                   (fun (w, r) -> (string_of_int w, Json.Float r))
+                   rtis) );
+          ])
+      programs
+  in
+  Json.List rows
 
 (* ------------------------------------------------------------------ *)
 (* A2: heuristic-order ablation                                        *)
@@ -246,18 +326,27 @@ let bench_heuristics () =
   Fmt.pr "  %-24s" "priority rules";
   List.iter (fun (name, _) -> Fmt.pr " | %8s" name) programs;
   Fmt.pr "@.";
-  List.iter
-    (fun (label, rules) ->
-      Fmt.pr "  %-24s" label;
-      List.iter
-        (fun (_, (cfg0, input)) ->
-          let cfg = Cfg.deep_copy cfg0 in
-          ignore
-            (Pipeline.run rs6k { Config.speculative with Config.rules } cfg);
-          Fmt.pr " | %8d" (Simulator.run rs6k cfg input).Simulator.cycles)
-        programs;
-      Fmt.pr "@.")
-    orders
+  let rows =
+    List.map
+      (fun (label, rules) ->
+        Fmt.pr "  %-24s" label;
+        let cells =
+          List.map
+            (fun (name, (cfg0, input)) ->
+              let cfg = Cfg.deep_copy cfg0 in
+              ignore
+                (Pipeline.run rs6k { Config.speculative with Config.rules } cfg);
+              let c = (Simulator.run rs6k cfg input).Simulator.cycles in
+              Fmt.pr " | %8d" c;
+              (name, Json.Int c))
+            programs
+        in
+        Fmt.pr "@.";
+        Json.Obj
+          [ ("rules", Json.String label); ("cycles", Json.Obj cells) ])
+      orders
+  in
+  Json.List rows
 
 (* ------------------------------------------------------------------ *)
 (* A3: design-choice ablation                                          *)
@@ -293,17 +382,26 @@ let bench_ablation () =
   Fmt.pr "  %-24s" "configuration";
   List.iter (fun (name, _) -> Fmt.pr " | %8s" name) programs;
   Fmt.pr "@.";
-  List.iter
-    (fun (label, config) ->
-      Fmt.pr "  %-24s" label;
-      List.iter
-        (fun (_, (cfg0, input)) ->
-          let cfg = Cfg.deep_copy cfg0 in
-          ignore (Pipeline.run rs6k config cfg);
-          Fmt.pr " | %8d" (Simulator.run rs6k cfg input).Simulator.cycles)
-        programs;
-      Fmt.pr "@.")
-    variants
+  let rows =
+    List.map
+      (fun (label, config) ->
+        Fmt.pr "  %-24s" label;
+        let cells =
+          List.map
+            (fun (name, (cfg0, input)) ->
+              let cfg = Cfg.deep_copy cfg0 in
+              ignore (Pipeline.run rs6k config cfg);
+              let c = (Simulator.run rs6k cfg input).Simulator.cycles in
+              Fmt.pr " | %8d" c;
+              (name, Json.Int c))
+            programs
+        in
+        Fmt.pr "@.";
+        Json.Obj
+          [ ("configuration", Json.String label); ("cycles", Json.Obj cells) ])
+      variants
+  in
+  Json.List rows
 
 (* ------------------------------------------------------------------ *)
 (* A4-A6: extension ablations                                          *)
@@ -329,74 +427,120 @@ let run_variant cfg0 input config =
   in
   ((Simulator.run rs6k cfg input).Simulator.cycles, List.length moves, renames)
 
+let variant_json (cycles, moves, renames) =
+  Json.Obj
+    [
+      ("cycles", Json.Int cycles);
+      ("moves", Json.Int moves);
+      ("renames", Json.Int renames);
+    ]
+
 let bench_webs () =
   hr "A4: register-web splitting (Section 4.2 renaming pre-pass)";
   Fmt.pr "  %-10s | webs off: cyc/moves/renames | webs on: cyc/moves/renames@."
     "program";
-  List.iter
-    (fun (name, (cfg0, input)) ->
-      let c0, m0, r0 = run_variant cfg0 input Config.speculative in
-      let c1, m1, r1 =
-        run_variant cfg0 input { Config.speculative with Config.split_webs = true }
-      in
-      Fmt.pr "  %-10s | %9d / %3d / %2d       | %9d / %3d / %2d@." name c0 m0 r0
-        c1 m1 r1)
-    (proxy_programs ())
+  let rows =
+    List.map
+      (fun (name, (cfg0, input)) ->
+        let ((c0, m0, r0) as off) = run_variant cfg0 input Config.speculative in
+        let ((c1, m1, r1) as on) =
+          run_variant cfg0 input
+            { Config.speculative with Config.split_webs = true }
+        in
+        Fmt.pr "  %-10s | %9d / %3d / %2d       | %9d / %3d / %2d@." name c0 m0
+          r0 c1 m1 r1;
+        Json.Obj
+          [
+            ("program", Json.String name);
+            ("webs_off", variant_json off);
+            ("webs_on", variant_json on);
+          ])
+      (proxy_programs ())
+  in
+  Json.List rows
 
 let bench_speculation_degree () =
   hr "A5: speculation degree (Definition 7; paper prototype = 1)";
   Fmt.pr "  %-10s |  degree 1 (moves) |  degree 2 (moves) |  degree 3 (moves)@."
     "program";
-  List.iter
-    (fun (name, (cfg0, input)) ->
-      let cells =
-        List.map
-          (fun d ->
-            let c, m, _ =
-              run_variant cfg0 input
-                { Config.speculative with Config.max_speculation_degree = d }
-            in
-            (c, m))
-          [ 1; 2; 3 ]
-      in
-      Fmt.pr "  %-10s |%a@." name
-        Fmt.(
-          list ~sep:(any " |") (fun ppf (c, m) -> pf ppf " %8d (%3d)" c m))
-        cells)
-    (proxy_programs ())
+  let rows =
+    List.map
+      (fun (name, (cfg0, input)) ->
+        let cells =
+          List.map
+            (fun d ->
+              let c, m, _ =
+                run_variant cfg0 input
+                  { Config.speculative with Config.max_speculation_degree = d }
+              in
+              (d, c, m))
+            [ 1; 2; 3 ]
+        in
+        Fmt.pr "  %-10s |%a@." name
+          Fmt.(
+            list ~sep:(any " |") (fun ppf (_, c, m) -> pf ppf " %8d (%3d)" c m))
+          cells;
+        Json.Obj
+          [
+            ("program", Json.String name);
+            ( "by_degree",
+              Json.Obj
+                (List.map
+                   (fun (d, c, m) ->
+                     ( string_of_int d,
+                       Json.Obj
+                         [ ("cycles", Json.Int c); ("moves", Json.Int m) ] ))
+                   cells) );
+          ])
+      (proxy_programs ())
+  in
+  Json.List rows
 
 let bench_profile_guided () =
   hr "A6: profile-guided speculation (threshold on execution probability)";
   Fmt.pr "  %-10s | blind cyc/spec-moves | guided 0.3 | guided 0.7@." "program";
-  List.iter
-    (fun (name, (cfg0, input)) ->
-      let profile = Simulator.profile_fn (Simulator.run rs6k cfg0 input) in
-      let cell threshold =
-        let config =
-          if threshold <= 0.0 then Config.speculative
-          else
-            {
-              Config.speculative with
-              Config.profile = Some profile;
-              min_speculation_probability = threshold;
-            }
+  let rows =
+    List.map
+      (fun (name, (cfg0, input)) ->
+        let profile = Simulator.profile_fn (Simulator.run rs6k cfg0 input) in
+        let cell threshold =
+          let config =
+            if threshold <= 0.0 then Config.speculative
+            else
+              {
+                Config.speculative with
+                Config.profile = Some profile;
+                min_speculation_probability = threshold;
+              }
+          in
+          let cfg = Cfg.deep_copy cfg0 in
+          let stats = Pipeline.run rs6k config cfg in
+          let spec_moves =
+            List.length
+              (List.filter
+                 (fun (m : Global_sched.move) -> m.Global_sched.speculative)
+                 (Pipeline.moves stats))
+          in
+          ((Simulator.run rs6k cfg input).Simulator.cycles, spec_moves)
         in
-        let cfg = Cfg.deep_copy cfg0 in
-        let stats = Pipeline.run rs6k config cfg in
-        let spec_moves =
-          List.length
-            (List.filter
-               (fun (m : Global_sched.move) -> m.Global_sched.speculative)
-               (Pipeline.moves stats))
+        let b, bm = cell 0.0 in
+        let g3, g3m = cell 0.3 in
+        let g7, g7m = cell 0.7 in
+        Fmt.pr "  %-10s | %10d / %3d     | %6d/%3d | %6d/%3d@." name b bm g3
+          g3m g7 g7m;
+        let cell_json (c, m) =
+          Json.Obj [ ("cycles", Json.Int c); ("spec_moves", Json.Int m) ]
         in
-        ((Simulator.run rs6k cfg input).Simulator.cycles, spec_moves)
-      in
-      let b, bm = cell 0.0 in
-      let g3, g3m = cell 0.3 in
-      let g7, g7m = cell 0.7 in
-      Fmt.pr "  %-10s | %10d / %3d     | %6d/%3d | %6d/%3d@." name b bm g3 g3m
-        g7 g7m)
-    (proxy_programs ())
+        Json.Obj
+          [
+            ("program", Json.String name);
+            ("blind", cell_json (b, bm));
+            ("guided_0_3", cell_json (g3, g3m));
+            ("guided_0_7", cell_json (g7, g7m));
+          ])
+      (proxy_programs ())
+  in
+  Json.List rows
 
 let stencil_program () =
   (* A store-then-reload kernel: the detailed model's store->load delay
@@ -442,19 +586,28 @@ let bench_two_model () =
      the local post-pass may know about)@.";
   Fmt.pr "  %-10s | coarse post-pass | detailed post-pass@." "program";
   let detailed = Machine.rs6k_detailed in
-  List.iter
-    (fun (name, (cfg0, input)) ->
-      let run config =
-        let cfg = Cfg.deep_copy cfg0 in
-        ignore (Pipeline.run rs6k config cfg);
-        (Simulator.run detailed cfg input).Simulator.cycles
-      in
-      let coarse = run Config.speculative in
-      let refined =
-        run { Config.speculative with Config.local_machine = Some detailed }
-      in
-      Fmt.pr "  %-10s | %16d | %16d@." name coarse refined)
-    (proxy_programs () @ [ stencil_program () ])
+  let rows =
+    List.map
+      (fun (name, (cfg0, input)) ->
+        let run config =
+          let cfg = Cfg.deep_copy cfg0 in
+          ignore (Pipeline.run rs6k config cfg);
+          (Simulator.run detailed cfg input).Simulator.cycles
+        in
+        let coarse = run Config.speculative in
+        let refined =
+          run { Config.speculative with Config.local_machine = Some detailed }
+        in
+        Fmt.pr "  %-10s | %16d | %16d@." name coarse refined;
+        Json.Obj
+          [
+            ("program", Json.String name);
+            ("coarse_cycles", Json.Int coarse);
+            ("detailed_cycles", Json.Int refined);
+          ])
+      (proxy_programs () @ [ stencil_program () ])
+  in
+  Json.List rows
 
 (* A diamond join fed by a slow divide: only duplication can lift the
    join's dependent add into the arms (see test_extensions.ml). *)
@@ -491,42 +644,100 @@ let join_div_program () =
 let bench_duplication () =
   hr "A8: scheduling with duplication (Definition 6 / Section 7 future work)";
   Fmt.pr "  %-10s | off: cyc | on: cyc | duplicated motions@." "program";
-  List.iter
-    (fun (name, (cfg0, input)) ->
-      let run on =
-        let cfg = Cfg.deep_copy cfg0 in
-        let stats =
-          Pipeline.run rs6k
-            { Config.speculative with Config.allow_duplication = on }
-            cfg
+  let rows =
+    List.map
+      (fun (name, (cfg0, input)) ->
+        let run on =
+          let cfg = Cfg.deep_copy cfg0 in
+          let stats =
+            Pipeline.run rs6k
+              { Config.speculative with Config.allow_duplication = on }
+              cfg
+          in
+          let dups =
+            List.length
+              (List.filter
+                 (fun (m : Global_sched.move) ->
+                   m.Global_sched.duplicated_into <> [])
+                 (Pipeline.moves stats))
+          in
+          ((Simulator.run rs6k cfg input).Simulator.cycles, dups)
         in
-        let dups =
-          List.length
-            (List.filter
-               (fun (m : Global_sched.move) -> m.Global_sched.duplicated_into <> [])
-               (Pipeline.moves stats))
-        in
-        ((Simulator.run rs6k cfg input).Simulator.cycles, dups)
-      in
-      let off, _ = run false in
-      let on, dups = run true in
-      Fmt.pr "  %-10s | %8d | %7d | %d@." name off on dups)
-    (proxy_programs () @ [ stencil_program (); join_div_program () ]);
-  Fmt.pr "  (off by default: the paper's prototype forbids duplication)@."
+        let off, _ = run false in
+        let on, dups = run true in
+        Fmt.pr "  %-10s | %8d | %7d | %d@." name off on dups;
+        Json.Obj
+          [
+            ("program", Json.String name);
+            ("off_cycles", Json.Int off);
+            ("on_cycles", Json.Int on);
+            ("duplicated_moves", Json.Int dups);
+          ])
+      (proxy_programs () @ [ stencil_program (); join_div_program () ])
+  in
+  Fmt.pr "  (off by default: the paper's prototype forbids duplication)@.";
+  Json.List rows
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_target () =
+  (* Manual flag parsing: `--json` (default BENCH_gis.json) or
+     `--json FILE`. Anything else is rejected loudly. *)
+  match Array.to_list Sys.argv with
+  | _ :: [] -> None
+  | [ _; "--json" ] -> Some "BENCH_gis.json"
+  | [ _; "--json"; file ] -> Some file
+  | _ :: rest ->
+      Fmt.epr "usage: %s [--json [FILE]] (got: %s)@." Sys.argv.(0)
+        (String.concat " " rest);
+      exit 2
+  | [] -> None
 
 let () =
+  let json_file = json_target () in
   Fmt.pr "Global Instruction Scheduling for Superscalar Machines@.";
   Fmt.pr "Bernstein & Rodeh, PLDI 1991 — benchmark reproduction@.";
-  bench_figures_256 ();
-  bench_figure8 ();
-  bench_section53 ();
-  bench_width_sweep ();
-  bench_heuristics ();
-  bench_ablation ();
-  bench_webs ();
-  bench_speculation_degree ();
-  bench_profile_guided ();
-  bench_two_model ();
-  bench_duplication ();
-  bench_figure7 ();
+  let e1_e3 = bench_figures_256 () in
+  let e5 = bench_figure8 () in
+  let e6 = bench_section53 () in
+  let a1 = bench_width_sweep () in
+  let a2 = bench_heuristics () in
+  let a3 = bench_ablation () in
+  let a4 = bench_webs () in
+  let a5 = bench_speculation_degree () in
+  let a6 = bench_profile_guided () in
+  let a7 = bench_two_model () in
+  let a8 = bench_duplication () in
+  let e4 = bench_figure7 () in
+  (match json_file with
+  | None -> ()
+  | Some path ->
+      let report =
+        Json.Obj
+          [
+            ( "paper",
+              Json.String
+                "Global Instruction Scheduling for Superscalar Machines \
+                 (Bernstein & Rodeh, PLDI 1991)" );
+            ("E1_E3_figures_2_5_6", e1_e3);
+            ("E4_figure7_compile_time", e4);
+            ("E5_figure8_runtime", e5);
+            ("E6_section53_safety", e6);
+            ("A1_width_sweep", a1);
+            ("A2_heuristic_order", a2);
+            ("A3_design_ablation", a3);
+            ("A4_register_webs", a4);
+            ("A5_speculation_degree", a5);
+            ("A6_profile_guided", a6);
+            ("A7_two_model", a7);
+            ("A8_duplication", a8);
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string report);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "@.tables written to %s@." path);
   Fmt.pr "@.done.@."

@@ -6,6 +6,8 @@
 
      gisc --workload minmax --level speculative --show-code --simulate
      gisc my_program.tc --level useful --width 4 --simulate
+     gisc --workload minmax --simulate --trace-issue
+     gisc --workload minmax --simulate --stats out.json
 *)
 
 open Gis_ir
@@ -14,6 +16,7 @@ open Gis_core
 open Gis_sim
 open Gis_frontend
 open Gis_workloads
+open Gis_obs
 open Cmdliner
 
 type source =
@@ -41,8 +44,8 @@ let load_source = function
             (List.map fst builtin_workloads);
           exit 2)
 
-let default_input compiled ~elements =
-  let rng = Prng.create ~seed:3 in
+let default_input compiled ~elements ~seed =
+  let rng = Prng.create ~seed in
   let arrays =
     List.map
       (fun (name, _, len) ->
@@ -60,7 +63,38 @@ let default_input compiled ~elements =
     memory = Codegen.array_input compiled arrays;
   }
 
-let run_gisc source level width show_code simulate elements verbose =
+let move_to_json (m : Global_sched.move) =
+  Json.Obj
+    [
+      ("uid", Json.Int m.Global_sched.uid);
+      ("from", Json.String m.Global_sched.from_label);
+      ("to", Json.String m.Global_sched.to_label);
+      ("speculative", Json.Bool m.Global_sched.speculative);
+      ( "renamed",
+        match m.Global_sched.renamed with
+        | None -> Json.Null
+        | Some (a, b) ->
+            Json.Obj
+              [
+                ("from_reg", Json.String (Fmt.str "%a" Reg.pp a));
+                ("to_reg", Json.String (Fmt.str "%a" Reg.pp b));
+              ] );
+      ( "duplicated_into",
+        Json.List
+          (List.map (fun l -> Json.String l) m.Global_sched.duplicated_into) );
+    ]
+
+let outcome_to_json (o : Simulator.outcome) =
+  Json.Obj
+    [
+      ("stop", Json.String (Fmt.str "%a" Simulator.pp_stop_reason o.Simulator.stop));
+      ("cycles", Json.Int o.Simulator.cycles);
+      ("instructions", Json.Int o.Simulator.instructions);
+      ("telemetry", Trace.to_json o.Simulator.telemetry);
+    ]
+
+let run_gisc source level width show_code simulate elements seed trace_issue
+    stats_file verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -69,6 +103,7 @@ let run_gisc source level width show_code simulate elements verbose =
   let machine =
     if width = 1 then Machine.rs6k else Machine.superscalar ~width
   in
+  let sink, sink_events = Sink.memory () in
   let config =
     match level with
     | "local" -> Config.base
@@ -78,6 +113,7 @@ let run_gisc source level width show_code simulate elements verbose =
         Fmt.epr "unknown level %s (local|useful|speculative)@." other;
         exit 2
   in
+  let config = { config with Config.obs = sink } in
   let compile_input () =
     (* Files ending in .s hold pseudo-assembly in the paper's Figure 2
        notation; everything else is Tiny-C. *)
@@ -107,29 +143,93 @@ let run_gisc source level width show_code simulate elements verbose =
       List.iter
         (fun m -> Fmt.pr "  %a@." Global_sched.pp_move m)
         (Pipeline.moves stats);
+      if verbose then
+        List.iter
+          (fun s -> Fmt.pr "  phase %a@." Span.pp s)
+          stats.Pipeline.phases;
       if show_code then Fmt.pr "@.%a@." Cfg.pp cfg;
-      if simulate then begin
-        let input = default_input compiled ~elements in
-        let ob = Simulator.run machine baseline input in
-        let os = Simulator.run machine cfg input in
-        if
-          not
-            (String.equal (Simulator.observables ob) (Simulator.observables os))
-        then begin
-          Fmt.epr "INTERNAL ERROR: scheduling changed observable behaviour@.";
-          exit 3
-        end;
-        Fmt.pr "@.simulation (%d array elements):@." elements;
-        Fmt.pr "  base      %7d cycles, %6d instructions@." ob.Simulator.cycles
-          ob.Simulator.instructions;
-        Fmt.pr "  scheduled %7d cycles, %6d instructions (%.1f%% faster)@."
-          os.Simulator.cycles os.Simulator.instructions
-          (100.0
-          *. (1.0 -. (float_of_int os.Simulator.cycles /. float_of_int ob.Simulator.cycles)));
-        Fmt.pr "  output: %a@."
-          Fmt.(list ~sep:comma string)
-          os.Simulator.output
-      end
+      let simulation =
+        if not simulate then None
+        else begin
+          let input = default_input compiled ~elements ~seed in
+          let ob = Simulator.run machine baseline input in
+          let os = Simulator.run ~trace:trace_issue machine cfg input in
+          if
+            not
+              (String.equal (Simulator.observables ob) (Simulator.observables os))
+          then begin
+            Fmt.epr "INTERNAL ERROR: scheduling changed observable behaviour@.";
+            Fmt.epr "--- base observables ---@.%s@." (Simulator.observables ob);
+            Fmt.epr "--- scheduled observables ---@.%s@."
+              (Simulator.observables os);
+            exit 3
+          end;
+          Fmt.pr "@.simulation (%d array elements):@." elements;
+          Fmt.pr "  base      %7d cycles, %6d instructions@." ob.Simulator.cycles
+            ob.Simulator.instructions;
+          Fmt.pr "  scheduled %7d cycles, %6d instructions (%.1f%% faster)@."
+            os.Simulator.cycles os.Simulator.instructions
+            (100.0
+            *. (1.0 -. (float_of_int os.Simulator.cycles /. float_of_int ob.Simulator.cycles)));
+          Fmt.pr "  output: %a@."
+            Fmt.(list ~sep:comma string)
+            os.Simulator.output;
+          Fmt.pr "@.stall breakdown (scheduled):@.";
+          Report.pp_summary Fmt.stdout os.Simulator.telemetry;
+          if trace_issue then begin
+            Fmt.pr "@.issue trace (scheduled):@.";
+            Report.pp_issue_diagram Fmt.stdout os.Simulator.telemetry
+          end;
+          Some (ob, os)
+        end
+      in
+      match stats_file with
+      | None -> ()
+      | Some path ->
+          let report =
+            Json.Obj
+              ([
+                 ("program", Json.String name);
+                 ("machine", Json.String (Machine.name machine));
+                 ("level", Json.String (Fmt.str "%a" Config.pp_level config.Config.level));
+                 ("elements", Json.Int elements);
+                 ("seed", Json.Int seed);
+                 ( "scheduler",
+                   Json.Obj
+                     [
+                       ("unrolled", Json.Int stats.Pipeline.unrolled);
+                       ("rotated", Json.Int stats.Pipeline.rotated);
+                       ("phases", Span.to_json stats.Pipeline.phases);
+                       ( "moves",
+                         Json.List (List.map move_to_json (Pipeline.moves stats))
+                       );
+                       ( "events",
+                         Json.List
+                           (List.map Sink.event_to_json (sink_events ())) );
+                     ] );
+               ]
+              @
+              match simulation with
+              | None -> []
+              | Some (ob, os) ->
+                  [
+                    ( "simulation",
+                      Json.Obj
+                        [
+                          ("base", outcome_to_json ob);
+                          ("scheduled", outcome_to_json os);
+                        ] );
+                  ])
+          in
+          (match open_out path with
+          | exception Sys_error m ->
+              Fmt.epr "cannot write stats: %s@." m;
+              exit 2
+          | oc ->
+              output_string oc (Json.to_string report);
+              output_char oc '\n';
+              close_out oc);
+          Fmt.pr "@.stats written to %s@." path
 
 let source_arg =
   let file =
@@ -175,6 +275,29 @@ let elements_arg =
     value & opt int 128
     & info [ "elements" ] ~docv:"N" ~doc:"Array elements for simulation inputs.")
 
+let seed_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"PRNG seed for the default simulation input arrays.")
+
+let trace_issue_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-issue" ]
+        ~doc:"With --simulate, print the cycle-by-cycle issue diagram of \
+              the scheduled program (which instruction issued on which \
+              unit, and the binding stall reason for silent cycles).")
+
+let stats_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:"Write a machine-readable JSON report: scheduler phases, \
+              decision trace, interblock motions, and (with --simulate) \
+              stall-attributed simulation telemetry.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc:"Scheduler debug logging.")
 
@@ -187,6 +310,7 @@ let cmd =
     (Cmd.info "gisc" ~version:"1.0.0" ~doc)
     Term.(
       const run_gisc $ source_arg $ level_arg $ width_arg $ show_code_arg
-      $ simulate_arg $ elements_arg $ verbose_arg)
+      $ simulate_arg $ elements_arg $ seed_arg $ trace_issue_arg $ stats_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -25,6 +25,7 @@ type t = {
   min_speculation_probability : float;
   local_machine : Gis_machine.Machine.t option;
   allow_duplication : bool;
+  obs : Gis_obs.Sink.t;
 }
 
 let default =
@@ -46,6 +47,7 @@ let default =
     min_speculation_probability = 0.0;
     local_machine = None;
     allow_duplication = false;
+    obs = Gis_obs.Sink.null;
   }
 
 let base =

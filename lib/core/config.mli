@@ -59,6 +59,11 @@ type t = {
           dominate it, with fresh copies placed at the end of every
           other predecessor of [B]. Off by default — the paper's
           prototype forbids duplication. *)
+  obs : Gis_obs.Sink.t;
+      (** telemetry sink for structured scheduler decision events
+          (candidates, motions, renames, safety rejections, skipped
+          regions, phase timings). {!Gis_obs.Sink.null} by default —
+          one dropped closure call per event. *)
 }
 
 val default : t

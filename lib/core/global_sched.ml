@@ -52,6 +52,10 @@ let src = Logs.Src.create "gis.global" ~doc:"global instruction scheduler"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let blocked_reason = function
+  | `Live_on_exit r -> Fmt.str "%a live on exit" Reg.pp r
+  | `Rename_unsafe r -> Fmt.str "%a not renameable" Reg.pp r
+
 (* ------------------------------------------------------------------ *)
 
 let region_too_big config cfg (region : Regions.region) =
@@ -93,6 +97,13 @@ type state = {
       (** copies destined for blocks whose own pass has not run yet *)
   mutable processed : Ints.Int_set.t;  (** view nodes already scheduled *)
 }
+
+let emit st e = st.config.Config.obs.Gis_obs.Sink.emit e
+
+let view_label st v =
+  match st.view.Regions.nodes.(v) with
+  | Regions.Block b -> Some (Cfg.block st.cfg b).Block.label
+  | Regions.Inner_loop _ -> None
 
 (* Liveness is consumed only by the speculative safety rule, so useful-
    only scheduling skips the (quadratic-ish) recomputation entirely. *)
@@ -341,6 +352,17 @@ let apply_motion st ~node:i ~target_blk ~speculative ~rename ~duplicated_into =
       duplicated_into;
     }
     :: st.moves;
+  (let uid = Instr.uid inst
+   and from_block = from_blk.Block.label
+   and to_block = target_blk.Block.label in
+   emit st
+     (if speculative then
+        Gis_obs.Sink.Moved_speculative { uid; from_block; to_block }
+      else Gis_obs.Sink.Moved_useful { uid; from_block; to_block });
+   match renamed with
+   | Some (from_reg, to_reg) ->
+       emit st (Gis_obs.Sink.Renamed { uid; from_reg; to_reg })
+   | None -> ());
   refresh_dataflow st;
   inst
 
@@ -378,6 +400,21 @@ let schedule_block st a blk_id =
         if spec_src then Instr.speculable inst
         else Instr.movable_across_blocks inst
   in
+  let consider ~speculative i v =
+    candidate.(i) <- true;
+    match st.current.(i) with
+    | Some inst ->
+        emit st
+          (Gis_obs.Sink.Candidate_considered
+             {
+               uid = Instr.uid inst;
+               from_block =
+                 Option.value ~default:blk.Block.label (view_label st v);
+               into_block = blk.Block.label;
+               speculative;
+             })
+    | None -> ()
+  in
   (match st.config.Config.level with
   | Config.Local -> ()
   | Config.Useful | Config.Speculative ->
@@ -386,7 +423,7 @@ let schedule_block st a blk_id =
           List.iter
             (fun i ->
               if st.home.(i) = e && import_ok ~spec_src:false i then
-                candidate.(i) <- true)
+                consider ~speculative:false i e)
             (Ddg.nodes_of_view_node st.ddg e))
         equiv;
       List.iter
@@ -394,7 +431,7 @@ let schedule_block st a blk_id =
           List.iter
             (fun i ->
               if st.home.(i) = s && import_ok ~spec_src:true i then
-                candidate.(i) <- true)
+                consider ~speculative:true i s)
             (Ddg.nodes_of_view_node st.ddg s))
         spec;
       List.iter
@@ -405,7 +442,7 @@ let schedule_block st a blk_id =
                 st.home.(i) = d
                 && import_ok ~spec_src:true i
                 && duplication_sources_ok st ~join:d i
-              then candidate.(i) <- true)
+              then consider ~speculative:true i d)
             (Ddg.nodes_of_view_node st.ddg d))
         dup);
   (* Per-candidate dependence bookkeeping. A candidate whose
@@ -600,6 +637,9 @@ let schedule_block st a blk_id =
                 accept ~was_own:false
             | Unsafe b ->
                 st.blocked_log <- b :: st.blocked_log;
+                emit st
+                  (Gis_obs.Sink.Blocked
+                     { uid = b.blocked_uid; reason = blocked_reason b.reason });
                 candidate.(i) <- false;
                 progress := true
           end
@@ -626,6 +666,10 @@ let schedule_block st a blk_id =
   st.processed <- Ints.Int_set.add a st.processed;
   refresh_dataflow st
 
+let note_skip (config : Config.t) region_id reason =
+  config.Config.obs.Gis_obs.Sink.emit
+    (Gis_obs.Sink.Region_skipped { region_id; reason })
+
 let schedule_region machine config cfg regions region =
   let base_report =
     {
@@ -637,15 +681,18 @@ let schedule_region machine config cfg regions region =
       blocked = [];
     }
   in
+  let skipped why =
+    note_skip config region.Regions.id why;
+    { base_report with skip_reason = Some why }
+  in
   if config.Config.level = Config.Local then
-    { base_report with skip_reason = Some "local-only configuration" }
+    skipped "local-only configuration"
   else
     match region_too_big config cfg region with
-    | Some why -> { base_report with skip_reason = Some why }
+    | Some why -> skipped why
     | None -> (
         match Regions.view cfg regions region with
-        | exception Invalid_argument why ->
-            { base_report with skip_reason = Some why }
+        | exception Invalid_argument why -> skipped why
         | view ->
             let st = make_state machine config cfg regions view in
             let topo = Flow.reverse_postorder view.Regions.flow in
@@ -697,7 +744,8 @@ let schedule ?(only = fun _ -> true) machine config cfg =
   let regions = Regions.compute cfg in
   List.map
     (fun region ->
-      if not (only region) then
+      if not (only region) then begin
+        note_skip config region.Regions.id "filtered out for this pass";
         {
           region_id = region.Regions.id;
           nesting = region.Regions.nesting;
@@ -706,18 +754,22 @@ let schedule ?(only = fun _ -> true) machine config cfg =
           moves = [];
           blocked = [];
         }
-      else if inner_level regions region > config.Config.max_nesting_levels then
+      end
+      else if inner_level regions region > config.Config.max_nesting_levels then begin
+        let why =
+          Fmt.str "nesting: inner level %d exceeds limit %d"
+            (inner_level regions region)
+            config.Config.max_nesting_levels
+        in
+        note_skip config region.Regions.id why;
         {
           region_id = region.Regions.id;
           nesting = region.Regions.nesting;
           scheduled = false;
-          skip_reason =
-            Some
-              (Fmt.str "nesting: inner level %d exceeds limit %d"
-                 (inner_level regions region)
-                 config.Config.max_nesting_levels);
+          skip_reason = Some why;
           moves = [];
           blocked = [];
         }
+      end
       else schedule_region machine config cfg regions region)
     (Regions.regions regions)

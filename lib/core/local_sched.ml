@@ -90,8 +90,14 @@ let schedule_block ?(rules = Priority_rule.paper_order) machine (b : Block.t) =
   List.iter (fun i -> Vec.push b.Block.body (instr_of i)) body_order;
   issue.(n - 1) + 1
 
-let schedule_cfg ?(rules = Priority_rule.paper_order) machine cfg =
-  Cfg.iter_blocks (fun b -> ignore (schedule_block ~rules machine b)) cfg
+let schedule_cfg ?(rules = Priority_rule.paper_order) ?(obs = Gis_obs.Sink.null)
+    machine cfg =
+  Cfg.iter_blocks
+    (fun b ->
+      let cycles = schedule_block ~rules machine b in
+      obs.Gis_obs.Sink.emit
+        (Gis_obs.Sink.Block_scheduled { block = b.Block.label; cycles }))
+    cfg
 
 let block_schedule_length machine (b : Block.t) =
   let ddg = Ddg.build_single_block machine b in

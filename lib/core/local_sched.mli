@@ -18,8 +18,14 @@ val schedule_block :
     terminator plus one. *)
 
 val schedule_cfg :
-  ?rules:Priority_rule.t list -> Gis_machine.Machine.t -> Gis_ir.Cfg.t -> unit
-(** Apply {!schedule_block} to every block. *)
+  ?rules:Priority_rule.t list ->
+  ?obs:Gis_obs.Sink.t ->
+  Gis_machine.Machine.t ->
+  Gis_ir.Cfg.t ->
+  unit
+(** Apply {!schedule_block} to every block, emitting a
+    [Block_scheduled] event per block to [obs] (default
+    {!Gis_obs.Sink.null}). *)
 
 val block_schedule_length :
   Gis_machine.Machine.t -> Gis_ir.Block.t -> int

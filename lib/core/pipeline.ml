@@ -5,7 +5,7 @@ type stats = {
   rotated : int;
   pass1 : Global_sched.region_report list;
   pass2 : Global_sched.region_report list;
-  seconds : float;
+  phases : Gis_obs.Span.t list;
 }
 
 let moves stats =
@@ -13,43 +13,59 @@ let moves stats =
     (fun (r : Global_sched.region_report) -> r.Global_sched.moves)
     (stats.pass1 @ stats.pass2)
 
+let seconds stats = Gis_obs.Span.total stats.phases
+
+let phase_names = [ "unroll"; "global-pass1"; "rotate"; "global-pass2"; "local" ]
+
 let run machine (config : Config.t) cfg =
-  let t0 = Sys.time () in
+  let spans = ref [] in
+  let time name f =
+    let v, span = Gis_obs.Span.time name f in
+    spans := span :: !spans;
+    config.Config.obs.Gis_obs.Sink.emit
+      (Gis_obs.Sink.Phase_finished
+         { phase = name; seconds = span.Gis_obs.Span.seconds });
+    v
+  in
   if config.Config.split_webs && config.Config.level <> Config.Local then
-    ignore (Webs.split cfg);
-  let unrolled, pass1, rotated, pass2 =
-    match config.Config.level with
-    | Config.Local -> (0, [], 0, [])
-    | Config.Useful | Config.Speculative ->
-        let unrolled =
-          if config.Config.unroll_small_loops then
-            Unroll.unroll_small_inner_loops
-              ~max_blocks:config.Config.small_loop_blocks cfg
-          else 0
-        in
-        let pass1 =
+    time "webs" (fun () -> ignore (Webs.split cfg));
+  let global = config.Config.level <> Config.Local in
+  let unrolled =
+    time "unroll" (fun () ->
+        if global && config.Config.unroll_small_loops then
+          Unroll.unroll_small_inner_loops
+            ~max_blocks:config.Config.small_loop_blocks cfg
+        else 0)
+  in
+  let pass1 =
+    time "global-pass1" (fun () ->
+        if global then
           Global_sched.schedule ~only:Global_sched.is_inner_region machine
             config cfg
-        in
-        let rotated =
-          if config.Config.rotate_small_loops then
-            Rotate.rotate_small_inner_loops
-              ~max_blocks:config.Config.small_loop_blocks cfg
-          else 0
-        in
-        let pass2 =
+        else [])
+  in
+  let rotated =
+    time "rotate" (fun () ->
+        if global && config.Config.rotate_small_loops then
+          Rotate.rotate_small_inner_loops
+            ~max_blocks:config.Config.small_loop_blocks cfg
+        else 0)
+  in
+  let pass2 =
+    time "global-pass2" (fun () ->
+        if global then
           Global_sched.schedule
             ~only:(fun r -> rotated > 0 || not (Global_sched.is_inner_region r))
             machine config cfg
-        in
-        (unrolled, pass1, rotated, pass2)
+        else [])
   in
-  if config.Config.local_post_pass then begin
-    let local_machine =
-      Option.value ~default:machine config.Config.local_machine
-    in
-    Local_sched.schedule_cfg ~rules:config.Config.rules local_machine cfg
-  end;
-  let seconds = Sys.time () -. t0 in
+  time "local" (fun () ->
+      if config.Config.local_post_pass then begin
+        let local_machine =
+          Option.value ~default:machine config.Config.local_machine
+        in
+        Local_sched.schedule_cfg ~rules:config.Config.rules
+          ~obs:config.Config.obs local_machine cfg
+      end);
   ignore (Cfg.reachable cfg);
-  { unrolled; rotated; pass1; pass2; seconds }
+  { unrolled; rotated; pass1; pass2; phases = List.rev !spans }

@@ -16,12 +16,25 @@ type stats = {
   rotated : int;
   pass1 : Global_sched.region_report list;
   pass2 : Global_sched.region_report list;
-  seconds : float;  (** CPU time spent in scheduling (all steps) *)
+  phases : Gis_obs.Span.t list;
+      (** CPU time per pipeline phase, in execution order. Always
+          contains the five phases of {!phase_names} (a disabled phase
+          reports the cost of deciding to skip it, ~0); a ["webs"] span
+          is prepended when the Section 4.2 pre-pass runs. *)
 }
+
+val phase_names : string list
+(** The five standard phases: ["unroll"], ["global-pass1"], ["rotate"],
+    ["global-pass2"], ["local"]. *)
 
 val moves : stats -> Global_sched.move list
 (** All interblock motions across both passes. *)
 
+val seconds : stats -> float
+(** Total CPU time spent in scheduling — the sum of all phase spans
+    (what the old [stats.seconds] field reported). *)
+
 val run :
   Gis_machine.Machine.t -> Config.t -> Gis_ir.Cfg.t -> stats
-(** Transform the procedure in place. *)
+(** Transform the procedure in place. Every phase duration is also
+    emitted as a [Phase_finished] event on [config.obs]. *)

@@ -1,0 +1,39 @@
+(** A tiny self-contained JSON tree — emitter and parser.
+
+    The environment ships no JSON library, and the telemetry layer needs
+    only a canonical machine-readable rendering of reports ([gisc
+    --stats], [bench --json]) plus enough of a parser for the test suite
+    to check that what we emit is well-formed. This module is that: a
+    plain value type, a printer producing canonical JSON (sorted nothing,
+    stable field order, [null] for non-finite floats), and a strict
+    recursive-descent parser for the same subset. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+and t_float = float
+
+val to_string : ?minify:bool -> t -> string
+(** Canonical rendering. With [minify:false] (default) the output is
+    indented two spaces per level; with [minify:true] it is a single
+    line. Non-finite floats render as [null] (JSON has no NaN). *)
+
+val pp : t Fmt.t
+(** [to_string ~minify:false] behind a formatter. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the output of {!to_string} (and ordinary JSON:
+    whitespace-insensitive, escapes, exponents). Returns [Error msg]
+    with a character position on malformed input. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_list : t -> t list
+(** The elements of a [List]; [[]] for any other constructor. *)

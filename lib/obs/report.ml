@@ -1,0 +1,82 @@
+open Gis_ir
+
+let unit_name u = Fmt.str "%a" Instr.pp_unit_ty u
+
+(* Group consecutive events that share an issue cycle. Events arrive
+   chronologically, so a plain left fold suffices. *)
+let by_cycle events =
+  List.fold_left
+    (fun acc (e : Trace.event) ->
+      match acc with
+      | (c, es) :: rest when c = e.Trace.cycle -> (c, e :: es) :: rest
+      | _ -> (e.Trace.cycle, [ e ]) :: acc)
+    [] events
+  |> List.rev_map (fun (c, es) -> (c, List.rev es))
+
+let pp_issue_diagram ppf (s : Trace.summary) =
+  match s.Trace.events with
+  | [] ->
+      Fmt.pf ppf
+        "(no issue trace recorded — run the simulator with tracing enabled)@."
+  | events ->
+      let groups = by_cycle events in
+      let prev = ref (-1) in
+      List.iter
+        (fun (cycle, es) ->
+          (* Cycles where nothing issued: attribute them to the binding
+             stall of the instruction that eventually broke the silence. *)
+          (if cycle > !prev + 1 then
+             let first = List.hd es in
+             match first.Trace.stall with
+             | Trace.No_stall | Trace.In_order _ ->
+                 Fmt.pf ppf "cycle %4d-%-4d | -- stall --@." (!prev + 1)
+                   (cycle - 1)
+             | st ->
+                 Fmt.pf ppf "cycle %4d-%-4d | -- stall: %a --@." (!prev + 1)
+                   (cycle - 1) Trace.pp_stall st);
+          Fmt.pf ppf "cycle %4d |" cycle;
+          List.iter
+            (fun (e : Trace.event) ->
+              Fmt.pf ppf " %s: %a |" (unit_name e.Trace.unit_) Instr.pp
+                e.Trace.instr)
+            es;
+          (match es with
+          | [ e ] -> (
+              match e.Trace.stall with
+              | Trace.Interlock _ | Trace.Mem_interlock _ | Trace.Unit_busy _
+                when e.Trace.gap > 0 ->
+                  Fmt.pf ppf " (%a)" Trace.pp_stall e.Trace.stall
+              | _ -> ())
+          | _ -> ());
+          Fmt.pf ppf "@.";
+          prev := cycle)
+        groups
+
+let pp_summary ppf (s : Trace.summary) =
+  Fmt.pf ppf "issue span %d cycles; stalls: interlock %d, store-queue %d"
+    s.Trace.last_issue s.Trace.interlock_cycles s.Trace.mem_interlock_cycles;
+  List.iter
+    (fun (u : Trace.unit_stat) ->
+      Fmt.pf ppf ", %s-busy %d" (unit_name u.Trace.unit_) u.Trace.busy_stall)
+    s.Trace.units;
+  Fmt.pf ppf "; in-order-bound instrs %d@." s.Trace.in_order_instrs;
+  List.iter
+    (fun (u : Trace.unit_stat) ->
+      let span = s.Trace.last_issue + 1 in
+      let busy_cycles =
+        List.fold_left
+          (fun acc (k, c) -> if k > 0 then acc + c else acc)
+          0 u.Trace.histogram
+      in
+      Fmt.pf ppf "  unit %-6s: %6d issues, active %d/%d cycles (%.1f%%)@."
+        (unit_name u.Trace.unit_) u.Trace.issues busy_cycles span
+        (100.0 *. float_of_int busy_cycles /. float_of_int (max 1 span)))
+    s.Trace.units;
+  List.iter
+    (fun (b : Trace.block_stat) ->
+      Fmt.pf ppf "  block %-8s: %6d entries, %6d instrs, %6d stall cycles@."
+        b.Trace.block b.Trace.entries b.Trace.instrs b.Trace.stall_cycles)
+    s.Trace.blocks
+
+let pp_sched_log ppf events =
+  List.iter (fun e -> Fmt.pf ppf "  %a@." Sink.pp_event e) events

@@ -1,0 +1,17 @@
+(** Human-readable renderings of telemetry.
+
+    {!pp_issue_diagram} prints the cycle-by-cycle issue trace of a
+    simulation — which instruction issued on which unit each cycle, and
+    for the cycles where nothing issued, the binding stall reason — the
+    form in which the paper's Section 3 walks through Figure 2's 20-22
+    cycle iteration. {!pp_summary} prints the aggregate breakdown:
+    per-unit utilization and where the non-issue cycles went. *)
+
+val pp_issue_diagram : Format.formatter -> Trace.summary -> unit
+(** Requires a summary recorded with tracing on ([Trace.summary.events]
+    non-empty); prints a notice otherwise. *)
+
+val pp_summary : Format.formatter -> Trace.summary -> unit
+
+val pp_sched_log : Format.formatter -> Sink.sched_event list -> unit
+(** The scheduler decision log, one event per line. *)

@@ -1,0 +1,53 @@
+(** Pluggable sink for structured scheduler decision events.
+
+    The global and local schedulers narrate what they do — which
+    instructions became interblock candidates, which motions committed
+    (and whether they were useful or speculative), which were blocked by
+    the Section 5.3 safety rule, which regions were skipped and why, and
+    how long each pipeline phase took. A sink is just a callback; the
+    default {!null} sink costs one indirect call per event, so tracing
+    is always compiled in and enabled by plugging a real sink into
+    [Config.obs]. *)
+
+type sched_event =
+  | Candidate_considered of {
+      uid : int;
+      from_block : Gis_ir.Label.t;
+      into_block : Gis_ir.Label.t;
+      speculative : bool;
+          (** true when the motion out of [from_block] would execute the
+              instruction on paths where it was not originally present *)
+    }
+  | Moved_useful of {
+      uid : int;
+      from_block : Gis_ir.Label.t;
+      to_block : Gis_ir.Label.t;
+    }
+  | Moved_speculative of {
+      uid : int;
+      from_block : Gis_ir.Label.t;
+      to_block : Gis_ir.Label.t;
+    }
+  | Renamed of { uid : int; from_reg : Gis_ir.Reg.t; to_reg : Gis_ir.Reg.t }
+  | Blocked of { uid : int; reason : string }
+      (** a candidate motion rejected by the speculation-safety rule *)
+  | Region_skipped of { region_id : int; reason : string }
+  | Block_scheduled of { block : Gis_ir.Label.t; cycles : int }
+      (** local post-pass finished a block with the given schedule length *)
+  | Phase_finished of { phase : string; seconds : float }
+
+type t = { emit : sched_event -> unit }
+
+val null : t
+(** Drops every event. *)
+
+val memory : unit -> t * (unit -> sched_event list)
+(** [memory ()] returns a sink and a function producing everything
+    emitted so far, in emission order. *)
+
+val tee : t -> t -> t
+(** Forward each event to both sinks, left first. *)
+
+val event_to_json : sched_event -> Json.t
+
+val pp_event : sched_event Fmt.t

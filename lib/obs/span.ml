@@ -1,0 +1,20 @@
+type t = { name : string; seconds : float }
+
+let time name f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, { name; seconds = Sys.time () -. t0 })
+
+let total spans = List.fold_left (fun acc s -> acc +. s.seconds) 0.0 spans
+
+let find spans name =
+  List.find_opt (fun s -> String.equal s.name name) spans
+
+let to_json spans =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj [ ("name", Json.String s.name); ("seconds", Json.Float s.seconds) ])
+       spans)
+
+let pp ppf s = Fmt.pf ppf "%s: %.6fs" s.name s.seconds

@@ -1,0 +1,22 @@
+(** Named wall-of-CPU-time spans.
+
+    The pipeline used to report a single [seconds] float for all of
+    scheduling; spans attribute that time to the individual phases
+    (unroll, first global pass, rotate, second global pass, local
+    post-pass) so compile-time regressions can be localised — the
+    Figure 7 experiment, but per phase. *)
+
+type t = { name : string; seconds : float }
+
+val time : string -> (unit -> 'a) -> 'a * t
+(** [time name f] runs [f] and returns its result with the CPU seconds
+    it took (via [Sys.time]). *)
+
+val total : t list -> float
+(** Sum of all span durations. *)
+
+val find : t list -> string -> t option
+
+val to_json : t list -> Json.t
+
+val pp : t Fmt.t

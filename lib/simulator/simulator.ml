@@ -1,5 +1,6 @@
 open Gis_ir
 open Gis_machine
+open Gis_obs
 
 type input = {
   int_regs : (Reg.t * int) list;
@@ -26,6 +27,7 @@ type outcome = {
   final_float_memory : (int * float) list;
   read_int : Reg.t -> int option;
   block_counts : (Label.t * int) list;
+  telemetry : Trace.summary;
 }
 
 exception Trapped of string
@@ -50,6 +52,17 @@ type state = {
   mutable last_write : (Instr.t * int) option;
       (** last memory-writing instruction and its completion cycle, for
           the secondary [mem_delay] constraint *)
+  (* ---- telemetry (Gis_obs.Trace) ---- *)
+  mutable cur_block : Label.t;  (** label of the block being executed *)
+  mutable interlock_cycles : int;
+  mutable mem_interlock_cycles : int;
+  mutable in_order_instrs : int;
+  unit_busy : int array;  (** unit rank -> gap cycles lost to a full unit *)
+  unit_issues : int array;  (** unit rank -> dynamic issues *)
+  block_stats : (Label.t, int * int) Hashtbl.t;
+      (** label -> (instructions issued, stall cycles attributed) *)
+  trace : Trace.event Gis_util.Vec.t option;
+      (** full per-issue event log, when requested *)
 }
 
 let unit_rank = function Instr.Fixed -> 0 | Instr.Float -> 1 | Instr.Branch -> 2
@@ -88,36 +101,79 @@ let fbinop_value op a b =
 let sign n = if n < 0 then -1 else if n > 0 then 1 else 0
 
 (* Issue the instruction: find its cycle under in-order issue, operand
-   interlocks and per-cycle unit slots; record its defs' producers. *)
+   interlocks and per-cycle unit slots; record its defs' producers.
+   Along the way, attribute every cycle between the previous issue and
+   this one to its cause — register interlock, store-queue delay, or a
+   full unit — and remember which constraint was binding. *)
 let issue st i =
-  let ready =
+  let ready, culprit =
     List.fold_left
-      (fun acc r ->
+      (fun ((acc, _) as best) r ->
         match Hashtbl.find_opt st.producers (Reg.hash r) with
         | Some (producer, avail) ->
-            max acc (avail + Machine.delay st.machine ~producer ~consumer:i ~reg:r)
-        | None -> acc)
-      0 (Instr.uses i)
+            let t =
+              avail + Machine.delay st.machine ~producer ~consumer:i ~reg:r
+            in
+            if t > acc then
+              (t, Some (Trace.Interlock { reg = r; producer = Instr.uid producer }))
+            else best
+        | None -> best)
+      (0, None) (Instr.uses i)
   in
-  let ready =
+  let ready, culprit =
     (* Secondary memory delay: only a non-zero [mem_delay] constrains
        issue (zero means the hardware forwards). *)
     if Instr.touches_memory i then
       match st.last_write with
       | Some (producer, fin) ->
           let d = Machine.mem_delay st.machine ~producer ~consumer:i in
-          if d > 0 then max ready (fin + d) else ready
-      | None -> ready
-    else ready
+          if d > 0 && fin + d > ready then
+            (fin + d, Some (Trace.Mem_interlock { producer = Instr.uid producer }))
+          else (ready, culprit)
+      | None -> (ready, culprit)
+    else (ready, culprit)
   in
   let u = unit_rank (Instr.unit_ty i) in
   let cap = Machine.units st.machine (Instr.unit_ty i) in
-  let cycle = ref (max st.cursor ready) in
+  let start = max st.cursor ready in
+  let cycle = ref start in
   let used c = Option.value ~default:0 (Hashtbl.find_opt st.unit_use (c, u)) in
   while used !cycle >= cap do
     incr cycle
   done;
   Hashtbl.replace st.unit_use (!cycle, u) (used !cycle + 1);
+  (* Attribution: gap = interlock part + unit-busy part, exactly. *)
+  let busy = !cycle - start in
+  let interlock = max 0 (ready - st.cursor) in
+  let gap = !cycle - st.cursor in
+  (match culprit with
+  | Some (Trace.Mem_interlock _) ->
+      st.mem_interlock_cycles <- st.mem_interlock_cycles + interlock
+  | Some _ | None -> st.interlock_cycles <- st.interlock_cycles + interlock);
+  st.unit_busy.(u) <- st.unit_busy.(u) + busy;
+  st.unit_issues.(u) <- st.unit_issues.(u) + 1;
+  if st.cursor > ready then st.in_order_instrs <- st.in_order_instrs + 1;
+  let bi, bs = Option.value ~default:(0, 0) (Hashtbl.find_opt st.block_stats st.cur_block) in
+  Hashtbl.replace st.block_stats st.cur_block (bi + 1, bs + gap);
+  (match st.trace with
+  | Some log ->
+      let stall =
+        if busy > 0 then Trace.Unit_busy (Instr.unit_ty i)
+        else if interlock > 0 then
+          Option.value ~default:Trace.No_stall culprit
+        else if st.cursor > ready then Trace.In_order (st.cursor - ready)
+        else Trace.No_stall
+      in
+      Gis_util.Vec.push log
+        {
+          Trace.cycle = !cycle;
+          unit_ = Instr.unit_ty i;
+          block = st.cur_block;
+          instr = i;
+          stall;
+          gap;
+        }
+  | None -> ());
   st.cursor <- !cycle;
   let fin = !cycle + Machine.exec_time st.machine i in
   st.last_done <- max st.last_done fin;
@@ -187,7 +243,61 @@ let execute st i =
       None
   | Instr.Halt -> None
 
-let run_with_header ~fuel machine cfg ~header input =
+(* Aggregate the per-issue attribution into a [Trace.summary]. *)
+let summarize st =
+  let span = st.cursor + 1 in
+  let unit_tys = [ Instr.Fixed; Instr.Float; Instr.Branch ] in
+  let units =
+    List.map
+      (fun ut ->
+        let rank = unit_rank ut in
+        let per_count = Hashtbl.create 8 in
+        let active = ref 0 in
+        Hashtbl.iter
+          (fun (_, r) k ->
+            if r = rank then begin
+              incr active;
+              Hashtbl.replace per_count k
+                (1 + Option.value ~default:0 (Hashtbl.find_opt per_count k))
+            end)
+          st.unit_use;
+        let hist =
+          List.sort compare
+            (Hashtbl.fold (fun k c acc -> (k, c) :: acc) per_count [])
+        in
+        let hist =
+          if st.executed = 0 then hist else (0, span - !active) :: hist
+        in
+        {
+          Trace.unit_ = ut;
+          issues = st.unit_issues.(rank);
+          busy_stall = st.unit_busy.(rank);
+          histogram = hist;
+        })
+      unit_tys
+  in
+  let blocks =
+    Hashtbl.fold
+      (fun label entries acc ->
+        let instrs, stalls =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt st.block_stats label)
+        in
+        { Trace.block = label; entries; instrs; stall_cycles = stalls } :: acc)
+      st.counts []
+    |> List.sort (fun a b -> Label.compare a.Trace.block b.Trace.block)
+  in
+  {
+    Trace.last_issue = st.cursor;
+    interlock_cycles = st.interlock_cycles;
+    mem_interlock_cycles = st.mem_interlock_cycles;
+    in_order_instrs = st.in_order_instrs;
+    units;
+    blocks;
+    events =
+      (match st.trace with Some log -> Gis_util.Vec.to_list log | None -> []);
+  }
+
+let run_with_header ~fuel ?(trace = false) machine cfg ~header input =
   let st =
     {
       machine;
@@ -205,6 +315,14 @@ let run_with_header ~fuel machine cfg ~header input =
       header_entries = [];
       counts = Hashtbl.create 16;
       last_write = None;
+      cur_block = (Cfg.block cfg (Cfg.entry cfg)).Block.label;
+      interlock_cycles = 0;
+      mem_interlock_cycles = 0;
+      in_order_instrs = 0;
+      unit_busy = Array.make 3 0;
+      unit_issues = Array.make 3 0;
+      block_stats = Hashtbl.create 16;
+      trace = (if trace then Some (Gis_util.Vec.create ()) else None);
     }
   in
   List.iter (fun (r, v) -> write_int st r v) input.int_regs;
@@ -216,6 +334,7 @@ let run_with_header ~fuel machine cfg ~header input =
   (try
      while !stop = None do
        let b = !block in
+       st.cur_block <- b.Block.label;
        Hashtbl.replace st.counts b.Block.label
          (1 + Option.value ~default:0 (Hashtbl.find_opt st.counts b.Block.label));
        (match header with
@@ -260,11 +379,15 @@ let run_with_header ~fuel machine cfg ~header input =
       block_counts =
         List.sort compare
           (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.counts []);
+      telemetry = summarize st;
     },
     List.rev st.header_entries )
 
-let run ?fuel machine cfg input =
-  fst (run_with_header ~fuel:(Option.value ~default:2_000_000 fuel) machine cfg ~header:None input)
+let run ?fuel ?trace machine cfg input =
+  fst
+    (run_with_header
+       ~fuel:(Option.value ~default:2_000_000 fuel)
+       ?trace machine cfg ~header:None input)
 
 let profile_fn o label =
   Option.value ~default:0 (List.assoc_opt label o.block_counts)

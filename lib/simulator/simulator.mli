@@ -45,11 +45,27 @@ type outcome = {
           the profile information the paper's introduction mentions
           ("branch probabilities, whenever available, e.g. computed by
           profiling") *)
+  telemetry : Gis_obs.Trace.summary;
+      (** stall-attributed timing breakdown: per-unit-type utilization
+          histograms, interlock / store-queue / unit-busy stall totals
+          (which together account for every non-issue cycle up to the
+          last issue), per-block cycle breakdowns, and — when [run] was
+          given [~trace:true] — the full per-issue event log *)
 }
 
 val run :
-  ?fuel:int -> Gis_machine.Machine.t -> Gis_ir.Cfg.t -> input -> outcome
-(** [fuel] bounds the number of dynamic instructions (default 2_000_000). *)
+  ?fuel:int ->
+  ?trace:bool ->
+  Gis_machine.Machine.t ->
+  Gis_ir.Cfg.t ->
+  input ->
+  outcome
+(** [fuel] bounds the number of dynamic instructions (default 2_000_000).
+    [trace] (default false) additionally records one
+    {!Gis_obs.Trace.event} per dynamic instruction into
+    [outcome.telemetry.events] — the input to
+    {!Gis_obs.Report.pp_issue_diagram}. Aggregated telemetry is always
+    collected. *)
 
 val profile_fn : outcome -> Gis_ir.Label.t -> int
 (** Lookup into {!field-block_counts}; 0 for blocks never executed. *)

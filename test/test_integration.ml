@@ -175,7 +175,7 @@ let test_figure7_overhead_sane () =
       let compiled = Spec_proxy.compile p in
       let time config =
         let cfg = Cfg.deep_copy compiled.Codegen.cfg in
-        (Pipeline.run machine config cfg).Pipeline.seconds
+        Pipeline.seconds (Pipeline.run machine config cfg)
       in
       let base = time Config.base in
       let full = time Config.speculative in

@@ -1,0 +1,285 @@
+(* Telemetry-layer checks: the JSON codec round-trips, the simulator's
+   stall attribution obeys its accounting identity, and the scheduler's
+   decision trace replays exactly the motions the pipeline reports. *)
+
+open Gis_ir
+open Gis_machine
+open Gis_core
+open Gis_sim
+open Gis_workloads
+open Gis_obs
+
+let machine = Machine.rs6k
+
+let elements =
+  let rng = Prng.create ~seed:5 in
+  List.init 64 (fun _ -> Prng.int rng 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("n", Json.Int (-42));
+      ("x", Json.Float 1.5);
+      ("s", Json.String "a \"quoted\"\nline\twith \\ specials");
+      ("xs", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+      ("nested", Json.Obj [ ("inner", Json.List [ Json.Obj [ ("k", Json.Null) ] ]) ]);
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun minify ->
+      match Json.of_string (Json.to_string ~minify sample_json) with
+      | Ok v ->
+          Alcotest.(check string)
+            (Fmt.str "round-trip (minify=%b)" minify)
+            (Json.to_string sample_json) (Json.to_string v)
+      | Error e -> Alcotest.fail e)
+    [ true; false ]
+
+let test_json_parser_accepts () =
+  List.iter
+    (fun (src, want) ->
+      match Json.of_string src with
+      | Ok v -> Alcotest.(check string) src want (Json.to_string ~minify:true v)
+      | Error e -> Alcotest.fail (src ^ ": " ^ e))
+    [
+      ("  [ 1 , -2.5e2 , \"\\u0041\" ]  ", {|[1,-250.0,"A"]|});
+      ("{\"a\":{},\"b\":[[]]}", {|{"a":{},"b":[[]]}|});
+      ("true", "true");
+      ("-0.125", "-0.125");
+    ]
+
+let test_json_parser_rejects () =
+  List.iter
+    (fun src ->
+      match Json.of_string src with
+      | Ok _ -> Alcotest.fail ("accepted invalid input: " ^ src)
+      | Error _ -> ())
+    [ ""; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated"; "[1] trailing"; "1.2.3" ]
+
+(* ------------------------------------------------------------------ *)
+(* Simulator stall attribution                                         *)
+(* ------------------------------------------------------------------ *)
+
+let minmax_outcome ?(trace = false) level =
+  let t = Minmax.build () in
+  let cfg = Cfg.deep_copy t.Minmax.cfg in
+  ignore (Pipeline.run machine { Config.default with Config.level } cfg);
+  Simulator.run ~trace machine cfg (Minmax.input t elements)
+
+let test_issue_counts_sum () =
+  let o = minmax_outcome Config.Speculative in
+  let s = o.Simulator.telemetry in
+  let issued =
+    List.fold_left (fun acc u -> acc + u.Trace.issues) 0 s.Trace.units
+  in
+  Alcotest.(check int) "unit issues sum to instructions"
+    o.Simulator.instructions issued;
+  let block_instrs =
+    List.fold_left (fun acc b -> acc + b.Trace.instrs) 0 s.Trace.blocks
+  in
+  Alcotest.(check int) "block instrs sum to instructions"
+    o.Simulator.instructions block_instrs
+
+let test_stall_identity () =
+  List.iter
+    (fun level ->
+      let o = minmax_outcome level in
+      let s = o.Simulator.telemetry in
+      Alcotest.(check int)
+        (Fmt.str "stall total = last issue (%a)" Config.pp_level level)
+        s.Trace.last_issue (Trace.stall_total s);
+      (* The per-block gap attribution covers the same cycles. *)
+      let block_stalls =
+        List.fold_left (fun acc b -> acc + b.Trace.stall_cycles) 0 s.Trace.blocks
+      in
+      Alcotest.(check int)
+        (Fmt.str "block stalls = last issue (%a)" Config.pp_level level)
+        s.Trace.last_issue block_stalls)
+    [ Config.Local; Config.Useful; Config.Speculative ]
+
+let test_utilization_histograms () =
+  let o = minmax_outcome Config.Speculative in
+  let s = o.Simulator.telemetry in
+  let span = s.Trace.last_issue + 1 in
+  List.iter
+    (fun (u : Trace.unit_stat) ->
+      let cycles =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 u.Trace.histogram
+      in
+      let issues =
+        List.fold_left (fun acc (k, c) -> acc + (k * c)) 0 u.Trace.histogram
+      in
+      Alcotest.(check int)
+        (Fmt.str "%a histogram covers the span" Instr.pp_unit_ty u.Trace.unit_)
+        span cycles;
+      Alcotest.(check int)
+        (Fmt.str "%a histogram counts every issue" Instr.pp_unit_ty
+           u.Trace.unit_)
+        u.Trace.issues issues)
+    s.Trace.units
+
+let test_issue_trace_events () =
+  let o = minmax_outcome ~trace:true Config.Speculative in
+  let s = o.Simulator.telemetry in
+  Alcotest.(check int) "one event per dynamic instruction"
+    o.Simulator.instructions
+    (List.length s.Trace.events);
+  let gaps =
+    List.fold_left (fun acc e -> acc + e.Trace.gap) 0 s.Trace.events
+  in
+  Alcotest.(check int) "gaps telescope to the issue span" s.Trace.last_issue
+    gaps;
+  ignore
+    (List.fold_left
+       (fun prev (e : Trace.event) ->
+         Alcotest.(check bool) "issue cycles are non-decreasing" true
+           (e.Trace.cycle >= prev);
+         e.Trace.cycle)
+       0 s.Trace.events);
+  (* Without tracing the event list stays empty. *)
+  let o' = minmax_outcome Config.Speculative in
+  Alcotest.(check int) "no events without tracing" 0
+    (List.length o'.Simulator.telemetry.Trace.events)
+
+let test_telemetry_json_parses () =
+  let o = minmax_outcome ~trace:true Config.Speculative in
+  let text = Json.to_string (Trace.to_json o.Simulator.telemetry) in
+  match Json.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok v -> (
+      match Json.member "stalls" v with
+      | Some stalls -> (
+          match Json.member "total" stalls with
+          | Some (Json.Int total) ->
+              Alcotest.(check int) "serialized stall total"
+                o.Simulator.telemetry.Trace.last_issue total
+          | _ -> Alcotest.fail "stalls.total missing")
+      | None -> Alcotest.fail "stalls object missing")
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler decision trace                                            *)
+(* ------------------------------------------------------------------ *)
+
+let traced_pipeline level =
+  let t = Minmax.build () in
+  let cfg = Cfg.deep_copy t.Minmax.cfg in
+  let sink, events = Sink.memory () in
+  let config = { Config.default with Config.level; obs = sink } in
+  let stats = Pipeline.run machine config cfg in
+  (stats, events ())
+
+let test_decision_trace_replays_moves () =
+  List.iter
+    (fun level ->
+      let stats, events = traced_pipeline level in
+      let expected =
+        List.map
+          (fun (m : Global_sched.move) ->
+            ( m.Global_sched.uid,
+              m.Global_sched.from_label,
+              m.Global_sched.to_label,
+              m.Global_sched.speculative ))
+          (Pipeline.moves stats)
+      in
+      let traced =
+        List.filter_map
+          (function
+            | Sink.Moved_useful { uid; from_block; to_block } ->
+                Some (uid, from_block, to_block, false)
+            | Sink.Moved_speculative { uid; from_block; to_block } ->
+                Some (uid, from_block, to_block, true)
+            | _ -> None)
+          events
+      in
+      let move4 =
+        Alcotest.testable
+          (fun ppf (uid, from_l, to_l, spec) ->
+            Fmt.pf ppf "%d:%s->%s%s" uid from_l to_l
+              (if spec then " (spec)" else ""))
+          ( = )
+      in
+      Alcotest.(check (list move4))
+        (Fmt.str "trace replays moves (%a)" Config.pp_level level)
+        expected traced)
+    [ Config.Useful; Config.Speculative ]
+
+let test_decision_trace_considers_and_blocks () =
+  let _, events = traced_pipeline Config.Speculative in
+  let considered =
+    List.exists (function Sink.Candidate_considered _ -> true | _ -> false)
+      events
+  in
+  let scheduled =
+    List.exists (function Sink.Block_scheduled _ -> true | _ -> false) events
+  in
+  Alcotest.(check bool) "candidates were considered" true considered;
+  Alcotest.(check bool) "local pass reported blocks" true scheduled;
+  (* Every event serializes. *)
+  List.iter
+    (fun e ->
+      match Json.of_string (Json.to_string (Sink.event_to_json e)) with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m)
+    events
+
+let test_phase_spans () =
+  let stats, events = traced_pipeline Config.Speculative in
+  let names = List.map (fun (s : Span.t) -> s.Span.name) stats.Pipeline.phases in
+  Alcotest.(check (list string)) "the five pipeline phases, in order"
+    Pipeline.phase_names names;
+  List.iter
+    (fun (s : Span.t) ->
+      Alcotest.(check bool) (s.Span.name ^ " non-negative") true
+        (s.Span.seconds >= 0.0))
+    stats.Pipeline.phases;
+  let total =
+    List.fold_left (fun acc (s : Span.t) -> acc +. s.Span.seconds) 0.0
+      stats.Pipeline.phases
+  in
+  Alcotest.(check (float 1e-9)) "seconds is the phase sum" total
+    (Pipeline.seconds stats);
+  (* The sink heard about each phase too. *)
+  let finished =
+    List.filter_map
+      (function Sink.Phase_finished { phase; _ } -> Some phase | _ -> None)
+      events
+  in
+  Alcotest.(check (list string)) "Phase_finished events match"
+    Pipeline.phase_names finished
+
+let () =
+  Alcotest.run "gis_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parser accepts" `Quick test_json_parser_accepts;
+          Alcotest.test_case "parser rejects" `Quick test_json_parser_rejects;
+        ] );
+      ( "stall attribution",
+        [
+          Alcotest.test_case "issue counts" `Quick test_issue_counts_sum;
+          Alcotest.test_case "accounting identity" `Quick test_stall_identity;
+          Alcotest.test_case "utilization histograms" `Quick
+            test_utilization_histograms;
+          Alcotest.test_case "issue trace" `Quick test_issue_trace_events;
+          Alcotest.test_case "telemetry json" `Quick test_telemetry_json_parses;
+        ] );
+      ( "decision trace",
+        [
+          Alcotest.test_case "replays moves" `Quick
+            test_decision_trace_replays_moves;
+          Alcotest.test_case "considers and blocks" `Quick
+            test_decision_trace_considers_and_blocks;
+          Alcotest.test_case "phase spans" `Quick test_phase_spans;
+        ] );
+    ]
