@@ -109,7 +109,7 @@ let nanoseconds_of_test test =
       | Some [] | None -> acc)
     results nan
 
-let bench_figure7 () =
+let bench_figure7 ~deterministic () =
   hr "E4: compile-time overhead (Figure 7)";
   Fmt.pr
     "  (BASE = parse + lower + local scheduling; CTO = extra time for the \
@@ -145,12 +145,13 @@ let bench_figure7 () =
         let cto = 100.0 *. ((t_full /. t_base) -. 1.0) in
         Fmt.pr "  %-10s | %9.1f | %9.1f | %+8.0f%% | %s@." p.Spec_proxy.name
           (t_base /. 1e3) (t_full /. 1e3) cto paper_cto;
+        let zf x = if deterministic then 0.0 else x in
         Json.Obj
           [
             ("program", Json.String p.Spec_proxy.name);
-            ("base_us", Json.Float (t_base /. 1e3));
-            ("full_us", Json.Float (t_full /. 1e3));
-            ("cto_percent", Json.Float cto);
+            ("base_us", Json.Float (zf (t_base /. 1e3)));
+            ("full_us", Json.Float (zf (t_full /. 1e3)));
+            ("cto_percent", Json.Float (zf cto));
             ("paper_cto", Json.String paper_cto);
           ])
       Spec_proxy.all
@@ -679,24 +680,93 @@ let bench_duplication () =
   Json.List rows
 
 (* ------------------------------------------------------------------ *)
+(* P1: parallel batch compilation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_parallel_batch ~deterministic () =
+  hr "P1: parallel batch compilation (driver pool, wall-clock)";
+  let module D = Gis_driver.Driver in
+  (* The four proxies + minmax, plus a generated corpus so the pool has
+     enough independent units to keep four domains busy. *)
+  let tasks = D.workload_tasks () @ D.corpus_tasks ~seeds:(List.init 11 (fun i -> 100 + i)) in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "  batch: %d compilation units (workloads + generated corpus)@."
+    (List.length tasks);
+  Fmt.pr "  host parallelism: %d core%s%s@." cores
+    (if cores = 1 then "" else "s")
+    (if cores = 1 then
+       " — expect no wall-clock speedup (extra domains only add GC \
+        rendezvous overhead); determinism is still checked"
+     else "");
+  let runs =
+    List.map
+      (fun jobs -> (jobs, D.run ~jobs rs6k Config.speculative tasks))
+      [ 1; 2; 4 ]
+  in
+  let seq = List.assoc 1 runs in
+  (* The whole point of the pool: worker count must not change results. *)
+  let canon r = Json.to_string (D.report_to_json ~deterministic:true r) in
+  List.iter
+    (fun (jobs, r) ->
+      if r.D.pool.D.failed > 0 then begin
+        Fmt.epr "P1: batch failed at jobs=%d@." jobs;
+        exit 1
+      end;
+      if not (String.equal (canon seq) (canon r)) then begin
+        Fmt.epr "P1: results at jobs=%d differ from sequential@." jobs;
+        exit 1
+      end)
+    runs;
+  Fmt.pr "  results byte-identical across job counts: yes@.";
+  Fmt.pr "  %4s | %8s | %7s | %11s@." "jobs" "wall (s)" "speedup" "utilization";
+  let rows =
+    List.map
+      (fun (jobs, r) ->
+        let s = D.speedup seq r in
+        let u = D.utilization r.D.pool in
+        Fmt.pr "  %4d | %8.3f | %6.2fx | %10.0f%%@." jobs
+          r.D.pool.D.wall_seconds s (100.0 *. u);
+        let zf x = if deterministic then 0.0 else x in
+        Json.Obj
+          [
+            ("jobs", Json.Int jobs);
+            ("tasks", Json.Int r.D.pool.D.tasks);
+            ("cores", Json.Int (if deterministic then 0 else cores));
+            ("wall_seconds", Json.Float (zf r.D.pool.D.wall_seconds));
+            ("speedup", Json.Float (zf s));
+            ("utilization", Json.Float (zf u));
+            ("identical_to_sequential", Json.Bool true);
+          ])
+      runs
+  in
+  Json.List rows
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let json_target () =
+let parse_args () =
   (* Manual flag parsing: `--json` (default BENCH_gis.json) or
-     `--json FILE`. Anything else is rejected loudly. *)
-  match Array.to_list Sys.argv with
-  | _ :: [] -> None
-  | [ _; "--json" ] -> Some "BENCH_gis.json"
-  | [ _; "--json"; file ] -> Some file
-  | _ :: rest ->
-      Fmt.epr "usage: %s [--json [FILE]] (got: %s)@." Sys.argv.(0)
-        (String.concat " " rest);
-      exit 2
-  | [] -> None
+     `--json FILE`, plus `--deterministic` to zero every wall-clock
+     measurement in the JSON so CI artifacts diff stably. Anything
+     else is rejected loudly. *)
+  let usage rest =
+    Fmt.epr "usage: %s [--json [FILE]] [--deterministic] (got: %s)@."
+      Sys.argv.(0) (String.concat " " rest);
+    exit 2
+  in
+  let rec go (json, det) = function
+    | [] -> (json, det)
+    | "--deterministic" :: rest -> go (json, true) rest
+    | "--json" :: file :: rest when String.length file > 2 && file.[0] <> '-' ->
+        go (Some file, det) rest
+    | "--json" :: rest -> go (Some "BENCH_gis.json", det) rest
+    | rest -> usage rest
+  in
+  go (None, false) (List.tl (Array.to_list Sys.argv))
 
 let () =
-  let json_file = json_target () in
+  let json_file, deterministic = parse_args () in
   Fmt.pr "Global Instruction Scheduling for Superscalar Machines@.";
   Fmt.pr "Bernstein & Rodeh, PLDI 1991 — benchmark reproduction@.";
   let e1_e3 = bench_figures_256 () in
@@ -710,7 +780,8 @@ let () =
   let a6 = bench_profile_guided () in
   let a7 = bench_two_model () in
   let a8 = bench_duplication () in
-  let e4 = bench_figure7 () in
+  let p1 = bench_parallel_batch ~deterministic () in
+  let e4 = bench_figure7 ~deterministic () in
   (match json_file with
   | None -> ()
   | Some path ->
@@ -733,6 +804,7 @@ let () =
             ("A6_profile_guided", a6);
             ("A7_two_model", a7);
             ("A8_duplication", a8);
+            ("P1_parallel_batch", p1);
           ]
       in
       let oc = open_out path in

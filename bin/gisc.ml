@@ -93,26 +93,76 @@ let outcome_to_json (o : Simulator.outcome) =
       ("telemetry", Trace.to_json o.Simulator.telemetry);
     ]
 
-let run_gisc source level width show_code simulate elements seed trace_issue
-    stats_file verbose =
+let config_of_level level =
+  match level with
+  | "local" -> Config.base
+  | "useful" -> Config.useful_only
+  | "speculative" | "spec" -> Config.speculative
+  | other ->
+      Fmt.epr "unknown level %s (local|useful|speculative)@." other;
+      exit 2
+
+let write_json path json =
+  match open_out path with
+  | exception Sys_error m ->
+      Fmt.epr "cannot write stats: %s@." m;
+      exit 2
+  | oc ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n';
+      close_out oc
+
+(* Batch mode: schedule every file in DIR (plus nothing else) across a
+   pool of [jobs] domains. Exit code 0 when the whole batch succeeds,
+   4 when some tasks failed but the pool survived. *)
+let run_batch dir jobs level width simulate elements seed deterministic
+    stats_file =
+  let machine = if width = 1 then Machine.rs6k else Machine.superscalar ~width in
+  let config = config_of_level level in
+  let entries =
+    match Sys.readdir dir with
+    | exception Sys_error m ->
+        Fmt.epr "cannot read batch directory: %s@." m;
+        exit 2
+    | names ->
+        Array.sort String.compare names;
+        Array.to_list names
+        |> List.filter (fun n -> not (Sys.is_directory (Filename.concat dir n)))
+        |> List.map (fun n -> Gis_driver.Driver.task_of_file (Filename.concat dir n))
+  in
+  if entries = [] then begin
+    Fmt.epr "batch directory %s has no files@." dir;
+    exit 2
+  end;
+  let report =
+    Gis_driver.Driver.run ~jobs ~simulate ~elements ~seed machine config entries
+  in
+  Fmt.pr "batch %s: %d tasks, %d jobs@.%a" dir report.Gis_driver.Driver.pool.Gis_driver.Driver.tasks
+    report.Gis_driver.Driver.pool.Gis_driver.Driver.jobs Gis_driver.Driver.pp_table report;
+  Option.iter
+    (fun path ->
+      write_json path (Gis_driver.Driver.report_to_json ~deterministic report);
+      Fmt.pr "@.stats written to %s@." path)
+    stats_file;
+  exit (if Gis_driver.Driver.failures report = [] then 0 else 4)
+
+let run_gisc source batch jobs level width show_code simulate elements seed
+    trace_issue deterministic stats_file verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
+  (match batch with
+  | Some dir ->
+      run_batch dir jobs level width simulate elements seed deterministic
+        stats_file
+  | None -> ());
   let name, src = load_source source in
   let machine =
     if width = 1 then Machine.rs6k else Machine.superscalar ~width
   in
   let sink, sink_events = Sink.memory () in
-  let config =
-    match level with
-    | "local" -> Config.base
-    | "useful" -> Config.useful_only
-    | "speculative" | "spec" -> Config.speculative
-    | other ->
-        Fmt.epr "unknown level %s (local|useful|speculative)@." other;
-        exit 2
-  in
+  let config = config_of_level level in
   let config = { config with Config.obs = sink } in
   let compile_input () =
     (* Files ending in .s hold pseudo-assembly in the paper's Figure 2
@@ -186,6 +236,20 @@ let run_gisc source level width show_code simulate elements seed trace_issue
       match stats_file with
       | None -> ()
       | Some path ->
+          (* --deterministic: zero every wall-clock field so reports
+             from different runs and machines diff cleanly. *)
+          let phases =
+            if deterministic then Span.scrub stats.Pipeline.phases
+            else stats.Pipeline.phases
+          in
+          let events =
+            List.map
+              (function
+                | Sink.Phase_finished p when deterministic ->
+                    Sink.Phase_finished { p with seconds = 0.0 }
+                | e -> e)
+              (sink_events ())
+          in
           let report =
             Json.Obj
               ([
@@ -199,13 +263,12 @@ let run_gisc source level width show_code simulate elements seed trace_issue
                      [
                        ("unrolled", Json.Int stats.Pipeline.unrolled);
                        ("rotated", Json.Int stats.Pipeline.rotated);
-                       ("phases", Span.to_json stats.Pipeline.phases);
+                       ("phases", Span.to_json phases);
                        ( "moves",
                          Json.List (List.map move_to_json (Pipeline.moves stats))
                        );
                        ( "events",
-                         Json.List
-                           (List.map Sink.event_to_json (sink_events ())) );
+                         Json.List (List.map Sink.event_to_json events) );
                      ] );
                ]
               @
@@ -221,14 +284,7 @@ let run_gisc source level width show_code simulate elements seed trace_issue
                         ] );
                   ])
           in
-          (match open_out path with
-          | exception Sys_error m ->
-              Fmt.epr "cannot write stats: %s@." m;
-              exit 2
-          | oc ->
-              output_string oc (Json.to_string report);
-              output_char oc '\n';
-              close_out oc);
+          write_json path report;
           Fmt.pr "@.stats written to %s@." path
 
 let source_arg =
@@ -301,6 +357,30 @@ let stats_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc:"Scheduler debug logging.")
 
+let batch_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "batch" ] ~docv:"DIR"
+        ~doc:"Compile and schedule every file in $(docv) as one batch \
+              ($(b,.s) files as pseudo-assembly, the rest as Tiny-C), \
+              spread across $(b,--jobs) worker domains. Results are \
+              deterministic in the job count. Exit code 4 means some \
+              tasks failed but the pool survived.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for $(b,--batch) (default 1).")
+
+let deterministic_arg =
+  Arg.(
+    value & flag
+    & info [ "deterministic" ]
+        ~doc:"Zero all wall-clock timing fields in $(b,--stats) output so \
+              reports diff stably across runs, machines, and job counts.")
+
 let cmd =
   let doc =
     "global instruction scheduling for superscalar machines (Bernstein & \
@@ -309,8 +389,8 @@ let cmd =
   Cmd.v
     (Cmd.info "gisc" ~version:"1.0.0" ~doc)
     Term.(
-      const run_gisc $ source_arg $ level_arg $ width_arg $ show_code_arg
-      $ simulate_arg $ elements_arg $ seed_arg $ trace_issue_arg $ stats_arg
-      $ verbose_arg)
+      const run_gisc $ source_arg $ batch_arg $ jobs_arg $ level_arg
+      $ width_arg $ show_code_arg $ simulate_arg $ elements_arg $ seed_arg
+      $ trace_issue_arg $ deterministic_arg $ stats_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -88,7 +88,11 @@ type state = {
   issue : int array;  (** ddg node -> issue cycle within its block pass *)
   done_ : bool array;  (** ddg node -> dependences from it are fulfilled *)
   current : Instr.t option array;  (** possibly renamed instruction *)
-  mutable liveness : Liveness.t;
+  mutable liveness : Liveness.t option;
+      (** computed lazily and invalidated on motion — only the
+          speculative safety rule reads it, so useful-only scheduling
+          never pays for it, and a burst of motions between two safety
+          checks costs one recomputation, not one per motion *)
   mutable reaching : Reaching.t option;
       (** computed lazily — only rename-safety checks need it *)
   mutable moves : move list;
@@ -105,13 +109,20 @@ let view_label st v =
   | Regions.Block b -> Some (Cfg.block st.cfg b).Block.label
   | Regions.Inner_loop _ -> None
 
-(* Liveness is consumed only by the speculative safety rule, so useful-
-   only scheduling skips the (quadratic-ish) recomputation entirely. *)
-let refresh_dataflow st =
-  if st.config.Config.level = Config.Speculative then begin
-    st.liveness <- Liveness.compute st.cfg;
-    st.reaching <- None
-  end
+(* Liveness and reaching definitions go stale whenever an instruction
+   moves; mark them dirty and recompute on the next read instead of
+   recomputing eagerly after every motion. *)
+let invalidate_dataflow st =
+  st.liveness <- None;
+  st.reaching <- None
+
+let liveness st =
+  match st.liveness with
+  | Some l -> l
+  | None ->
+      let l = Liveness.compute st.cfg in
+      st.liveness <- Some l;
+      l
 
 let reaching st =
   match st.reaching with
@@ -170,7 +181,7 @@ let make_state machine config cfg regions view =
     issue = Array.make n (-1);
     done_ = Array.make n false;
     current = Array.init n (fun i -> (Ddg.node ddg i).Ddg.instr);
-    liveness = Liveness.compute cfg;
+    liveness = None;
     reaching = None;
     moves = [];
     blocked_log = [];
@@ -292,7 +303,7 @@ let plainly_renameable inst r =
   | Instr.Branch_cond _ | Instr.Jump _ | Instr.Halt -> false
 
 let check_speculative st ~target_block inst =
-  let live = Liveness.live_before_terminator st.liveness st.cfg target_block in
+  let live = Liveness.live_before_terminator (liveness st) st.cfg target_block in
   let clobbered = List.filter (fun r -> Reg.Set.mem r live) (Instr.defs inst) in
   match clobbered with
   | [] -> Safe
@@ -363,7 +374,7 @@ let apply_motion st ~node:i ~target_blk ~speculative ~rename ~duplicated_into =
    | Some (from_reg, to_reg) ->
        emit st (Gis_obs.Sink.Renamed { uid; from_reg; to_reg })
    | None -> ());
-  refresh_dataflow st;
+  invalidate_dataflow st;
   inst
 
 (* ---- the per-block cycle-by-cycle process (Section 5.1) ---- *)
@@ -474,6 +485,40 @@ let schedule_block st a blk_id =
   in
   let is_own i = st.home.(i) = a in
   let finished = ref false in
+  (* Ready-list machinery. Candidates whose dependences are satisfied
+     sit in [ready_h], a heap ordered by the paper's rank heuristics
+     (rules 1-7, [Program_order] as the strict final arbiter, so pop
+     order is a total order independent of insertion order); candidates
+     whose operands become available at a known future cycle wait in
+     [waiting] keyed by that cycle. A node's [ready_at] is final once
+     its last in-flight predecessor has issued, which is exactly when it
+     is released, so [waiting] keys never go stale. [item]'s fields are
+     likewise fixed for the lifetime of a heap entry: [home] changes
+     only when a node issues, and issued nodes never re-enter a heap. *)
+  let item i =
+    {
+      Priority.node = i;
+      useful = List.mem st.home.(i) useful_homes;
+      d = Heuristics.d st.heur i;
+      cp = Heuristics.cp st.heur i;
+      order = st.order_of.(i);
+    }
+  in
+  let rules = st.config.Config.rules in
+  let ready_h = Heap.create ~cmp:(Priority.compare ~rules) in
+  let waiting = Heap.create ~cmp:(fun (ra, _) (rb, _) -> Int.compare ra rb) in
+  let deferred = ref [] in
+  let release i =
+    if i <> term_node && candidate.(i) && (not barred.(i)) && st.issue.(i) = -1
+    then begin
+      let it = item i in
+      if ready_at.(i) <= !cycle then Heap.push ready_h it
+      else Heap.push waiting (ready_at.(i), it)
+    end
+  in
+  for i = 0 to n - 1 do
+    if candidate.(i) && st.issue.(i) = -1 && pending.(i) = 0 then release i
+  done;
   while not !finished do
     if !cycle > 200_000 then failwith "Global_sched: no progress";
     let slots = Hashtbl.create 3 in
@@ -483,49 +528,86 @@ let schedule_block st a blk_id =
       | None -> Machine.units st.machine u
     in
     let take_slot u = Hashtbl.replace slots u (slots_left u - 1) in
-    let progress = ref true in
-    while !progress && not !finished do
-      progress := false;
-      let basic_ready i =
-        candidate.(i) && (not barred.(i)) && st.issue.(i) = -1
-        && pending.(i) = 0
-        && ready_at.(i) <= !cycle
-        && slots_left (unit_of i) > 0
-      in
-      (* The terminator waits for the block's own instructions — and
-         yields to ready duplication candidates, which are free to take
-         (the join shrinks on every path) but would otherwise lose the
-         race against a delay-less jump. Useful/speculative candidates
-         get no such priority: their interplay with the terminator is
-         exactly the paper's, keeping the Figure 5/6 schedules intact. *)
-      let dup_ready_exists =
-        dup <> []
-        && List.exists
-             (fun i -> basic_ready i && List.mem st.home.(i) dup)
-             (List.init n Fun.id)
-      in
-      let ready =
-        List.filter
-          (fun i ->
-            basic_ready i
-            && (i <> term_node || (!own_left = 1 && not dup_ready_exists)))
-          (List.init n Fun.id)
-      in
-      let items =
-        List.map
-          (fun i ->
-            {
-              Priority.node = i;
-              useful = List.mem st.home.(i) useful_homes;
-              d = Heuristics.d st.heur i;
-              cp = Heuristics.cp st.heur i;
-              order = st.order_of.(i);
-            })
-          ready
-      in
-      match Priority.best ~rules:st.config.Config.rules items with
-      | None -> ()
+    (* Start-of-cycle: operands newly available this cycle, plus
+       candidates shut out by unit saturation last cycle (units never
+       free up mid-cycle, so they could not have issued any earlier). *)
+    List.iter (Heap.push ready_h) !deferred;
+    deferred := [];
+    let rec drain_waiting () =
+      match Heap.peek waiting with
+      | Some (r, _) when r <= !cycle -> (
+          match Heap.pop waiting with
+          | Some (_, it) ->
+              Heap.push ready_h it;
+              drain_waiting ()
+          | None -> ())
+      | Some _ | None -> ()
+    in
+    drain_waiting ();
+    let basic_ready i =
+      candidate.(i) && (not barred.(i)) && st.issue.(i) = -1
+      && pending.(i) = 0
+      && ready_at.(i) <= !cycle
+      && slots_left (unit_of i) > 0
+    in
+    (* The terminator waits for the block's own instructions — and
+       yields to ready duplication candidates, which are free to take
+       (the join shrinks on every path) but would otherwise lose the
+       race against a delay-less jump. Useful/speculative candidates
+       get no such priority: their interplay with the terminator is
+       exactly the paper's, keeping the Figure 5/6 schedules intact.
+       [dup] is almost always empty, so the linear scan is off the hot
+       path. *)
+    let dup_ready_exists () =
+      dup <> []
+      && List.exists
+           (fun i -> basic_ready i && List.mem st.home.(i) dup)
+           (List.init n Fun.id)
+    in
+    let term_item () =
+      if
+        !own_left = 1
+        && candidate.(term_node)
+        && (not barred.(term_node))
+        && st.issue.(term_node) = -1
+        && pending.(term_node) = 0
+        && ready_at.(term_node) <= !cycle
+        && slots_left (unit_of term_node) > 0
+        && not (dup_ready_exists ())
+      then Some (item term_node)
+      else None
+    in
+    (* Best heap entry that can still issue this cycle; entries whose
+       unit is saturated move to [deferred] for the next cycle. *)
+    let rec pick_ready () =
+      match Heap.pop ready_h with
+      | None -> None
       | Some it ->
+          let i = it.Priority.node in
+          if (not candidate.(i)) || st.issue.(i) <> -1 then pick_ready ()
+          else if slots_left (unit_of i) > 0 then Some it
+          else begin
+            deferred := it :: !deferred;
+            pick_ready ()
+          end
+    in
+    let pick () =
+      match pick_ready (), term_item () with
+      | None, t -> t
+      | (Some _ as s), None -> s
+      | (Some it as s), (Some t as tt) ->
+          if Priority.compare ~rules t it < 0 then begin
+            Heap.push ready_h it;
+            tt
+          end
+          else s
+    in
+    let rec step () =
+      if !finished then ()
+      else
+        match pick () with
+        | None -> ()
+        | Some it ->
           let i = it.Priority.node in
           let accept ~was_own =
             st.issue.(i) <- !cycle;
@@ -542,14 +624,14 @@ let schedule_block st a blk_id =
                         !cycle + Ddg.exec_time st.ddg i + e.Ddg.delay
                     | Ddg.Anti | Ddg.Output | Ddg.Mem -> !cycle + e.Ddg.delay
                   in
-                  ready_at.(e.Ddg.dst) <- max ready_at.(e.Ddg.dst) avail
+                  ready_at.(e.Ddg.dst) <- max ready_at.(e.Ddg.dst) avail;
+                  if pending.(e.Ddg.dst) = 0 then release e.Ddg.dst
                 end)
               (Ddg.succs st.ddg i);
             st.done_.(i) <- true;
-            progress := true;
             if i = term_node then finished := true
           in
-          if is_own i then accept ~was_own:true
+          (if is_own i then accept ~was_own:true
           else begin
             let speculative = not (List.mem st.home.(i) useful_homes) in
             let inst =
@@ -608,7 +690,7 @@ let schedule_block st a blk_id =
                                (Hashtbl.find_opt st.pending_copies p))
                   | Regions.Inner_loop _ -> assert false)
                 copy_hosts;
-              if copy_hosts <> [] then refresh_dataflow st
+              if copy_hosts <> [] then invalidate_dataflow st
             in
             let hosts_labels =
               List.filter_map
@@ -640,10 +722,11 @@ let schedule_block st a blk_id =
                 emit st
                   (Gis_obs.Sink.Blocked
                      { uid = b.blocked_uid; reason = blocked_reason b.reason });
-                candidate.(i) <- false;
-                progress := true
-          end
-    done;
+                candidate.(i) <- false
+          end);
+          step ()
+    in
+    step ();
     incr cycle
   done;
   (* Rewrite the block body in emission order; the terminator stays in
@@ -664,7 +747,7 @@ let schedule_block st a blk_id =
       Hashtbl.remove st.pending_copies a
   | None -> ());
   st.processed <- Ints.Int_set.add a st.processed;
-  refresh_dataflow st
+  invalidate_dataflow st
 
 let note_skip (config : Config.t) region_id reason =
   config.Config.obs.Gis_obs.Sink.emit
@@ -717,11 +800,16 @@ let schedule_region machine config cfg regions region =
 
 (* Regions are eligible when within [max_nesting_levels] of the
    innermost level: a leaf loop has inner level 1, a region whose
-   deepest nested loop chain has k levels has inner level k + 1. *)
-let inner_level regions region =
+   deepest nested loop chain has k levels has inner level k + 1.
+   Levels for the whole region forest are memoized once per [schedule]
+   call instead of being recomputed (quadratically) per region. *)
+let inner_levels regions =
+  let all = Regions.regions regions in
+  let memo = Hashtbl.create 16 in
   let rec depth_below (r : Regions.region) =
-    match r.Regions.loop with
-    | Some _ | None ->
+    match Hashtbl.find_opt memo r.Regions.id with
+    | Some d -> d
+    | None ->
         let children =
           List.filter
             (fun (c : Regions.region) ->
@@ -729,19 +817,26 @@ let inner_level regions region =
               | Some cl, Some rl -> cl.Gis_analysis.Loops.parent = Some rl.Gis_analysis.Loops.index
               | Some cl, None -> cl.Gis_analysis.Loops.parent = None
               | None, _ -> false)
-            (Regions.regions regions)
+            all
         in
-        1 + List.fold_left (fun acc c -> max acc (depth_below c)) 0 children
+        let d =
+          1 + List.fold_left (fun acc c -> max acc (depth_below c)) 0 children
+        in
+        Hashtbl.add memo r.Regions.id d;
+        d
   in
-  depth_below region
+  depth_below
 
 let is_inner_region (region : Regions.region) =
   match region.Regions.loop with
   | Some l -> l.Gis_analysis.Loops.children = []
   | None -> false
 
-let schedule ?(only = fun _ -> true) machine config cfg =
-  let regions = Regions.compute cfg in
+let schedule ?(only = fun _ -> true) ?regions machine config cfg =
+  let regions =
+    match regions with Some r -> r | None -> Regions.compute cfg
+  in
+  let inner_level = inner_levels regions in
   List.map
     (fun region ->
       if not (only region) then begin
@@ -755,10 +850,10 @@ let schedule ?(only = fun _ -> true) machine config cfg =
           blocked = [];
         }
       end
-      else if inner_level regions region > config.Config.max_nesting_levels then begin
+      else if inner_level region > config.Config.max_nesting_levels then begin
         let why =
           Fmt.str "nesting: inner level %d exceeds limit %d"
-            (inner_level regions region)
+            (inner_level region)
             config.Config.max_nesting_levels
         in
         note_skip config region.Regions.id why;

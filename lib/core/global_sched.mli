@@ -59,6 +59,7 @@ val schedule_region :
 
 val schedule :
   ?only:(Gis_analysis.Regions.region -> bool) ->
+  ?regions:Gis_analysis.Regions.t ->
   Gis_machine.Machine.t ->
   Config.t ->
   Gis_ir.Cfg.t ->
@@ -66,7 +67,11 @@ val schedule :
 (** Schedule every eligible region of the procedure, innermost first,
     honouring the size and nesting limits in the configuration; [only]
     further restricts which regions are touched (used by the pipeline's
-    inner-regions-first pass). With [config.level = Local] no region is
+    inner-regions-first pass). [regions] supplies a precomputed region
+    analysis; callers must guarantee it matches the CFG's current shape
+    (interblock motion preserves the shape, so {!Pipeline} shares one
+    analysis between its two global passes unless rotation changed the
+    graph in between). With [config.level = Local] no region is
     scheduled (reports only). Does not run the local post-pass — see
     {!Pipeline}. *)
 

@@ -30,6 +30,20 @@ let run machine (config : Config.t) cfg =
   if config.Config.split_webs && config.Config.level <> Config.Local then
     time "webs" (fun () -> ignore (Webs.split cfg));
   let global = config.Config.level <> Config.Local in
+  (* Region analysis is a function of the CFG's shape, which interblock
+     motion preserves — only unrolling and rotation invalidate it. Both
+     global passes therefore share one analysis unless rotation ran in
+     between. Computed inside the timed phases so the spans stay
+     honest. *)
+  let regions_cache = ref None in
+  let regions () =
+    match !regions_cache with
+    | Some r -> r
+    | None ->
+        let r = Gis_analysis.Regions.compute cfg in
+        regions_cache := Some r;
+        r
+  in
   let unrolled =
     time "unroll" (fun () ->
         if global && config.Config.unroll_small_loops then
@@ -40,8 +54,8 @@ let run machine (config : Config.t) cfg =
   let pass1 =
     time "global-pass1" (fun () ->
         if global then
-          Global_sched.schedule ~only:Global_sched.is_inner_region machine
-            config cfg
+          Global_sched.schedule ~only:Global_sched.is_inner_region
+            ~regions:(regions ()) machine config cfg
         else [])
   in
   let rotated =
@@ -51,12 +65,13 @@ let run machine (config : Config.t) cfg =
             ~max_blocks:config.Config.small_loop_blocks cfg
         else 0)
   in
+  if rotated > 0 then regions_cache := None;
   let pass2 =
     time "global-pass2" (fun () ->
         if global then
           Global_sched.schedule
             ~only:(fun r -> rotated > 0 || not (Global_sched.is_inner_region r))
-            machine config cfg
+            ~regions:(regions ()) machine config cfg
         else [])
   in
   time "local" (fun () ->

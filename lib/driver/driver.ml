@@ -1,0 +1,379 @@
+open Gis_ir
+open Gis_core
+open Gis_sim
+open Gis_frontend
+open Gis_workloads
+open Gis_obs
+
+type source =
+  | Tiny_c of string
+  | Asm of string
+  | File of string
+  | Generated of int
+
+type task = { name : string; source : source }
+
+let task_of_file path = { name = Filename.basename path; source = File path }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let workload_tasks () =
+  { name = "minmax"; source = Tiny_c Minmax.source }
+  :: List.map
+       (fun (p : Spec_proxy.t) ->
+         { name = p.Spec_proxy.name; source = Tiny_c p.Spec_proxy.source })
+       Spec_proxy.all
+
+let corpus_tasks ~seeds =
+  List.map (fun s -> { name = Fmt.str "rand-%d" s; source = Generated s }) seeds
+
+type summary = {
+  blocks : int;
+  instrs : int;
+  unrolled : int;
+  rotated : int;
+  moves : int;
+  spec_moves : int;
+  renames : int;
+  events : int;
+  base_cycles : int;
+  sched_cycles : int;
+  observables : string;
+  code : string;
+  phases : Span.t list;
+}
+
+type error =
+  | Compile_error of string
+  | Crashed of string
+  | Timed_out of float
+  | Mismatch of string
+
+let pp_error ppf = function
+  | Compile_error m -> Fmt.pf ppf "compile error: %s" m
+  | Crashed m -> Fmt.pf ppf "crashed: %s" m
+  | Timed_out s -> Fmt.pf ppf "timed out after %.3fs" s
+  | Mismatch m -> Fmt.pf ppf "observable mismatch: %s" m
+
+type task_result = {
+  task : string;
+  outcome : (summary, error) result;
+  seconds : float;
+  worker : int;
+}
+
+type pool_stats = {
+  jobs : int;
+  tasks : int;
+  failed : int;
+  wall_seconds : float;
+  busy_seconds : float array;
+  tasks_run : int array;
+  queue_high_water : int;
+}
+
+let utilization p =
+  if p.jobs = 0 || p.wall_seconds <= 0.0 then 0.0
+  else
+    Array.fold_left ( +. ) 0.0 p.busy_seconds
+    /. (float_of_int p.jobs *. p.wall_seconds)
+
+type report = { results : task_result list; pool : pool_stats }
+
+let failures r =
+  List.filter_map
+    (fun t -> match t.outcome with Ok _ -> None | Error e -> Some (t.task, e))
+    r.results
+
+(* ------------------------------------------------------------------ *)
+(* One task, start to finish.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors gisc's default simulation input: every declared array gets
+   deterministic pseudo-random contents, and a variable called [n], if
+   any, is set to the element count. *)
+let default_input compiled ~elements ~seed =
+  let rng = Prng.create ~seed in
+  let arrays =
+    List.map
+      (fun (name, _, len) ->
+        (name, List.init (min len elements) (fun _ -> Prng.int rng 1000)))
+      compiled.Codegen.arrays
+  in
+  let n_binding =
+    match List.assoc_opt "n" compiled.Codegen.vars with
+    | Some reg -> [ (reg, elements) ]
+    | None -> []
+  in
+  {
+    Simulator.no_input with
+    Simulator.int_regs = n_binding;
+    memory = Codegen.array_input compiled arrays;
+  }
+
+exception Observable_mismatch of string
+
+let compile_task task =
+  match task.source with
+  | Tiny_c src -> Codegen.compile_string src
+  | Asm src -> { Codegen.cfg = Asm.parse src; vars = []; arrays = [] }
+  | File path ->
+      (* Read inside the worker so batch IO runs in parallel and an
+         unreadable file fails only its own task. *)
+      let src = read_file path in
+      if Filename.check_suffix path ".s" then
+        { Codegen.cfg = Asm.parse src; vars = []; arrays = [] }
+      else Codegen.compile_string src
+  | Generated seed -> Random_prog.generate_compiled ~seed
+
+let run_task machine config ~simulate ~elements ~seed task =
+  (* Label streams must depend only on the task, not on which worker
+     runs it or what ran before — the determinism guarantee. *)
+  Label.reset_fresh_counter ();
+  match compile_task task with
+  | exception Parser.Error m | exception Lexer.Error m
+  | exception Codegen.Error m | exception Asm.Error m ->
+      Error (Compile_error m)
+  | exception e -> Error (Crashed (Printexc.to_string e))
+  | compiled -> (
+      let sink, sink_events = Sink.memory () in
+      let config = { config with Config.obs = sink } in
+      match
+        let baseline = Cfg.deep_copy compiled.Codegen.cfg in
+        ignore (Pipeline.run machine Config.base baseline);
+        let cfg = Cfg.deep_copy compiled.Codegen.cfg in
+        let stats = Pipeline.run machine config cfg in
+        Validate.check_exn cfg;
+        let moves = Pipeline.moves stats in
+        let base_cycles, sched_cycles, observables =
+          if not simulate then (-1, -1, "")
+          else begin
+            let input =
+              match task.source with
+              | Generated gseed -> Random_prog.random_input ~seed:gseed compiled
+              | Tiny_c _ | Asm _ | File _ -> default_input compiled ~elements ~seed
+            in
+            let ob = Simulator.run machine baseline input in
+            let os = Simulator.run machine cfg input in
+            let base_obs = Simulator.observables ob in
+            let sched_obs = Simulator.observables os in
+            if not (String.equal base_obs sched_obs) then
+              raise
+                (Observable_mismatch
+                   (Fmt.str "base:@,%s@,scheduled:@,%s" base_obs sched_obs));
+            (ob.Simulator.cycles, os.Simulator.cycles, sched_obs)
+          end
+        in
+        {
+          blocks = Cfg.num_blocks cfg;
+          instrs = Cfg.instr_count cfg;
+          unrolled = stats.Pipeline.unrolled;
+          rotated = stats.Pipeline.rotated;
+          moves = List.length moves;
+          spec_moves =
+            List.length
+              (List.filter
+                 (fun (m : Global_sched.move) -> m.Global_sched.speculative)
+                 moves);
+          renames =
+            List.length
+              (List.filter
+                 (fun (m : Global_sched.move) -> m.Global_sched.renamed <> None)
+                 moves);
+          events = List.length (sink_events ());
+          base_cycles;
+          sched_cycles;
+          observables;
+          code = Fmt.str "%a" Cfg.pp cfg;
+          phases = stats.Pipeline.phases;
+        }
+      with
+      | summary -> Ok summary
+      | exception Observable_mismatch m -> Error (Mismatch m)
+      | exception e -> Error (Crashed (Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* The pool.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(jobs = 1) ?timeout ?(simulate = true) ?(elements = 128) ?(seed = 3)
+    machine config tasks =
+  let tasks_arr = Array.of_list tasks in
+  let n = Array.length tasks_arr in
+  let jobs = max 1 (min jobs (max 1 n)) in
+  let results = Array.make n None in
+  let busy = Array.make jobs 0.0 in
+  let ran = Array.make jobs 0 in
+  let mutex = Mutex.create () in
+  let next = ref 0 in
+  let high_water = ref 0 in
+  let dequeue () =
+    Mutex.protect mutex (fun () ->
+        if !next >= n then None
+        else begin
+          let depth = n - !next in
+          if depth > !high_water then high_water := depth;
+          let i = !next in
+          incr next;
+          Some i
+        end)
+  in
+  let worker wid =
+    let rec loop () =
+      match dequeue () with
+      | None -> ()
+      | Some i ->
+          let task = tasks_arr.(i) in
+          let t0 = Span.now () in
+          let outcome =
+            try run_task machine config ~simulate ~elements ~seed task
+            with e -> Error (Crashed (Printexc.to_string e))
+          in
+          let seconds = Span.now () -. t0 in
+          let outcome =
+            match timeout with
+            | Some budget when seconds > budget -> Error (Timed_out seconds)
+            | Some _ | None -> outcome
+          in
+          busy.(wid) <- busy.(wid) +. seconds;
+          ran.(wid) <- ran.(wid) + 1;
+          results.(i) <- Some { task = task.name; outcome; seconds; worker = wid };
+          loop ()
+    in
+    loop ()
+  in
+  let t0 = Span.now () in
+  let domains = Array.init jobs (fun wid -> Domain.spawn (fun () -> worker wid)) in
+  Array.iter Domain.join domains;
+  let wall_seconds = Span.now () -. t0 in
+  let results =
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* every index was dequeued exactly once *))
+         results)
+  in
+  let failed =
+    List.length (List.filter (fun r -> Result.is_error r.outcome) results)
+  in
+  {
+    results;
+    pool =
+      {
+        jobs;
+        tasks = n;
+        failed;
+        wall_seconds;
+        busy_seconds = busy;
+        tasks_run = ran;
+        queue_high_water = !high_water;
+      };
+  }
+
+let speedup sequential parallel =
+  if parallel.pool.wall_seconds <= 0.0 then 0.0
+  else sequential.pool.wall_seconds /. parallel.pool.wall_seconds
+
+(* ------------------------------------------------------------------ *)
+(* Reporting.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let error_to_json e =
+  let tag, detail =
+    match e with
+    | Compile_error m -> ("compile_error", Json.String m)
+    | Crashed m -> ("crashed", Json.String m)
+    | Timed_out s -> ("timed_out", Json.Float s)
+    | Mismatch m -> ("mismatch", Json.String m)
+  in
+  Json.Obj [ ("error", Json.String tag); ("detail", detail) ]
+
+let report_to_json ?(deterministic = false) r =
+  let scrub_f x = if deterministic then 0.0 else x in
+  let result_json t =
+    Json.Obj
+      ([
+         ("task", Json.String t.task);
+         ("seconds", Json.Float (scrub_f t.seconds));
+         ("worker", Json.Int (if deterministic then 0 else t.worker));
+       ]
+      @
+      match t.outcome with
+      | Error e -> [ ("outcome", error_to_json e) ]
+      | Ok s ->
+          [
+            ( "outcome",
+              Json.Obj
+                [
+                  ("blocks", Json.Int s.blocks);
+                  ("instrs", Json.Int s.instrs);
+                  ("unrolled", Json.Int s.unrolled);
+                  ("rotated", Json.Int s.rotated);
+                  ("moves", Json.Int s.moves);
+                  ("spec_moves", Json.Int s.spec_moves);
+                  ("renames", Json.Int s.renames);
+                  ("events", Json.Int s.events);
+                  ("base_cycles", Json.Int s.base_cycles);
+                  ("sched_cycles", Json.Int s.sched_cycles);
+                  ("observables", Json.String s.observables);
+                  ( "phases",
+                    Span.to_json
+                      (if deterministic then Span.scrub s.phases else s.phases)
+                  );
+                ] );
+          ])
+  in
+  let p = r.pool in
+  let pool_json =
+    if deterministic then
+      (* Only fields that are invariant in the worker count survive, so
+         jobs:1 and jobs:N reports are byte-identical. *)
+      [ ("tasks", Json.Int p.tasks); ("failed", Json.Int p.failed) ]
+    else
+      [
+        ("jobs", Json.Int p.jobs);
+        ("tasks", Json.Int p.tasks);
+        ("failed", Json.Int p.failed);
+        ("wall_seconds", Json.Float p.wall_seconds);
+        ( "busy_seconds",
+          Json.List
+            (Array.to_list
+               (Array.map (fun b -> Json.Float b) p.busy_seconds)) );
+        ( "tasks_run",
+          Json.List
+            (Array.to_list (Array.map (fun k -> Json.Int k) p.tasks_run)) );
+        ("queue_high_water", Json.Int p.queue_high_water);
+        ("utilization", Json.Float (utilization p));
+      ]
+  in
+  Json.Obj
+    [
+      ("results", Json.List (List.map result_json r.results));
+      ("pool", Json.Obj pool_json);
+    ]
+
+let pp_table ppf r =
+  Fmt.pf ppf "  %-14s | %7s | %7s | %6s | %6s | %s@." "task" "base" "sched"
+    "moves" "sec" "status";
+  List.iter
+    (fun t ->
+      match t.outcome with
+      | Ok s ->
+          Fmt.pf ppf "  %-14s | %7d | %7d | %6d | %6.3f | ok@." t.task
+            s.base_cycles s.sched_cycles s.moves t.seconds
+      | Error e ->
+          Fmt.pf ppf "  %-14s | %7s | %7s | %6s | %6.3f | %a@." t.task "-" "-"
+            "-" t.seconds pp_error e)
+    r.results;
+  let p = r.pool in
+  Fmt.pf ppf
+    "  pool: %d jobs, %d tasks (%d failed), %.3fs wall, %.0f%% utilization, \
+     queue high water %d@."
+    p.jobs p.tasks p.failed p.wall_seconds
+    (100.0 *. utilization p)
+    p.queue_high_water

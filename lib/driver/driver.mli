@@ -1,0 +1,137 @@
+(** Parallel batch compilation service.
+
+    Takes N independent compilation units and schedules them across a
+    fixed pool of OCaml 5 domains pulling from a shared work queue.
+    The paper's regions are per-procedure, so whole compilation units
+    are embarrassingly parallel — each task compiles, schedules,
+    validates and (optionally) simulates one unit with no shared
+    mutable state.
+
+    Guarantees:
+
+    - {b Deterministic results}: the report lists task results in input
+      order, and every result is byte-identical regardless of
+      [~jobs] — worker count and queue interleaving only affect
+      timing fields. Per-domain label counters are reset at the start
+      of every task (see {!Gis_ir.Label.reset_fresh_counter}), so a
+      task's output is a function of the task alone.
+    - {b Fault isolation}: a task that raises (frontend error, scheduler
+      bug, simulator trap) produces an [Error] entry in the report;
+      the pool and the remaining tasks are unaffected.
+    - {b Budget enforcement}: with [~timeout] a task whose wall-clock
+      time exceeds the budget is reported as [Timed_out]. The check is
+      cooperative (applied when the task finishes — domains cannot be
+      killed), so a diverging task is bounded only by the pipeline's
+      own progress guards and the simulator's fuel, both of which are
+      finite.
+    - {b Telemetry}: per-task wall-clock spans, per-worker busy time and
+      task counts, queue high-water mark, and pool utilization, all
+      reportable as JSON via {!report_to_json}. *)
+
+type source =
+  | Tiny_c of string  (** Tiny-C source text *)
+  | Asm of string  (** pseudo-assembly in the paper's Figure 2 notation *)
+  | File of string
+      (** path read inside the worker when the task runs, so batch IO
+          happens in parallel and an unreadable file fails only its own
+          task ([Crashed], not an exception in the caller); [.s] files
+          parse as pseudo-assembly, anything else as Tiny-C *)
+  | Generated of int
+      (** random Tiny-C program from {!Gis_workloads.Random_prog} with
+          this seed — pure data, so tasks stay deterministic *)
+
+type task = { name : string; source : source }
+
+val task_of_file : string -> task
+(** [{ name = Filename.basename path; source = File path }]. *)
+
+val workload_tasks : unit -> task list
+(** The built-in corpus: minmax plus the four SPEC proxies, in the
+    paper's order. *)
+
+val corpus_tasks : seeds:int list -> task list
+(** One generated-program task per seed. *)
+
+type summary = {
+  blocks : int;
+  instrs : int;
+  unrolled : int;
+  rotated : int;
+  moves : int;
+  spec_moves : int;
+  renames : int;
+  events : int;  (** scheduler decision events emitted during the run *)
+  base_cycles : int;  (** -1 when simulation was disabled *)
+  sched_cycles : int;  (** -1 when simulation was disabled *)
+  observables : string;  (** canonical observable trace, "" unsimulated *)
+  code : string;  (** the scheduled procedure, printed *)
+  phases : Gis_obs.Span.t list;  (** pipeline phase spans *)
+}
+
+type error =
+  | Compile_error of string
+  | Crashed of string  (** exception escaping the task, printed *)
+  | Timed_out of float  (** actual wall-clock seconds spent *)
+  | Mismatch of string
+      (** scheduling changed observable behaviour; payload is the
+          base/scheduled trace pair, printed *)
+
+val pp_error : error Fmt.t
+
+type task_result = {
+  task : string;
+  outcome : (summary, error) result;
+  seconds : float;  (** wall-clock time inside the task *)
+  worker : int;  (** pool worker (0-based) that ran the task *)
+}
+
+type pool_stats = {
+  jobs : int;
+  tasks : int;
+  failed : int;
+  wall_seconds : float;  (** end-to-end batch wall-clock time *)
+  busy_seconds : float array;  (** per-worker time spent inside tasks *)
+  tasks_run : int array;  (** per-worker completed task count *)
+  queue_high_water : int;  (** deepest queue observed at a dequeue *)
+}
+
+val utilization : pool_stats -> float
+(** [sum busy / (jobs * wall)], in [0, 1]; how busy the pool was. *)
+
+type report = { results : task_result list; pool : pool_stats }
+
+val failures : report -> (string * error) list
+(** Failed tasks in input order; empty iff the whole batch succeeded. *)
+
+val run :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?simulate:bool ->
+  ?elements:int ->
+  ?seed:int ->
+  Gis_machine.Machine.t ->
+  Gis_core.Config.t ->
+  task list ->
+  report
+(** Compile and schedule every task. [jobs] (default 1) is the domain
+    pool size, clamped to the task count; workers always run in spawned
+    domains, so the caller's domain-local state is never touched.
+    [simulate] (default true) runs base and scheduled code on the
+    simulator and checks observable equality; [elements]/[seed]
+    (defaults 128/3) parameterize the default simulation input exactly
+    as [gisc] does. [config.obs] is replaced by a private per-task sink
+    — a shared sink would race across domains; use the [events] count
+    and phase spans in each summary instead. *)
+
+val speedup : report -> report -> float
+(** [speedup sequential parallel] — ratio of batch wall-clock times. *)
+
+val report_to_json : ?deterministic:bool -> report -> Gis_obs.Json.t
+(** With [deterministic] (default false) every field that depends on
+    timing or on the worker count — task seconds, phase durations,
+    worker assignment, and all pool fields except [tasks]/[failed] —
+    is zeroed or dropped, so reports are byte-identical across runs
+    and job counts. *)
+
+val pp_table : report Fmt.t
+(** Human-readable batch table: one row per task plus a pool summary. *)

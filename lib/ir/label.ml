@@ -7,8 +7,15 @@ let pp = Fmt.string
 module Set = Set.Make (String)
 module Map = Map.Make (String)
 
-let counter = ref 0
+(* Domain-local: concurrent compilation tasks on different domains never
+   race on the counter, and the batch driver resets it at the start of
+   every task so generated labels depend only on the task itself, not on
+   which worker ran it or what ran before. *)
+let counter_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh ~prefix () =
+  let counter = Domain.DLS.get counter_key in
   incr counter;
   Printf.sprintf "%s.%d" prefix !counter
+
+let reset_fresh_counter () = Domain.DLS.get counter_key := 0

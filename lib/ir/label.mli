@@ -14,6 +14,16 @@ module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
 
 val fresh : prefix:string -> unit -> t
-(** [fresh ~prefix ()] generates a label unique within the process,
-    e.g. [fresh ~prefix:"CL" () = "CL.17"]. Used by CFG transformations
-    (unrolling, rotation) that must invent new block names. *)
+(** [fresh ~prefix ()] generates a label unique within the current
+    domain, e.g. [fresh ~prefix:"CL" () = "CL.17"]. Used by CFG
+    transformations (unrolling, rotation) that must invent new block
+    names. The counter is domain-local, so concurrent compilation tasks
+    never race on it. *)
+
+val reset_fresh_counter : unit -> unit
+(** Reset the current domain's [fresh] counter to zero. The batch
+    driver calls this at the start of every compilation task so label
+    streams are a function of the task alone — a prerequisite for
+    byte-identical output across worker counts. Never call it while a
+    CFG built with [fresh] labels is still live in this domain: reuse of
+    a label within one CFG would corrupt it. *)

@@ -1,4 +1,4 @@
-(** Named wall-of-CPU-time spans.
+(** Named wall-clock time spans.
 
     The pipeline used to report a single [seconds] float for all of
     scheduling; spans attribute that time to the individual phases
@@ -8,14 +8,24 @@
 
 type t = { name : string; seconds : float }
 
+val now : unit -> float
+(** Wall-clock seconds (via [Unix.gettimeofday]). *)
+
 val time : string -> (unit -> 'a) -> 'a * t
-(** [time name f] runs [f] and returns its result with the CPU seconds
-    it took (via [Sys.time]). *)
+(** [time name f] runs [f] and returns its result with the wall-clock
+    seconds it took. Wall clock, not CPU time: under the parallel batch
+    driver a task's CPU time is split across domains, and reports that
+    mix the two are meaningless. *)
 
 val total : t list -> float
 (** Sum of all span durations. *)
 
 val find : t list -> string -> t option
+
+val scrub : t list -> t list
+(** Zero every duration, keeping names and order — used by the
+    [--deterministic] report mode so golden tests and CI artifact diffs
+    are stable. *)
 
 val to_json : t list -> Json.t
 

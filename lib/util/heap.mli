@@ -1,0 +1,26 @@
+(** Array-backed binary min-heap.
+
+    The global scheduler keeps its ready candidates here, ordered by the
+    paper's rank heuristics, replacing the per-cycle linear rescans of
+    the whole node set. Ties must be broken by the comparator itself
+    (the scheduler's final [Program_order] arbiter already does), so pop
+    order is deterministic regardless of insertion order. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** A fresh empty heap. [cmp a b < 0] means [a] pops before [b]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** The minimum element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val clear : 'a t -> unit

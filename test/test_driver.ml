@@ -1,0 +1,225 @@
+(* The batch driver and the scheduler hot path, locked down.
+
+   - A differential regression corpus pins cycle counts and motion
+     counts for the paper's workloads at every level. The constants
+     were recorded from the scheduler BEFORE the priority-heap rewrite
+     and the lazy-dataflow caching; the suite therefore proves the perf
+     refactor changed compile time, not schedules.
+   - Driver.run must be deterministic in the worker count: jobs:1 and
+     jobs:N produce byte-identical scheduled code, observables and
+     (scrubbed) JSON reports.
+   - A crashing task must not take down the pool, and a task budget
+     must be enforced. *)
+
+open Gis_ir
+open Gis_machine
+open Gis_core
+open Gis_sim
+open Gis_frontend
+open Gis_workloads
+open Gis_driver
+open Gis_driver.Driver
+
+let machine = Machine.rs6k
+
+let parallel_jobs =
+  (* CI runs the suite with GIS_TEST_JOBS=4; default stays multi-domain
+     but modest so laptops are not oversubscribed. *)
+  match Sys.getenv_opt "GIS_TEST_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 1 -> n | _ -> 4)
+  | None -> 4
+
+(* ------------------------------------------------------------------ *)
+(* Differential regression corpus                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* (program, level, cycles, dynamic instructions, moves, speculative
+   moves, renames) — recorded from the pre-heap scheduler at commit
+   "telemetry layer", simulating each workload on its standard input. *)
+let golden =
+  [
+    ("minmax", `Local, 655, 375, 0, 0, 0);
+    ("minmax", `Useful, 431, 375, 4, 0, 0);
+    ("minmax", `Speculative, 395, 407, 6, 2, 1);
+    ("li", `Local, 8998, 7460, 0, 0, 0);
+    ("li", `Useful, 7657, 7460, 1, 0, 0);
+    ("li", `Speculative, 6646, 7878, 4, 3, 0);
+    ("eqntott", `Local, 8656, 6865, 0, 0, 0);
+    ("eqntott", `Useful, 6837, 6865, 3, 0, 0);
+    ("eqntott", `Speculative, 6837, 7286, 4, 1, 0);
+    ("espresso", `Local, 12297, 12683, 0, 0, 0);
+    ("espresso", `Useful, 12297, 12683, 0, 0, 0);
+    ("espresso", `Speculative, 12297, 12683, 0, 0, 0);
+    ("gcc", `Local, 12067, 11775, 0, 0, 0);
+    ("gcc", `Useful, 12067, 11775, 1, 0, 0);
+    ("gcc", `Speculative, 11639, 12012, 4, 3, 0);
+  ]
+
+let config_of_level = function
+  | `Local -> Config.base
+  | `Useful -> Config.useful_only
+  | `Speculative -> Config.speculative
+
+let level_name = function
+  | `Local -> "local"
+  | `Useful -> "useful"
+  | `Speculative -> "speculative"
+
+let minmax_elements =
+  let rng = Prng.create ~seed:5 in
+  List.init 64 (fun _ -> Prng.int rng 1000)
+
+let standard_programs () =
+  ("minmax",
+   (let t = Minmax.build () in
+    (t.Minmax.cfg, Minmax.input t minmax_elements)))
+  :: List.map
+       (fun (p : Spec_proxy.t) ->
+         let compiled = Spec_proxy.compile p in
+         (p.Spec_proxy.name, (compiled.Codegen.cfg, p.Spec_proxy.setup compiled)))
+       Spec_proxy.all
+
+let test_golden_schedules () =
+  let programs = standard_programs () in
+  List.iter
+    (fun (name, level, cycles, instrs, moves, spec, renames) ->
+      let cfg0, input = List.assoc name programs in
+      let cfg = Cfg.deep_copy cfg0 in
+      let stats = Pipeline.run machine (config_of_level level) cfg in
+      let ms = Pipeline.moves stats in
+      let outcome = Simulator.run machine cfg input in
+      let got =
+        ( outcome.Simulator.cycles,
+          outcome.Simulator.instructions,
+          List.length ms,
+          List.length
+            (List.filter
+               (fun (m : Global_sched.move) -> m.Global_sched.speculative)
+               ms),
+          List.length
+            (List.filter
+               (fun (m : Global_sched.move) -> m.Global_sched.renamed <> None)
+               ms) )
+      in
+      Alcotest.(check (list int))
+        (Fmt.str "%s @ %s" name (level_name level))
+        [ cycles; instrs; moves; spec; renames ]
+        (let a, b, c, d, e = got in
+         [ a; b; c; d; e ]))
+    golden
+
+(* ------------------------------------------------------------------ *)
+(* Driver determinism                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let batch () = workload_tasks () @ corpus_tasks ~seeds:[ 11; 22; 33; 44 ]
+
+let summary_key (r : task_result) =
+  match r.outcome with
+  | Ok s ->
+      Fmt.str "%s|%d|%d|%d|%d|%d|%d|%d|%d|%s|%s" r.task s.blocks s.instrs
+        s.moves s.spec_moves s.renames s.events s.base_cycles s.sched_cycles
+        s.observables s.code
+  | Error e -> Fmt.str "%s|ERR|%a" r.task pp_error e
+
+let test_jobs_determinism () =
+  let seq = Driver.run ~jobs:1 machine Config.speculative (batch ()) in
+  let par = Driver.run ~jobs:parallel_jobs machine Config.speculative (batch ()) in
+  Alcotest.(check int) "all sequential tasks ok" 0 seq.pool.failed;
+  Alcotest.(check int) "all parallel tasks ok" 0 par.pool.failed;
+  Alcotest.(check (list string))
+    "byte-identical summaries across job counts"
+    (List.map summary_key seq.results)
+    (List.map summary_key par.results);
+  let json r =
+    Gis_obs.Json.to_string (report_to_json ~deterministic:true r)
+  in
+  Alcotest.(check string)
+    "deterministic JSON reports identical" (json seq) (json par)
+
+let test_pool_telemetry () =
+  let tasks = batch () in
+  let r = Driver.run ~jobs:parallel_jobs machine Config.speculative tasks in
+  let p = r.pool in
+  Alcotest.(check int) "task count" (List.length tasks) p.tasks;
+  Alcotest.(check int)
+    "every task ran on some worker" (List.length tasks)
+    (Array.fold_left ( + ) 0 p.tasks_run);
+  Alcotest.(check int)
+    "queue high water is the initial depth" (List.length tasks)
+    p.queue_high_water;
+  Alcotest.(check bool) "wall clock advanced" true (p.wall_seconds > 0.0);
+  let u = utilization p in
+  Alcotest.(check bool) "utilization in (0,1]" true (u > 0.0 && u <= 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Fault isolation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_isolation () =
+  let tasks =
+    [
+      { name = "good-1"; source = Tiny_c Minmax.source };
+      { name = "broken"; source = Tiny_c "int x = (;" };
+      { name = "good-2"; source = Generated 7 };
+      { name = "trap"; source = File "/nonexistent/gis-no-such-file.c" };
+    ]
+  in
+  let r = Driver.run ~jobs:parallel_jobs machine Config.speculative tasks in
+  Alcotest.(check int) "results in input order" 4 (List.length r.results);
+  Alcotest.(check (list string))
+    "input order preserved"
+    [ "good-1"; "broken"; "good-2"; "trap" ]
+    (List.map (fun t -> t.task) r.results);
+  let by_name n = List.find (fun t -> String.equal t.task n) r.results in
+  (match (by_name "broken").outcome with
+  | Error (Compile_error _) -> ()
+  | Error e -> Alcotest.failf "expected compile error, got %a" pp_error e
+  | Ok _ -> Alcotest.fail "broken task unexpectedly compiled");
+  (match (by_name "trap").outcome with
+  | Error (Crashed _) -> ()
+  | Error e -> Alcotest.failf "expected crash, got %a" pp_error e
+  | Ok _ -> Alcotest.fail "trapping task unexpectedly succeeded");
+  List.iter
+    (fun n ->
+      match (by_name n).outcome with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s should have survived: %a" n pp_error e)
+    [ "good-1"; "good-2" ];
+  Alcotest.(check int) "two failures counted" 2 r.pool.failed;
+  Alcotest.(check int) "failures accessor agrees" 2 (List.length (failures r))
+
+let test_timeout () =
+  let r =
+    Driver.run ~jobs:2 ~timeout:0.0 machine Config.speculative
+      (workload_tasks ())
+  in
+  Alcotest.(check int) "every task over a zero budget" r.pool.tasks
+    r.pool.failed;
+  List.iter
+    (fun t ->
+      match t.outcome with
+      | Error (Timed_out s) ->
+          Alcotest.(check bool) "recorded time positive" true (s > 0.0)
+      | Error e -> Alcotest.failf "expected timeout, got %a" pp_error e
+      | Ok _ -> Alcotest.fail "expected timeout, task succeeded")
+    r.results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "gis_driver"
+    [
+      ( "differential corpus",
+        [
+          Alcotest.test_case "golden cycles and motions" `Quick
+            test_golden_schedules;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
+          Alcotest.test_case "telemetry" `Quick test_pool_telemetry;
+          Alcotest.test_case "fault isolation" `Quick test_fault_isolation;
+          Alcotest.test_case "timeout budget" `Quick test_timeout;
+        ] );
+    ]

@@ -257,6 +257,27 @@ let prop_minmax_all_levels seed =
       String.equal expected (observe c input))
     [ Config.Local; Config.Useful; Config.Speculative ]
 
+(* The batch driver is deterministic in the worker count: scheduling a
+   batch of random Tiny-C programs with one domain and with four must
+   produce byte-identical results (code, observables, cycle counts, and
+   the scrubbed JSON report). The seed picks the batch; the batch picks
+   everything else. *)
+let prop_driver_jobs_deterministic seed =
+  let tasks =
+    Gis_driver.Driver.corpus_tasks
+      ~seeds:(List.init 6 (fun i -> (seed * 7) + i))
+  in
+  let run jobs =
+    Gis_driver.Driver.run ~jobs machine Config.speculative tasks
+  in
+  let seq = run 1 and par = run 4 in
+  let json r =
+    Gis_obs.Json.to_string
+      (Gis_driver.Driver.report_to_json ~deterministic:true r)
+  in
+  seq.Gis_driver.Driver.pool.Gis_driver.Driver.failed = 0
+  && String.equal (json seq) (json par)
+
 let () =
   Alcotest.run "gis_props"
     [
@@ -280,6 +301,8 @@ let () =
         ] );
       ( "transforms preserve observables",
         [ qtest "unroll" 40 prop_unroll; qtest "rotate" 40 prop_rotate ] );
+      ( "batch driver determinism",
+        [ qtest "jobs 1 = jobs 4" 12 prop_driver_jobs_deterministic ] );
       ( "analysis invariants",
         [
           qtest "dominance vs naive" 40 prop_dominance;
