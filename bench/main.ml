@@ -18,6 +18,7 @@
      A6     extension     — profile-guided speculation
      A7     extension     — detailed machine model for the local pass
      A8     extension     — restricted scheduling-with-duplication
+     R1     extension     — register allocation spill cost (on/off/tight)
 
    E4 uses Bechamel (one Test.make per program+configuration); the other
    tables are simulator measurements, which are deterministic. Every
@@ -680,6 +681,105 @@ let bench_duplication () =
   Json.List rows
 
 (* ------------------------------------------------------------------ *)
+(* R1: register allocation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let regalloc_input compiled ~elements ~seed =
+  (* Same default input rule as gisc and the batch driver. *)
+  let rng = Prng.create ~seed in
+  let arrays =
+    List.map
+      (fun (name, _, len) ->
+        (name, List.init (min len elements) (fun _ -> Prng.int rng 1000)))
+      compiled.Codegen.arrays
+  in
+  let n_binding =
+    match List.assoc_opt "n" compiled.Codegen.vars with
+    | Some reg -> [ (reg, elements) ]
+    | None -> []
+  in
+  {
+    Simulator.no_input with
+    Simulator.int_regs = n_binding;
+    memory = Codegen.array_input compiled arrays;
+  }
+
+let bench_regalloc () =
+  let module Regalloc = Gis_regalloc.Regalloc in
+  hr "R1: register allocation (linear scan + spill code, rs6k cycles)";
+  Fmt.pr
+    "  (RA off runs on virtual registers; RA on maps to the machine's \
+     file and prices any spill code in cycles)@.";
+  Fmt.pr "  %-10s | %8s | %14s | %14s | %s@." "program" "RA off"
+    "RA on (spills)" "6 regs (spills)" "verified";
+  let sources =
+    ("minmax", Minmax.source)
+    :: List.map
+         (fun (p : Spec_proxy.t) -> (p.Spec_proxy.name, p.Spec_proxy.source))
+         Spec_proxy.all
+  in
+  let rows =
+    List.map
+      (fun (name, src) ->
+        Label.reset_fresh_counter ();
+        let compiled = Codegen.compile_string src in
+        let input = regalloc_input compiled ~elements:64 ~seed:3 in
+        let baseline = Cfg.deep_copy compiled.Codegen.cfg in
+        ignore (Pipeline.run rs6k Config.base baseline);
+        let run ?regs ~regalloc () =
+          let cfg = Cfg.deep_copy compiled.Codegen.cfg in
+          let config = { Config.speculative with Config.regalloc; regs } in
+          let stats = Pipeline.run rs6k config cfg in
+          match stats.Pipeline.regalloc with
+          | None ->
+              ((Simulator.run rs6k cfg input).Simulator.cycles, 0, None)
+          | Some alloc ->
+              let cycles =
+                (Simulator.run rs6k cfg (Regalloc.remap_input alloc input))
+                  .Simulator.cycles
+              in
+              let ok =
+                match
+                  Regalloc.verify ?gprs:regs ?fprs:regs ~machine:rs6k
+                    ~baseline ~allocated:cfg alloc input
+                with
+                | Ok () -> true
+                | Error _ -> false
+              in
+              (cycles, List.length alloc.Regalloc.spilled, Some ok)
+        in
+        let off, _, _ = run ~regalloc:false () in
+        let on, on_spills, on_ok = run ~regalloc:true () in
+        let tight, tight_spills, tight_ok = run ~regs:6 ~regalloc:true () in
+        let verified =
+          on_ok = Some true && tight_ok = Some true
+        in
+        Fmt.pr "  %-10s | %8d | %8d (%3d) | %8d (%3d) | %s@." name off on
+          on_spills tight tight_spills
+          (if verified then "yes" else "NO");
+        if not verified then begin
+          Fmt.epr "R1: allocation verifier failed on %s@." name;
+          exit 1
+        end;
+        Json.Obj
+          [
+            ("program", Json.String name);
+            ("off_cycles", Json.Int off);
+            ("on_cycles", Json.Int on);
+            ("on_spilled_regs", Json.Int on_spills);
+            ("tight_regs", Json.Int 6);
+            ("tight_cycles", Json.Int tight);
+            ("tight_spilled_regs", Json.Int tight_spills);
+            ("verified", Json.Bool verified);
+          ])
+      sources
+  in
+  Fmt.pr
+    "  (spill counts are registers sent to stack slots; the verifier \
+     diffs observables against the symbolic schedule)@.";
+  Json.List rows
+
+(* ------------------------------------------------------------------ *)
 (* P1: parallel batch compilation                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -780,6 +880,7 @@ let () =
   let a6 = bench_profile_guided () in
   let a7 = bench_two_model () in
   let a8 = bench_duplication () in
+  let r1 = bench_regalloc () in
   let p1 = bench_parallel_batch ~deterministic () in
   let e4 = bench_figure7 ~deterministic () in
   (match json_file with
@@ -804,6 +905,7 @@ let () =
             ("A6_profile_guided", a6);
             ("A7_two_model", a7);
             ("A8_duplication", a8);
+            ("R1_register_allocation", r1);
             ("P1_parallel_batch", p1);
           ]
       in

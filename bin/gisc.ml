@@ -114,11 +114,11 @@ let write_json path json =
 
 (* Batch mode: schedule every file in DIR (plus nothing else) across a
    pool of [jobs] domains. Exit code 0 when the whole batch succeeds,
-   4 when some tasks failed but the pool survived. *)
-let run_batch dir jobs level width simulate elements seed deterministic
-    stats_file =
+   5 when every failure is a budget timeout, 4 when any task actually
+   crashed, mismatched, or failed to compile. *)
+let run_batch dir jobs width simulate elements seed deterministic stats_file
+    config timeout =
   let machine = if width = 1 then Machine.rs6k else Machine.superscalar ~width in
-  let config = config_of_level level in
   let entries =
     match Sys.readdir dir with
     | exception Sys_error m ->
@@ -135,7 +135,8 @@ let run_batch dir jobs level width simulate elements seed deterministic
     exit 2
   end;
   let report =
-    Gis_driver.Driver.run ~jobs ~simulate ~elements ~seed machine config entries
+    Gis_driver.Driver.run ~jobs ?timeout ~simulate ~elements ~seed machine
+      config entries
   in
   Fmt.pr "batch %s: %d tasks, %d jobs@.%a" dir report.Gis_driver.Driver.pool.Gis_driver.Driver.tasks
     report.Gis_driver.Driver.pool.Gis_driver.Driver.jobs Gis_driver.Driver.pp_table report;
@@ -144,25 +145,42 @@ let run_batch dir jobs level width simulate elements seed deterministic
       write_json path (Gis_driver.Driver.report_to_json ~deterministic report);
       Fmt.pr "@.stats written to %s@." path)
     stats_file;
-  exit (if Gis_driver.Driver.failures report = [] then 0 else 4)
+  (* A batch that only ran out of budget is a different condition than
+     one whose tasks crashed: timeouts say "give me more time", crashes
+     say "the compiler is broken". *)
+  match Gis_driver.Driver.failures report with
+  | [] -> exit 0
+  | fails ->
+      let timeout_only =
+        List.for_all
+          (fun (_, e) ->
+            match e with Gis_driver.Driver.Timed_out _ -> true | _ -> false)
+          fails
+      in
+      exit (if timeout_only then 5 else 4)
 
 let run_gisc source batch jobs level width show_code simulate elements seed
-    trace_issue deterministic stats_file verbose =
+    trace_issue deterministic stats_file regalloc pressure_aware regs timeout
+    verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
+  let with_alloc config =
+    { config with Config.regalloc; pressure_aware; regs }
+  in
   (match batch with
   | Some dir ->
-      run_batch dir jobs level width simulate elements seed deterministic
-        stats_file
+      run_batch dir jobs width simulate elements seed deterministic stats_file
+        (with_alloc (config_of_level level))
+        timeout
   | None -> ());
   let name, src = load_source source in
   let machine =
     if width = 1 then Machine.rs6k else Machine.superscalar ~width
   in
   let sink, sink_events = Sink.memory () in
-  let config = config_of_level level in
+  let config = with_alloc (config_of_level level) in
   let config = { config with Config.obs = sink } in
   let compile_input () =
     (* Files ending in .s hold pseudo-assembly in the paper's Figure 2
@@ -190,6 +208,10 @@ let run_gisc source batch jobs level width show_code simulate elements seed
       Fmt.pr "unrolled %d loops, rotated %d; %d interblock motions@."
         stats.Pipeline.unrolled stats.Pipeline.rotated
         (List.length (Pipeline.moves stats));
+      Option.iter
+        (fun alloc ->
+          Fmt.pr "regalloc: %a@." Gis_regalloc.Regalloc.pp alloc)
+        stats.Pipeline.regalloc;
       List.iter
         (fun m -> Fmt.pr "  %a@." Global_sched.pp_move m)
         (Pipeline.moves stats);
@@ -202,16 +224,33 @@ let run_gisc source batch jobs level width show_code simulate elements seed
         if not simulate then None
         else begin
           let input = default_input compiled ~elements ~seed in
+          (* With --regalloc the scheduled code runs on physical names:
+             feed it the remapped input, compare modulo spill slots,
+             and run the full post-allocation verifier. *)
+          let sched_input, obs_of =
+            match stats.Pipeline.regalloc with
+            | Some alloc ->
+                ( Gis_regalloc.Regalloc.remap_input alloc input,
+                  Gis_regalloc.Regalloc.observables_ignoring_spills )
+            | None -> (input, Simulator.observables)
+          in
+          Option.iter
+            (fun alloc ->
+              match
+                Gis_regalloc.Regalloc.verify ?gprs:regs ?fprs:regs ~machine
+                  ~baseline ~allocated:cfg alloc input
+              with
+              | Ok () -> Fmt.pr "regalloc: verified@."
+              | Error m ->
+                  Fmt.epr "INTERNAL ERROR: allocation verifier failed: %s@." m;
+                  exit 3)
+            stats.Pipeline.regalloc;
           let ob = Simulator.run machine baseline input in
-          let os = Simulator.run ~trace:trace_issue machine cfg input in
-          if
-            not
-              (String.equal (Simulator.observables ob) (Simulator.observables os))
-          then begin
+          let os = Simulator.run ~trace:trace_issue machine cfg sched_input in
+          if not (String.equal (obs_of ob) (obs_of os)) then begin
             Fmt.epr "INTERNAL ERROR: scheduling changed observable behaviour@.";
-            Fmt.epr "--- base observables ---@.%s@." (Simulator.observables ob);
-            Fmt.epr "--- scheduled observables ---@.%s@."
-              (Simulator.observables os);
+            Fmt.epr "--- base observables ---@.%s@." (obs_of ob);
+            Fmt.epr "--- scheduled observables ---@.%s@." (obs_of os);
             exit 3
           end;
           Fmt.pr "@.simulation (%d array elements):@." elements;
@@ -269,6 +308,46 @@ let run_gisc source batch jobs level width show_code simulate elements seed
                        );
                        ( "events",
                          Json.List (List.map Sink.event_to_json events) );
+                       ( "regalloc",
+                         match stats.Pipeline.regalloc with
+                         | None -> Json.Null
+                         | Some a ->
+                             Json.Obj
+                               [
+                                 ( "spilled_regs",
+                                   Json.Int
+                                     (List.length a.Gis_regalloc.Regalloc.spilled)
+                                 );
+                                 ( "spill_loads",
+                                   Json.Int a.Gis_regalloc.Regalloc.spill_loads );
+                                 ( "spill_stores",
+                                   Json.Int a.Gis_regalloc.Regalloc.spill_stores
+                                 );
+                                 ("slots", Json.Int a.Gis_regalloc.Regalloc.slots);
+                                 ( "classes",
+                                   Json.List
+                                     (List.map
+                                        (fun (s : Gis_regalloc.Regalloc.cls_stat) ->
+                                          Json.Obj
+                                            [
+                                              ( "class",
+                                                Json.String
+                                                  (Fmt.str "%a" Reg.pp_cls
+                                                     s.Gis_regalloc.Regalloc.cls)
+                                              );
+                                              ( "budget",
+                                                Json.Int
+                                                  s.Gis_regalloc.Regalloc.budget );
+                                              ( "pressure",
+                                                Json.Int
+                                                  s.Gis_regalloc.Regalloc.pressure
+                                              );
+                                              ( "used",
+                                                Json.Int
+                                                  s.Gis_regalloc.Regalloc.used );
+                                            ])
+                                        a.Gis_regalloc.Regalloc.per_class) );
+                               ] );
                      ] );
                ]
               @
@@ -374,6 +453,43 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Worker domains for $(b,--batch) (default 1).")
 
+let regalloc_arg =
+  Arg.(
+    value & flag
+    & info [ "regalloc" ]
+        ~doc:"Run linear-scan register allocation after scheduling: rewrite \
+              the code onto the machine's physical register file, insert \
+              spill loads/stores where it overflows, and (with \
+              $(b,--simulate)) verify the allocated code against the \
+              symbolic baseline.")
+
+let pressure_aware_arg =
+  Arg.(
+    value & flag
+    & info [ "pressure-aware" ]
+        ~doc:"Prepend a register-pressure priority rule to the scheduler: \
+              among ready candidates, prefer the one whose upward motion \
+              imports fewest new live ranges into a block already at its \
+              register budget.")
+
+let regs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "regs" ] ~docv:"N"
+        ~doc:"Override the machine's GPR and FPR file sizes with $(docv) \
+              each, for $(b,--regalloc) and $(b,--pressure-aware) \
+              experiments. Condition registers keep the machine's count.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget for $(b,--batch): tasks dequeued after the \
+              budget is spent are marked timed out without running. A batch \
+              whose only failures are timeouts exits with code 5.")
+
 let deterministic_arg =
   Arg.(
     value & flag
@@ -391,6 +507,7 @@ let cmd =
     Term.(
       const run_gisc $ source_arg $ batch_arg $ jobs_arg $ level_arg
       $ width_arg $ show_code_arg $ simulate_arg $ elements_arg $ seed_arg
-      $ trace_issue_arg $ deterministic_arg $ stats_arg $ verbose_arg)
+      $ trace_issue_arg $ deterministic_arg $ stats_arg $ regalloc_arg
+      $ pressure_aware_arg $ regs_arg $ timeout_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

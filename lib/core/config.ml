@@ -25,6 +25,9 @@ type t = {
   min_speculation_probability : float;
   local_machine : Gis_machine.Machine.t option;
   allow_duplication : bool;
+  pressure_aware : bool;
+  regalloc : bool;
+  regs : int option;
   obs : Gis_obs.Sink.t;
 }
 
@@ -47,6 +50,9 @@ let default =
     min_speculation_probability = 0.0;
     local_machine = None;
     allow_duplication = false;
+    pressure_aware = false;
+    regalloc = false;
+    regs = None;
     obs = Gis_obs.Sink.null;
   }
 

@@ -59,6 +59,22 @@ type t = {
           dominate it, with fresh copies placed at the end of every
           other predecessor of [B]. Off by default — the paper's
           prototype forbids duplication. *)
+  pressure_aware : bool;
+      (** prepend a register-pressure rank rule (see
+          {!Gis_core.Priority_rule.t}) that demotes interblock motion
+          candidates whose import would push the live-register count of
+          the target block past the machine's register file. Off by
+          default so the published golden schedules reproduce exactly. *)
+  regalloc : bool;
+      (** run the linear-scan register allocator as a pipeline phase
+          after scheduling, rewriting symbolic registers to the
+          machine's physical file and inserting spill code. Off by
+          default — the paper schedules symbolic code and leaves
+          allocation to the XL backend. *)
+  regs : int option;
+      (** override the GPR/FPR file size the allocator (and the
+          pressure heuristic) target; [None] uses the machine's own
+          register counts. *)
   obs : Gis_obs.Sink.t;
       (** telemetry sink for structured scheduler decision events
           (candidates, motions, renames, safety rejections, skipped

@@ -492,9 +492,29 @@ let schedule_block st a blk_id =
      whose operands become available at a known future cycle wait in
      [waiting] keyed by that cycle. A node's [ready_at] is final once
      its last in-flight predecessor has issued, which is exactly when it
-     is released, so [waiting] keys never go stale. [item]'s fields are
-     likewise fixed for the lifetime of a heap entry: [home] changes
-     only when a node issues, and issued nodes never re-enter a heap. *)
+     is released, so [waiting] keys never go stale. Without the
+     pressure term, [item]'s fields are likewise fixed for the lifetime
+     of a heap entry: [home] changes only when a node issues, and
+     issued nodes never re-enter a heap. The [pressure] field, however,
+     reads the lazy liveness that every motion invalidates, so under
+     [pressure_aware] each applied motion must re-key surviving heap
+     entries (see [rekey_ready]) or pops would follow stale ranks. *)
+  let pressure_budget cls =
+    match st.config.Config.regs with
+    | Some n when cls <> Reg.Cr -> n
+    | Some _ | None -> Machine.regs st.machine cls
+  in
+  let pressure_of i =
+    if (not st.config.Config.pressure_aware) || st.home.(i) = a then 0
+    else
+      match st.current.(i) with
+      | None -> 0
+      | Some inst ->
+          let live =
+            Liveness.live_before_terminator (liveness st) st.cfg blk_id
+          in
+          Heuristics.import_pressure ~live ~budget:pressure_budget inst
+  in
   let item i =
     {
       Priority.node = i;
@@ -502,12 +522,37 @@ let schedule_block st a blk_id =
       d = Heuristics.d st.heur i;
       cp = Heuristics.cp st.heur i;
       order = st.order_of.(i);
+      pressure = pressure_of i;
     }
   in
-  let rules = st.config.Config.rules in
+  let rules =
+    if st.config.Config.pressure_aware then
+      Priority_rule.Min_pressure :: st.config.Config.rules
+    else st.config.Config.rules
+  in
   let ready_h = Heap.create ~cmp:(Priority.compare ~rules) in
   let waiting = Heap.create ~cmp:(fun (ra, _) (rb, _) -> Int.compare ra rb) in
   let deferred = ref [] in
+  (* An applied motion invalidates the lazy liveness backing the
+     pressure term, leaving entries already in the heaps with stale
+     rank keys; rebuild every surviving entry with a fresh [item].
+     Skipped entirely when pressure-aware scheduling is off: all keys
+     are then immutable and pop order is untouched, keeping the golden
+     schedules byte-identical. *)
+  let rekey_ready () =
+    if st.config.Config.pressure_aware then begin
+      let rec drain h acc =
+        match Heap.pop h with Some x -> drain h (x :: acc) | None -> acc
+      in
+      List.iter
+        (fun it -> Heap.push ready_h (item it.Priority.node))
+        (drain ready_h []);
+      List.iter
+        (fun (r, it) -> Heap.push waiting (r, item it.Priority.node))
+        (drain waiting []);
+      deferred := List.map (fun it -> item it.Priority.node) !deferred
+    end
+  in
   let release i =
     if i <> term_node && candidate.(i) && (not barred.(i)) && st.issue.(i) = -1
     then begin
@@ -708,7 +753,8 @@ let schedule_block st a blk_id =
                 in
                 place_copies placed;
                 st.home.(i) <- a;
-                accept ~was_own:false
+                accept ~was_own:false;
+                rekey_ready ()
             | Safe_with_rename (r, uses) ->
                 let placed =
                   apply_motion st ~node:i ~target_blk:blk ~speculative
@@ -716,7 +762,8 @@ let schedule_block st a blk_id =
                 in
                 place_copies placed;
                 st.home.(i) <- a;
-                accept ~was_own:false
+                accept ~was_own:false;
+                rekey_ready ()
             | Unsafe b ->
                 st.blocked_log <- b :: st.blocked_log;
                 emit st

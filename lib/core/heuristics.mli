@@ -24,4 +24,19 @@ val d : t -> int -> int
 val cp : t -> int -> int
 (** Critical path heuristic of the node with the given DDG index. *)
 
+val class_pressure : Gis_ir.Reg.Set.t -> Gis_ir.Reg.cls -> int
+(** Number of registers of the given class in a live set — the register
+    pressure the allocator will face at that program point. *)
+
+val import_pressure :
+  live:Gis_ir.Reg.Set.t ->
+  budget:(Gis_ir.Reg.cls -> int) ->
+  Gis_ir.Instr.t ->
+  int
+(** Pressure penalty of importing [inst] into a block whose
+    live-on-exit set is [live]: for each register the instruction
+    defines that is not already live there, how far past the class
+    [budget] the motion would push the live count. 0 when everything
+    fits — the [Min_pressure] rank rule is a no-op then. *)
+
 val pp : t Fmt.t

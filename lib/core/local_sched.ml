@@ -50,6 +50,7 @@ let run machine rules ddg =
               d = Heuristics.d heur i;
               cp = Heuristics.cp heur i;
               order = i;
+              pressure = 0;
             })
           ready
       in

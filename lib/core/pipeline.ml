@@ -5,6 +5,7 @@ type stats = {
   rotated : int;
   pass1 : Global_sched.region_report list;
   pass2 : Global_sched.region_report list;
+  regalloc : Gis_regalloc.Regalloc.t option;
   phases : Gis_obs.Span.t list;
 }
 
@@ -82,5 +83,16 @@ let run machine (config : Config.t) cfg =
         Local_sched.schedule_cfg ~rules:config.Config.rules
           ~obs:config.Config.obs local_machine cfg
       end);
+  let regalloc =
+    if config.Config.regalloc then
+      time "regalloc" (fun () ->
+          match
+            Gis_regalloc.Regalloc.allocate ?gprs:config.Config.regs
+              ?fprs:config.Config.regs machine cfg
+          with
+          | Ok alloc -> Some alloc
+          | Error msg -> failwith ("regalloc: " ^ msg))
+    else None
+  in
   ignore (Cfg.reachable cfg);
-  { unrolled; rotated; pass1; pass2; phases = List.rev !spans }
+  { unrolled; rotated; pass1; pass2; regalloc; phases = List.rev !spans }

@@ -16,11 +16,17 @@ type stats = {
   rotated : int;
   pass1 : Global_sched.region_report list;
   pass2 : Global_sched.region_report list;
+  regalloc : Gis_regalloc.Regalloc.t option;
+      (** allocation result when [Config.regalloc] is set; [None]
+          otherwise. On [Error] from the allocator, {!run} raises
+          [Failure] — a register file too small to spill into is a task
+          failure, not a silent fallback. *)
   phases : Gis_obs.Span.t list;
       (** CPU time per pipeline phase, in execution order. Always
           contains the five phases of {!phase_names} (a disabled phase
           reports the cost of deciding to skip it, ~0); a ["webs"] span
-          is prepended when the Section 4.2 pre-pass runs. *)
+          is prepended when the Section 4.2 pre-pass runs and a
+          ["regalloc"] span appended when allocation runs. *)
 }
 
 val phase_names : string list

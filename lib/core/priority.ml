@@ -4,6 +4,7 @@ type item = {
   d : int;
   cp : int;
   order : int;
+  pressure : int;
 }
 
 let apply_rule rule a b =
@@ -12,6 +13,7 @@ let apply_rule rule a b =
   | Priority_rule.Max_delay -> Int.compare b.d a.d
   | Priority_rule.Max_critical_path -> Int.compare b.cp a.cp
   | Priority_rule.Program_order -> Int.compare a.order b.order
+  | Priority_rule.Min_pressure -> Int.compare a.pressure b.pressure
 
 let compare ~rules a b =
   let rec go = function

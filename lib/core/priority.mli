@@ -9,6 +9,11 @@ type item = {
   d : int;  (** delay heuristic *)
   cp : int;  (** critical path heuristic *)
   order : int;  (** original program order; smaller is earlier *)
+  pressure : int;
+      (** register-pressure penalty of scheduling this candidate into
+          the current block: 0 when pressure-aware scheduling is off or
+          the motion fits the register file, positive when it would
+          exceed it. Smaller wins under [Min_pressure]. *)
 }
 
 val compare : rules:Priority_rule.t list -> item -> item -> int

@@ -1,4 +1,9 @@
-type t = Useful_first | Max_delay | Max_critical_path | Program_order
+type t =
+  | Useful_first
+  | Max_delay
+  | Max_critical_path
+  | Program_order
+  | Min_pressure
 
 let paper_order = [ Useful_first; Max_delay; Max_critical_path; Program_order ]
 
@@ -8,4 +13,5 @@ let pp ppf r =
     | Useful_first -> "useful-first"
     | Max_delay -> "max-delay"
     | Max_critical_path -> "max-critical-path"
-    | Program_order -> "program-order")
+    | Program_order -> "program-order"
+    | Min_pressure -> "min-pressure")

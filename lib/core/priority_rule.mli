@@ -9,6 +9,12 @@ type t =
   | Max_delay     (** rules 3–4: larger D(I) wins *)
   | Max_critical_path  (** rules 5–6: larger CP(I) wins *)
   | Program_order  (** rule 7: the earlier instruction wins *)
+  | Min_pressure
+      (** not in the paper: smaller register-pressure penalty wins.
+          Prepended to {!paper_order} when [Config.pressure_aware] is
+          set, demoting interblock motions that would push the live
+          register count of the target block past the machine's
+          register file. *)
 
 val paper_order : t list
 

@@ -40,6 +40,10 @@ type summary = {
   spec_moves : int;
   renames : int;
   events : int;
+  spilled_regs : int;
+  spill_instrs : int;
+  spill_slots : int;
+  max_pressure : int;
   base_cycles : int;
   sched_cycles : int;
   observables : string;
@@ -157,16 +161,40 @@ let run_task machine config ~simulate ~elements ~seed task =
               | Generated gseed -> Random_prog.random_input ~seed:gseed compiled
               | Tiny_c _ | Asm _ | File _ -> default_input compiled ~elements ~seed
             in
+            (* With allocation on, the scheduled code runs on physical
+               names: its input moves through the assignment and the
+               comparison ignores spill-slot addresses (the base run has
+               none, so stripping is the identity there). *)
+            let sched_input, obs_of =
+              match stats.Pipeline.regalloc with
+              | Some alloc ->
+                  ( Gis_regalloc.Regalloc.remap_input alloc input,
+                    Gis_regalloc.Regalloc.observables_ignoring_spills )
+              | None -> (input, Simulator.observables)
+            in
             let ob = Simulator.run machine baseline input in
-            let os = Simulator.run machine cfg input in
-            let base_obs = Simulator.observables ob in
-            let sched_obs = Simulator.observables os in
+            let os = Simulator.run machine cfg sched_input in
+            let base_obs = obs_of ob in
+            let sched_obs = obs_of os in
             if not (String.equal base_obs sched_obs) then
               raise
                 (Observable_mismatch
                    (Fmt.str "base:@,%s@,scheduled:@,%s" base_obs sched_obs));
             (ob.Simulator.cycles, os.Simulator.cycles, sched_obs)
           end
+        in
+        let spilled_regs, spill_instrs, spill_slots, max_pressure =
+          match stats.Pipeline.regalloc with
+          | None -> (0, 0, 0, 0)
+          | Some a ->
+              ( List.length a.Gis_regalloc.Regalloc.spilled,
+                a.Gis_regalloc.Regalloc.spill_loads
+                + a.Gis_regalloc.Regalloc.spill_stores,
+                a.Gis_regalloc.Regalloc.slots,
+                List.fold_left
+                  (fun acc (s : Gis_regalloc.Regalloc.cls_stat) ->
+                    max acc s.Gis_regalloc.Regalloc.pressure)
+                  0 a.Gis_regalloc.Regalloc.per_class )
         in
         {
           blocks = Cfg.num_blocks cfg;
@@ -185,6 +213,10 @@ let run_task machine config ~simulate ~elements ~seed task =
                  (fun (m : Global_sched.move) -> m.Global_sched.renamed <> None)
                  moves);
           events = List.length (sink_events ());
+          spilled_regs;
+          spill_instrs;
+          spill_slots;
+          max_pressure;
           base_cycles;
           sched_cycles;
           observables;
@@ -222,34 +254,54 @@ let run ?(jobs = 1) ?timeout ?(simulate = true) ?(elements = 128) ?(seed = 3)
           Some i
         end)
   in
+  let batch_start = Span.now () in
   let worker wid =
     let rec loop () =
       match dequeue () with
       | None -> ()
       | Some i ->
           let task = tasks_arr.(i) in
-          let t0 = Span.now () in
-          let outcome =
-            try run_task machine config ~simulate ~elements ~seed task
-            with e -> Error (Crashed (Printexc.to_string e))
-          in
-          let seconds = Span.now () -. t0 in
-          let outcome =
-            match timeout with
-            | Some budget when seconds > budget -> Error (Timed_out seconds)
-            | Some _ | None -> outcome
-          in
-          busy.(wid) <- busy.(wid) +. seconds;
-          ran.(wid) <- ran.(wid) + 1;
-          results.(i) <- Some { task = task.name; outcome; seconds; worker = wid };
+          let elapsed = Span.now () -. batch_start in
+          (match timeout with
+          | Some budget when elapsed > budget ->
+              (* The batch budget is already spent: mark the task timed
+                 out without running it at all, instead of letting
+                 everything still queued run to completion. The payload
+                 is the batch time elapsed when it was skipped. *)
+              results.(i) <-
+                Some
+                  {
+                    task = task.name;
+                    outcome = Error (Timed_out elapsed);
+                    seconds = 0.0;
+                    worker = wid;
+                  }
+          | Some _ | None ->
+              let t0 = Span.now () in
+              let outcome =
+                try run_task machine config ~simulate ~elements ~seed task
+                with e -> Error (Crashed (Printexc.to_string e))
+              in
+              let seconds = Span.now () -. t0 in
+              (* Per-task budget check stays: a single task that blows
+                 the whole budget is reported as timed out too, even
+                 though (cooperatively) it did run to completion. *)
+              let outcome =
+                match timeout with
+                | Some budget when seconds > budget -> Error (Timed_out seconds)
+                | Some _ | None -> outcome
+              in
+              busy.(wid) <- busy.(wid) +. seconds;
+              ran.(wid) <- ran.(wid) + 1;
+              results.(i) <-
+                Some { task = task.name; outcome; seconds; worker = wid });
           loop ()
     in
     loop ()
   in
-  let t0 = Span.now () in
   let domains = Array.init jobs (fun wid -> Domain.spawn (fun () -> worker wid)) in
   Array.iter Domain.join domains;
-  let wall_seconds = Span.now () -. t0 in
+  let wall_seconds = Span.now () -. batch_start in
   let results =
     Array.to_list
       (Array.map
@@ -318,6 +370,10 @@ let report_to_json ?(deterministic = false) r =
                   ("spec_moves", Json.Int s.spec_moves);
                   ("renames", Json.Int s.renames);
                   ("events", Json.Int s.events);
+                  ("spilled_regs", Json.Int s.spilled_regs);
+                  ("spill_instrs", Json.Int s.spill_instrs);
+                  ("spill_slots", Json.Int s.spill_slots);
+                  ("max_pressure", Json.Int s.max_pressure);
                   ("base_cycles", Json.Int s.base_cycles);
                   ("sched_cycles", Json.Int s.sched_cycles);
                   ("observables", Json.String s.observables);

@@ -18,12 +18,14 @@
     - {b Fault isolation}: a task that raises (frontend error, scheduler
       bug, simulator trap) produces an [Error] entry in the report;
       the pool and the remaining tasks are unaffected.
-    - {b Budget enforcement}: with [~timeout] a task whose wall-clock
-      time exceeds the budget is reported as [Timed_out]. The check is
-      cooperative (applied when the task finishes — domains cannot be
-      killed), so a diverging task is bounded only by the pipeline's
-      own progress guards and the simulator's fuel, both of which are
-      finite.
+    - {b Budget enforcement}: [~timeout] is a wall-clock budget for the
+      whole batch, measured from pool start. A task dequeued after the
+      budget is spent is marked [Timed_out] {e without being run};
+      additionally, a task that itself runs longer than the budget is
+      reported [Timed_out] when it finishes (cooperative — domains
+      cannot be killed), so a diverging task is bounded only by the
+      pipeline's own progress guards and the simulator's fuel, both of
+      which are finite.
     - {b Telemetry}: per-task wall-clock spans, per-worker busy time and
       task counts, queue high-water mark, and pool utilization, all
       reportable as JSON via {!report_to_json}. *)
@@ -61,6 +63,11 @@ type summary = {
   spec_moves : int;
   renames : int;
   events : int;  (** scheduler decision events emitted during the run *)
+  spilled_regs : int;  (** symbolic registers spilled; 0 when regalloc off *)
+  spill_instrs : int;  (** reload + spill-store instructions inserted *)
+  spill_slots : int;  (** distinct spill slots *)
+  max_pressure : int;
+      (** peak live intervals across classes; 0 when regalloc off *)
   base_cycles : int;  (** -1 when simulation was disabled *)
   sched_cycles : int;  (** -1 when simulation was disabled *)
   observables : string;  (** canonical observable trace, "" unsimulated *)
@@ -71,7 +78,10 @@ type summary = {
 type error =
   | Compile_error of string
   | Crashed of string  (** exception escaping the task, printed *)
-  | Timed_out of float  (** actual wall-clock seconds spent *)
+  | Timed_out of float
+      (** wall-clock seconds: the task's own time when it ran over the
+          budget, or the batch time elapsed when the task was skipped
+          because the budget was already spent *)
   | Mismatch of string
       (** scheduling changed observable behaviour; payload is the
           base/scheduled trace pair, printed *)

@@ -173,6 +173,31 @@ let rename_def i ~from_reg ~to_reg =
   in
   { i with kind }
 
+let map_regs ~f i =
+  let op = function Reg r -> Reg (f r) | Imm _ as o -> o in
+  let kind =
+    match i.kind with
+    | Load ({ dst; base; _ } as l) -> Load { l with dst = f dst; base = f base }
+    | Store ({ src; base; _ } as s) ->
+        Store { s with src = f src; base = f base }
+    | Load_imm ({ dst; _ } as l) -> Load_imm { l with dst = f dst }
+    | Move { dst; src } -> Move { dst = f dst; src = f src }
+    | Binop ({ dst; lhs; rhs; _ } as b) ->
+        Binop { b with dst = f dst; lhs = f lhs; rhs = op rhs }
+    | Fbinop ({ dst; lhs; rhs; _ } as b) ->
+        Fbinop { b with dst = f dst; lhs = f lhs; rhs = f rhs }
+    | Compare { dst; lhs; rhs } ->
+        Compare { dst = f dst; lhs = f lhs; rhs = op rhs }
+    | Fcompare { dst; lhs; rhs } ->
+        Fcompare { dst = f dst; lhs = f lhs; rhs = f rhs }
+    | Branch_cond ({ cr; _ } as b) -> Branch_cond { b with cr = f cr }
+    | Jump _ as k -> k
+    | Call ({ args; ret; _ } as c) ->
+        Call { c with args = List.map f args; ret = Option.map f ret }
+    | Halt -> Halt
+  in
+  { i with kind }
+
 let negate_cond = function
   | Lt -> Ge
   | Gt -> Le

@@ -131,6 +131,13 @@ val rename_def : t -> from_reg:Reg.t -> to_reg:Reg.t -> t
     [from_reg] is not defined by the instruction, or if it is defined
     via an [update] base (renaming those would change the use too). *)
 
+val map_regs : f:(Reg.t -> Reg.t) -> t -> t
+(** Apply [f] to every register position — defs and uses — {e
+    simultaneously}. Unlike chained {!rename_uses}/{!rename_def} calls,
+    a whole-map substitution is safe even when the image of one register
+    collides with another register's name (exactly the situation when
+    rewriting symbolic registers to a small physical file). *)
+
 val negate_cond : cond -> cond
 
 val eval_cond : cond -> int -> bool

@@ -5,6 +5,9 @@ type t = {
   fixed_units : int;
   float_units : int;
   branch_units : int;
+  gprs : int;
+  fprs : int;
+  crs : int;
   exec_time : Instr.t -> int;
   delay : producer:Instr.t -> consumer:Instr.t -> reg:Reg.t -> int;
   mem_delay : producer:Instr.t -> consumer:Instr.t -> int;
@@ -20,6 +23,20 @@ let units m = function
 let exec_time m i = m.exec_time i
 let delay m = m.delay
 let mem_delay m = m.mem_delay
+
+(* Physical register file, by class. The RS/6000 has 32 GPRs, 32 FPRs
+   and 8 condition register fields. *)
+let regs m = function
+  | Reg.Gpr -> m.gprs
+  | Reg.Fpr -> m.fprs
+  | Reg.Cr -> m.crs
+
+let with_regs ?gprs ?fprs m =
+  let gprs = Option.value gprs ~default:m.gprs in
+  let fprs = Option.value fprs ~default:m.fprs in
+  if gprs < 1 || fprs < 1 then
+    invalid_arg "Machine.with_regs: need at least one register per class";
+  { m with gprs; fprs }
 
 (* RS/6000 execution times: most instructions take a single cycle;
    multiply and divide are the multi-cycle exceptions (Section 2.1). *)
@@ -47,12 +64,25 @@ let rs6k_delay ~producer ~consumer ~reg =
 
 let no_mem_delay ~producer:_ ~consumer:_ = 0
 
-let make ~name ~fixed_units ~float_units ~branch_units
-    ?(exec_time = rs6k_exec_time) ?(delay = rs6k_delay)
-    ?(mem_delay = no_mem_delay) () =
+let make ~name ~fixed_units ~float_units ~branch_units ?(gprs = 32)
+    ?(fprs = 32) ?(crs = 8) ?(exec_time = rs6k_exec_time)
+    ?(delay = rs6k_delay) ?(mem_delay = no_mem_delay) () =
   if fixed_units < 1 || float_units < 0 || branch_units < 1 then
     invalid_arg "Machine.make: need at least one fixed and one branch unit";
-  { name; fixed_units; float_units; branch_units; exec_time; delay; mem_delay }
+  if gprs < 1 || fprs < 1 || crs < 1 then
+    invalid_arg "Machine.make: need at least one register per class";
+  {
+    name;
+    fixed_units;
+    float_units;
+    branch_units;
+    gprs;
+    fprs;
+    crs;
+    exec_time;
+    delay;
+    mem_delay;
+  }
 
 let rs6k =
   make ~name:"rs6k" ~fixed_units:1 ~float_units:1 ~branch_units:1 ()

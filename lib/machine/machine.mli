@@ -16,6 +16,18 @@ val name : t -> string
 val units : t -> Gis_ir.Instr.unit_ty -> int
 (** Number of functional units of the given type (n_i). *)
 
+val regs : t -> Gis_ir.Reg.cls -> int
+(** Size of the physical register file of the given class. Scheduling
+    itself runs on symbolic registers (paper, Section 2); this bound is
+    what the register allocator and the pressure-aware rank heuristic
+    allocate against. Defaults mirror the RS/6000: 32 GPRs, 32 FPRs,
+    8 condition register fields. *)
+
+val with_regs : ?gprs:int -> ?fprs:int -> t -> t
+(** Same machine with a smaller (or larger) integer / floating point
+    register file — used to force spills in experiments. Condition
+    registers are not overridable: compare results cannot be spilled. *)
+
 val exec_time : t -> Gis_ir.Instr.t -> int
 (** Cycles the instruction occupies its unit; >= 1. *)
 
@@ -36,6 +48,9 @@ val make :
   fixed_units:int ->
   float_units:int ->
   branch_units:int ->
+  ?gprs:int ->
+  ?fprs:int ->
+  ?crs:int ->
   ?exec_time:(Gis_ir.Instr.t -> int) ->
   ?delay:
     (producer:Gis_ir.Instr.t -> consumer:Gis_ir.Instr.t -> reg:Gis_ir.Reg.t -> int) ->

@@ -136,21 +136,51 @@ let of_string s =
           | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
           | Some 'u' ->
               advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> fail "bad \\u escape"
+              let hex4 () =
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail "bad \\u escape"
+                in
+                pos := !pos + 4;
+                code
               in
-              pos := !pos + 4;
-              (* Telemetry strings are ASCII; encode BMP scalars as UTF-8. *)
+              let code = hex4 () in
+              (* A high surrogate must combine with the following
+                 [\uDC00-\uDFFF] escape into one astral scalar —
+                 emitting each half as its own 3-byte sequence would
+                 produce CESU-8, not UTF-8, and break round-trips. *)
+              let code =
+                if code >= 0xD800 && code <= 0xDBFF then begin
+                  if
+                    not
+                      (!pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                  then fail "lone high surrogate in \\u escape";
+                  pos := !pos + 2;
+                  let low = hex4 () in
+                  if low < 0xDC00 || low > 0xDFFF then
+                    fail "bad low surrogate in \\u escape";
+                  0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                end
+                else if code >= 0xDC00 && code <= 0xDFFF then
+                  fail "lone low surrogate in \\u escape"
+                else code
+              in
+              (* Encode the scalar as UTF-8 (1–4 bytes). *)
               if code < 0x80 then Buffer.add_char b (Char.chr code)
               else if code < 0x800 then begin
                 Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
               end
-              else begin
+              else if code < 0x10000 then begin
                 Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
                 Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
               end;

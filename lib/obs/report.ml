@@ -53,8 +53,10 @@ let pp_issue_diagram ppf (s : Trace.summary) =
         groups
 
 let pp_summary ppf (s : Trace.summary) =
-  Fmt.pf ppf "issue span %d cycles; stalls: interlock %d, store-queue %d"
-    s.Trace.last_issue s.Trace.interlock_cycles s.Trace.mem_interlock_cycles;
+  Fmt.pf ppf
+    "issue span %d cycles; stalls: interlock %d, store-queue %d, call %d"
+    s.Trace.last_issue s.Trace.interlock_cycles s.Trace.mem_interlock_cycles
+    s.Trace.call_interlock_cycles;
   List.iter
     (fun (u : Trace.unit_stat) ->
       Fmt.pf ppf ", %s-busy %d" (unit_name u.Trace.unit_) u.Trace.busy_stall)

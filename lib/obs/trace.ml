@@ -5,6 +5,7 @@ type stall =
   | In_order of int
   | Interlock of { reg : Reg.t; producer : int }
   | Mem_interlock of { producer : int }
+  | Call_interlock of { producer : int }
   | Unit_busy of Instr.unit_ty
 
 let stall_category = function
@@ -12,6 +13,7 @@ let stall_category = function
   | In_order _ -> "in_order"
   | Interlock _ -> "interlock"
   | Mem_interlock _ -> "mem_interlock"
+  | Call_interlock _ -> "call_interlock"
   | Unit_busy _ -> "unit_busy"
 
 let pp_stall ppf = function
@@ -20,6 +22,8 @@ let pp_stall ppf = function
   | Interlock { reg; producer } ->
       Fmt.pf ppf "interlock %a<-#%d" Reg.pp reg producer
   | Mem_interlock { producer } -> Fmt.pf ppf "store-queue behind #%d" producer
+  | Call_interlock { producer } ->
+      Fmt.pf ppf "serialized behind call #%d" producer
   | Unit_busy u -> Fmt.pf ppf "%a unit busy" Instr.pp_unit_ty u
 
 type event = {
@@ -49,6 +53,7 @@ type summary = {
   last_issue : int;
   interlock_cycles : int;
   mem_interlock_cycles : int;
+  call_interlock_cycles : int;
   in_order_instrs : int;
   units : unit_stat list;
   blocks : block_stat list;
@@ -60,6 +65,7 @@ let empty =
     last_issue = 0;
     interlock_cycles = 0;
     mem_interlock_cycles = 0;
+    call_interlock_cycles = 0;
     in_order_instrs = 0;
     units = [];
     blocks = [];
@@ -70,7 +76,8 @@ let unit_busy_total s =
   List.fold_left (fun acc u -> acc + u.busy_stall) 0 s.units
 
 let stall_total s =
-  s.interlock_cycles + s.mem_interlock_cycles + unit_busy_total s
+  s.interlock_cycles + s.mem_interlock_cycles + s.call_interlock_cycles
+  + unit_busy_total s
 
 let unit_name u = Fmt.str "%a" Instr.pp_unit_ty u
 
@@ -89,6 +96,12 @@ let stall_to_json = function
       Json.Obj
         [
           ("category", Json.String "mem_interlock");
+          ("producer_uid", Json.Int producer);
+        ]
+  | Call_interlock { producer } ->
+      Json.Obj
+        [
+          ("category", Json.String "call_interlock");
           ("producer_uid", Json.Int producer);
         ]
   | Unit_busy u ->
@@ -116,6 +129,7 @@ let to_json s =
           [
             ("interlock", Json.Int s.interlock_cycles);
             ("mem_interlock", Json.Int s.mem_interlock_cycles);
+            ("call_interlock", Json.Int s.call_interlock_cycles);
             ( "unit_busy",
               Json.Obj
                 (List.map

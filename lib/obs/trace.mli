@@ -29,13 +29,18 @@ type stall =
       (** waiting on [reg], produced by the instruction with uid
           [producer] — the hardware-interlock rule *)
   | Mem_interlock of { producer : int }
-      (** the secondary store-queue delay of the detailed model *)
+      (** the secondary store-queue delay of the detailed model, behind
+          a store *)
+  | Call_interlock of { producer : int }
+      (** the same secondary memory delay, but the producer is a call —
+          kept apart from [Mem_interlock] so per-category accounting
+          does not blame the store queue for call serialization *)
   | Unit_busy of Gis_ir.Instr.unit_ty
       (** all units of the type were taken — structural hazard *)
 
 val stall_category : stall -> string
 (** Short category slug: ["none"], ["in_order"], ["interlock"],
-    ["mem_interlock"], ["unit_busy"]. *)
+    ["mem_interlock"], ["call_interlock"], ["unit_busy"]. *)
 
 val pp_stall : stall Fmt.t
 
@@ -70,6 +75,7 @@ type summary = {
   last_issue : int;  (** issue cycle of the last dynamic instruction *)
   interlock_cycles : int;
   mem_interlock_cycles : int;
+  call_interlock_cycles : int;
   in_order_instrs : int;
       (** dynamic instructions that were operand-ready strictly before
           in-order issue let them go — the issues an out-of-order
@@ -86,8 +92,8 @@ val unit_busy_total : summary -> int
 (** Sum of [busy_stall] over all unit types. *)
 
 val stall_total : summary -> int
-(** [interlock + mem_interlock + unit_busy_total] — equals
-    [last_issue] by the accounting identity. *)
+(** [interlock + mem_interlock + call_interlock + unit_busy_total] —
+    equals [last_issue] by the accounting identity. *)
 
 val to_json : summary -> Json.t
 (** Canonical JSON: unit utilization, stall totals, per-block breakdown,

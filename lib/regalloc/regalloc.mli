@@ -1,0 +1,107 @@
+(** Linear-scan register allocation over scheduled code.
+
+    The paper schedules {e symbolic} registers and leaves allocation to
+    the XL backend (Section 2), so the simulated cycle counts of the
+    plain pipeline never pay for spills. This pass closes that gap: it
+    builds one conservative live interval per symbolic register from
+    the {!Gis_analysis.Liveness} solution (extended to block boundaries
+    by live-in/live-out), runs the Poletto–Sarkar linear scan against
+    the machine's physical register file, rewrites the procedure onto
+    physical names with {!Gis_ir.Instr.map_regs}, and inserts spill
+    code as real load/store instructions — so the simulator's delay
+    model (load-use delay, store-queue forwarding) prices spills with
+    no special cases.
+
+    Spill slots live at {e negative} addresses (word slots at
+    [-4(k+1)], doubles at [-8(k+1)]), below every Tiny-C array (static
+    bases start at 1024), addressed off a reserved base register that
+    holds 0. Observable comparisons against symbolic code must ignore
+    those addresses — use {!observables_ignoring_spills}.
+
+    Condition registers cannot be spilled (stores of [crN] are
+    ill-formed, see [Validate]); a procedure whose condition-register
+    pressure exceeds the file is rejected with [Error]. *)
+
+type interval = {
+  reg : Gis_ir.Reg.t;
+  start : int;
+  stop : int;  (** inclusive; positions are linearized layout order *)
+}
+
+type cls_stat = {
+  cls : Gis_ir.Reg.cls;
+  budget : int;  (** physical registers available to the allocator *)
+  pressure : int;  (** peak simultaneous live intervals (pre-allocation) *)
+  used : int;  (** distinct physical registers in the rewritten code *)
+}
+
+type t = {
+  assignment : (Gis_ir.Reg.t * Gis_ir.Reg.t) list;
+      (** symbolic register -> physical register, every allocated
+          (non-spilled) register that appears in the procedure *)
+  spilled : (Gis_ir.Reg.t * int) list;  (** symbolic register -> slot *)
+  intervals : interval list;  (** the live intervals the scan ran on *)
+  entry_live : Gis_ir.Reg.t list;
+      (** registers live into the entry block — the only input bindings
+          that survive {!remap_input} *)
+  spill_loads : int;  (** reload instructions inserted *)
+  spill_stores : int;  (** spill-store instructions inserted *)
+  slots : int;  (** distinct spill slots *)
+  per_class : cls_stat list;  (** GPR, FPR, CR in that order *)
+}
+
+val allocate :
+  ?gprs:int ->
+  ?fprs:int ->
+  Gis_machine.Machine.t ->
+  Gis_ir.Cfg.t ->
+  (t, string) result
+(** Allocate the procedure in place: every register in the rewritten
+    code is physical ([rN]/[fN]/[crN] with [N] below the class budget),
+    and spill code is inserted where the scan ran out. [gprs]/[fprs]
+    override the machine's register file (the [--regs N] experiments);
+    the condition-register budget always comes from the machine.
+
+    When spilling is needed the allocator re-runs the scan with a
+    reduced pool: the highest GPR becomes the spill-slot base register
+    and the next three GPRs (and top three FPRs, when floats are in
+    use) become reload/store scratch registers — three because a
+    three-address op can have all its operands spilled and distinct.
+    [Error] when the file is too small even for that (fewer than 5
+    GPRs), when condition registers overflow their file, or when one
+    instruction needs more spilled operands of a class than there are
+    scratch registers (a call with 4+ spilled arguments). *)
+
+val remap_input : t -> Gis_sim.Simulator.input -> Gis_sim.Simulator.input
+(** Translate an input built for the symbolic procedure: register
+    bindings move to their physical names, bindings of spilled
+    registers become memory bindings at the spill slot, and bindings of
+    registers the procedure never read at entry are dropped (their
+    physical home may be shared with a register that {e is} live). *)
+
+val observables_ignoring_spills : Gis_sim.Simulator.outcome -> string
+(** {!Gis_sim.Simulator.observables} with spill-slot (negative)
+    addresses removed from both final memories — what allocation must
+    preserve. The identity on outcomes of spill-free code. *)
+
+val verify :
+  ?gprs:int ->
+  ?fprs:int ->
+  machine:Gis_machine.Machine.t ->
+  baseline:Gis_ir.Cfg.t ->
+  allocated:Gis_ir.Cfg.t ->
+  t ->
+  Gis_sim.Simulator.input ->
+  (unit, string) result
+(** Post-allocation checks, strongest last:
+
+    - no physical register hosts two overlapping live intervals (a
+      conflicting def while another value is still live);
+    - the rewritten code uses at most the budget of each class;
+    - running the functional evaluator on the allocated code with the
+      remapped input produces observable state (modulo spill slots)
+      identical to the symbolic [baseline] on the same input. *)
+
+val pp : t Fmt.t
+(** One-line allocation summary: per-class pressure/used/budget plus
+    spill counts. *)

@@ -49,13 +49,19 @@ type state = {
   mutable out : string list;
   mutable header_entries : int list;  (** issue cycles, newest first *)
   counts : (Label.t, int) Hashtbl.t;
-  mutable last_write : (Instr.t * int) option;
-      (** last memory-writing instruction and its completion cycle, for
-          the secondary [mem_delay] constraint *)
+  mutable last_store : (Instr.t * int) option;
+      (** last store and its completion cycle, for the secondary
+          [mem_delay] constraint (store-queue forwarding) *)
+  mutable last_call : (Instr.t * int) option;
+      (** last call, tracked separately: a call between a store and a
+          load must not hide the store from the store-queue delay, and
+          any delay the machine charges behind a call is attributed as
+          call serialization, not a store-queue stall *)
   (* ---- telemetry (Gis_obs.Trace) ---- *)
   mutable cur_block : Label.t;  (** label of the block being executed *)
   mutable interlock_cycles : int;
   mutable mem_interlock_cycles : int;
+  mutable call_interlock_cycles : int;
   mutable in_order_instrs : int;
   unit_busy : int array;  (** unit rank -> gap cycles lost to a full unit *)
   unit_issues : int array;  (** unit rank -> dynamic issues *)
@@ -122,15 +128,25 @@ let issue st i =
   in
   let ready, culprit =
     (* Secondary memory delay: only a non-zero [mem_delay] constrains
-       issue (zero means the hardware forwards). *)
-    if Instr.touches_memory i then
-      match st.last_write with
-      | Some (producer, fin) ->
-          let d = Machine.mem_delay st.machine ~producer ~consumer:i in
-          if d > 0 && fin + d > ready then
-            (fin + d, Some (Trace.Mem_interlock { producer = Instr.uid producer }))
-          else (ready, culprit)
-      | None -> (ready, culprit)
+       issue (zero means the hardware forwards). Stores and calls are
+       tracked separately so that a call does not shadow an earlier
+       store, and so the stall is attributed to the right category. *)
+    if Instr.touches_memory i then begin
+      let constrain (ready, culprit) source mk =
+        match source with
+        | Some (producer, fin) ->
+            let d = Machine.mem_delay st.machine ~producer ~consumer:i in
+            if d > 0 && fin + d > ready then
+              (fin + d, Some (mk (Instr.uid producer)))
+            else (ready, culprit)
+        | None -> (ready, culprit)
+      in
+      constrain
+        (constrain (ready, culprit) st.last_store (fun producer ->
+             Trace.Mem_interlock { producer }))
+        st.last_call
+        (fun producer -> Trace.Call_interlock { producer })
+    end
     else (ready, culprit)
   in
   let u = unit_rank (Instr.unit_ty i) in
@@ -149,6 +165,8 @@ let issue st i =
   (match culprit with
   | Some (Trace.Mem_interlock _) ->
       st.mem_interlock_cycles <- st.mem_interlock_cycles + interlock
+  | Some (Trace.Call_interlock _) ->
+      st.call_interlock_cycles <- st.call_interlock_cycles + interlock
   | Some _ | None -> st.interlock_cycles <- st.interlock_cycles + interlock);
   st.unit_busy.(u) <- st.unit_busy.(u) + busy;
   st.unit_issues.(u) <- st.unit_issues.(u) + 1;
@@ -178,7 +196,8 @@ let issue st i =
   let fin = !cycle + Machine.exec_time st.machine i in
   st.last_done <- max st.last_done fin;
   List.iter (fun r -> Hashtbl.replace st.producers (Reg.hash r) (i, fin)) (Instr.defs i);
-  if Instr.is_store i || Instr.is_call i then st.last_write <- Some (i, fin);
+  if Instr.is_store i then st.last_store <- Some (i, fin);
+  if Instr.is_call i then st.last_call <- Some (i, fin);
   st.executed <- st.executed + 1
 
 (* Execute the instruction's semantics; returns the label to jump to
@@ -290,6 +309,7 @@ let summarize st =
     Trace.last_issue = st.cursor;
     interlock_cycles = st.interlock_cycles;
     mem_interlock_cycles = st.mem_interlock_cycles;
+    call_interlock_cycles = st.call_interlock_cycles;
     in_order_instrs = st.in_order_instrs;
     units;
     blocks;
@@ -314,10 +334,12 @@ let run_with_header ~fuel ?(trace = false) machine cfg ~header input =
       out = [];
       header_entries = [];
       counts = Hashtbl.create 16;
-      last_write = None;
+      last_store = None;
+      last_call = None;
       cur_block = (Cfg.block cfg (Cfg.entry cfg)).Block.label;
       interlock_cycles = 0;
       mem_interlock_cycles = 0;
+      call_interlock_cycles = 0;
       in_order_instrs = 0;
       unit_busy = Array.make 3 0;
       unit_issues = Array.make 3 0;

@@ -47,8 +47,8 @@ let test_heuristics_bl1 () =
 
 (* ---- priority rules ---- *)
 
-let item ?(useful = true) ?(d = 0) ?(cp = 0) ~order node =
-  { Priority.node; useful; d; cp; order }
+let item ?(useful = true) ?(d = 0) ?(cp = 0) ?(pressure = 0) ~order node =
+  { Priority.node; useful; d; cp; order; pressure }
 
 let test_priority_order () =
   let rules = Priority_rule.paper_order in

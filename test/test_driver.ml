@@ -205,6 +205,32 @@ let test_timeout () =
       | Ok _ -> Alcotest.fail "expected timeout, task succeeded")
     r.results
 
+(* An exhausted budget must pre-empt the queue, not merely label tasks
+   after letting them all run: tasks dequeued after the budget is spent
+   are skipped entirely (zero task seconds, no worker charged). *)
+let test_timeout_preempts_queue () =
+  let r =
+    Driver.run ~jobs:1 ~timeout:0.0 machine Config.speculative
+      (workload_tasks ())
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check (float 0.0))
+        (t.task ^ " was never executed")
+        0.0 t.seconds)
+    r.results;
+  Alcotest.(check (float 0.0)) "no worker time charged" 0.0
+    (Array.fold_left ( +. ) 0.0 r.pool.busy_seconds);
+  Alcotest.(check int) "no task counted as run" 0
+    (Array.fold_left ( + ) 0 r.pool.tasks_run);
+  (* ... and a timeout-only batch is distinguishable from a crash. *)
+  let timeout_only =
+    List.for_all
+      (fun (_, e) -> match e with Timed_out _ -> true | _ -> false)
+      (failures r)
+  in
+  Alcotest.(check bool) "all failures are timeouts" true timeout_only
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -221,5 +247,7 @@ let () =
           Alcotest.test_case "telemetry" `Quick test_pool_telemetry;
           Alcotest.test_case "fault isolation" `Quick test_fault_isolation;
           Alcotest.test_case "timeout budget" `Quick test_timeout;
+          Alcotest.test_case "timeout preempts queue" `Quick
+            test_timeout_preempts_queue;
         ] );
     ]

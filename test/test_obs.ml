@@ -63,7 +63,38 @@ let test_json_parser_rejects () =
       match Json.of_string src with
       | Ok _ -> Alcotest.fail ("accepted invalid input: " ^ src)
       | Error _ -> ())
-    [ ""; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated"; "[1] trailing"; "1.2.3" ]
+    [
+      ""; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated"; "[1] trailing"; "1.2.3";
+      (* Lone surrogate halves are not scalar values. *)
+      {|"\ud83d"|}; {|"\udca9 tail"|}; {|"\ud83dA"|};
+    ]
+
+(* \uXXXX escapes decode to UTF-8, including supplementary-plane
+   characters split across a surrogate pair; the encoder re-emits raw
+   UTF-8 bytes, so a decode/encode/decode cycle is stable. *)
+let test_json_unicode_escapes () =
+  List.iter
+    (fun (src, utf8) ->
+      match Json.of_string src with
+      | Error e -> Alcotest.fail (src ^ ": " ^ e)
+      | Ok v ->
+          Alcotest.(check string) src (Json.to_string ~minify:true v) utf8;
+          (match Json.of_string (Json.to_string ~minify:true v) with
+          | Ok v' ->
+              Alcotest.(check string)
+                (src ^ " re-parses")
+                (Json.to_string ~minify:true v)
+                (Json.to_string ~minify:true v')
+          | Error e -> Alcotest.fail (src ^ " re-parse: " ^ e)))
+    [
+      (* BMP: U+00E9 (é) and U+4E2D (中). *)
+      ({|"caf\u00e9"|}, "\"caf\xc3\xa9\"");
+      ({|"\u4e2d"|}, "\"\xe4\xb8\xad\"");
+      (* Supplementary plane via surrogate pairs: U+1F680 and U+1D11E,
+         surrounded by ASCII. *)
+      ({|"a\ud83d\ude80b"|}, "\"a\xf0\x9f\x9a\x80b\"");
+      ({|"\ud834\udd1e"|}, "\"\xf0\x9d\x84\x9e\"");
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Simulator stall attribution                                         *)
@@ -264,6 +295,7 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parser accepts" `Quick test_json_parser_accepts;
           Alcotest.test_case "parser rejects" `Quick test_json_parser_rejects;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
         ] );
       ( "stall attribution",
         [

@@ -170,6 +170,46 @@ let prop_rotate seed =
   Validate.check_exn t;
   String.equal expected (observe t input)
 
+(* Composing the transforms: unrolled-then-rotated loops are still
+   semantically equivalent, both as bare transforms and after the full
+   pipeline re-schedules the pre-transformed body at every level. *)
+let prop_unroll_then_rotate_all_levels seed =
+  let cfg, input = baseline_and_input seed in
+  let expected = observe cfg input in
+  let t = Cfg.deep_copy cfg in
+  ignore (Unroll.unroll_small_inner_loops ~max_blocks:6 t);
+  ignore (Rotate.rotate_small_inner_loops ~max_blocks:6 t);
+  Validate.check_exn t;
+  String.equal expected (observe t input)
+  && List.for_all
+       (fun level ->
+         let c = Cfg.deep_copy t in
+         ignore (Pipeline.run machine { Config.default with Config.level } c);
+         Validate.check_exn c;
+         String.equal expected (observe c input))
+       [ Config.Local; Config.Useful; Config.Speculative ]
+
+(* Linear-scan allocation on a deliberately small register file: the
+   allocated code must verify (disjoint intervals per physical
+   register, within budget, evaluator-identical modulo spill slots). *)
+let prop_regalloc_verifies seed =
+  let cfg, input = baseline_and_input seed in
+  let scheduled = Cfg.deep_copy cfg in
+  let config =
+    { Config.speculative with Config.regalloc = true; regs = Some 8 }
+  in
+  let stats = Pipeline.run machine config scheduled in
+  Validate.check_exn scheduled;
+  match stats.Pipeline.regalloc with
+  | None -> false
+  | Some alloc -> (
+      match
+        Gis_regalloc.Regalloc.verify ~gprs:8 ~fprs:8 ~machine ~baseline:cfg
+          ~allocated:scheduled alloc input
+      with
+      | Ok () -> true
+      | Error _ -> false)
+
 (* Dominators from the optimized algorithm agree with the naive
    reference on every generated CFG. *)
 let prop_dominance seed =
@@ -300,7 +340,14 @@ let () =
           qtest "duplication + everything" 40 prop_duplication_with_everything;
         ] );
       ( "transforms preserve observables",
-        [ qtest "unroll" 40 prop_unroll; qtest "rotate" 40 prop_rotate ] );
+        [
+          qtest "unroll" 40 prop_unroll;
+          qtest "rotate" 40 prop_rotate;
+          qtest "unroll then rotate, all levels" 40
+            prop_unroll_then_rotate_all_levels;
+        ] );
+      ( "register allocation",
+        [ qtest "tight file verifies" 40 prop_regalloc_verifies ] );
       ( "batch driver determinism",
         [ qtest "jobs 1 = jobs 4" 12 prop_driver_jobs_deterministic ] );
       ( "analysis invariants",

@@ -2,6 +2,7 @@ open Gis_ir
 open Gis_machine
 open Gis_sim
 module B = Builder
+module Trace = Gis_obs.Trace
 
 let machine = Machine.rs6k
 
@@ -208,6 +209,91 @@ let test_detailed_store_load_penalty () =
     (cycles Machine.rs6k + 1)
     (cycles Machine.rs6k_detailed)
 
+(* Calls are serialization points, not stores: an intervening call must
+   not clear the store-queue constraint, and a call's own memory delay
+   is attributed to its own category. Custom machines make each effect
+   deterministic. *)
+let call_machine ~store_load ~call_load =
+  Machine.make ~name:"call-test" ~fixed_units:1 ~float_units:1 ~branch_units:1
+    ~exec_time:(fun _ -> 1)
+    ~mem_delay:(fun ~producer ~consumer ->
+      match (Instr.kind producer, Instr.kind consumer) with
+      | Instr.Store _, Instr.Load _ -> store_load
+      | Instr.Call _, Instr.Load _ -> call_load
+      | _, _ -> 0)
+    ()
+
+let test_store_queue_survives_call () =
+  (* store; call; load — the store->load penalty binds across the
+     call. A simulator that tracked only "the last memory writer" would
+     let the call shadow the store and charge nothing. *)
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let y = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    straight_line
+      [
+        B.store ~src:x ~base ~offset:0;
+        B.call "print_int" [ x ];
+        B.load ~dst:y ~base ~offset:4;
+      ]
+  in
+  let m = call_machine ~store_load:3 ~call_load:0 in
+  let o = Simulator.run m cfg Simulator.no_input in
+  let s = o.Simulator.telemetry in
+  Alcotest.(check bool) "store-queue stall charged across the call" true
+    (s.Trace.mem_interlock_cycles > 0);
+  Alcotest.(check int) "no call-interlock on this machine" 0
+    s.Trace.call_interlock_cycles;
+  Alcotest.(check int) "identity holds" s.Trace.last_issue
+    (Trace.stall_total s)
+
+let test_call_heavy_breakdown () =
+  (* store; call; load; store; load — the first load is bound by the
+     call (larger delay), the second by the store; the two stalls land
+     in their own categories and the accounting identity still holds. *)
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let y = Reg.Gen.fresh g Reg.Gpr in
+  let z = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    straight_line
+      [
+        B.store ~src:x ~base ~offset:0;
+        B.call "print_int" [ x ];
+        B.load ~dst:y ~base ~offset:4;
+        B.store ~src:y ~base ~offset:8;
+        B.load ~dst:z ~base ~offset:12;
+      ]
+  in
+  let m = call_machine ~store_load:2 ~call_load:3 in
+  let o = Simulator.run m cfg Simulator.no_input in
+  let s = o.Simulator.telemetry in
+  Alcotest.(check bool) "call-bound stall recorded" true
+    (s.Trace.call_interlock_cycles > 0);
+  Alcotest.(check bool) "store-bound stall recorded" true
+    (s.Trace.mem_interlock_cycles > 0);
+  Alcotest.(check bool) "call stall larger (delay 3 vs 2)" true
+    (s.Trace.call_interlock_cycles > s.Trace.mem_interlock_cycles);
+  Alcotest.(check int) "identity holds" s.Trace.last_issue
+    (Trace.stall_total s);
+  (* The category is visible in serialized telemetry too. *)
+  match
+    Gis_obs.Json.of_string (Gis_obs.Json.to_string (Trace.to_json s))
+  with
+  | Error e -> Alcotest.fail e
+  | Ok v -> (
+      match Gis_obs.Json.member "stalls" v with
+      | None -> Alcotest.fail "stalls object missing"
+      | Some stalls -> (
+          match Gis_obs.Json.member "call_interlock" stalls with
+          | Some (Gis_obs.Json.Int n) ->
+              Alcotest.(check int) "serialized call_interlock"
+                s.Trace.call_interlock_cycles n
+          | _ -> Alcotest.fail "stalls.call_interlock missing"))
+
 let test_parallel_units () =
   let g = Reg.Gen.create () in
   let x = Reg.Gen.fresh g Reg.Gpr in
@@ -293,6 +379,10 @@ let () =
           Alcotest.test_case "parallel units" `Quick test_parallel_units;
           Alcotest.test_case "detailed store->load" `Quick
             test_detailed_store_load_penalty;
+          Alcotest.test_case "store-queue across call" `Quick
+            test_store_queue_survives_call;
+          Alcotest.test_case "call-heavy breakdown" `Quick
+            test_call_heavy_breakdown;
           Alcotest.test_case "fcompare-branch delay" `Quick test_fcompare_branch_delay;
           Alcotest.test_case "minmax 20-22" `Quick test_minmax_iteration_bands;
           Alcotest.test_case "determinism" `Quick test_observables_stable;
