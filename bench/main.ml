@@ -847,26 +847,36 @@ let bench_parallel_batch ~deterministic () =
 
 let parse_args () =
   (* Manual flag parsing: `--json` (default BENCH_gis.json) or
-     `--json FILE`, plus `--deterministic` to zero every wall-clock
-     measurement in the JSON so CI artifacts diff stably. Anything
-     else is rejected loudly. *)
+     `--json FILE`, `--deterministic` to zero every wall-clock
+     measurement in the JSON so CI artifacts diff stably, and
+     `--baseline FILE` to diff the cycle metrics of this run against a
+     committed report (`--check` turns any >2% regression or missing
+     metric into exit code 1 — the CI gate). Anything else is rejected
+     loudly. *)
   let usage rest =
-    Fmt.epr "usage: %s [--json [FILE]] [--deterministic] (got: %s)@."
+    Fmt.epr
+      "usage: %s [--json [FILE]] [--deterministic] [--baseline FILE] \
+       [--check] (got: %s)@."
       Sys.argv.(0) (String.concat " " rest);
     exit 2
   in
-  let rec go (json, det) = function
-    | [] -> (json, det)
-    | "--deterministic" :: rest -> go (json, true) rest
+  let rec go (json, det, base, chk) = function
+    | [] -> (json, det, base, chk)
+    | "--deterministic" :: rest -> go (json, true, base, chk) rest
+    | "--check" :: rest -> go (json, det, base, true) rest
+    | "--baseline" :: file :: rest when String.length file > 0 && file.[0] <> '-'
+      ->
+        go (json, det, Some file, chk) rest
     | "--json" :: file :: rest when String.length file > 2 && file.[0] <> '-' ->
-        go (Some file, det) rest
-    | "--json" :: rest -> go (Some "BENCH_gis.json", det) rest
+        go (Some file, det, base, chk) rest
+    | "--json" :: rest -> go (Some "BENCH_gis.json", det, base, chk) rest
     | rest -> usage rest
   in
-  go (None, false) (List.tl (Array.to_list Sys.argv))
+  go (None, false, None, false) (List.tl (Array.to_list Sys.argv))
 
 let () =
-  let json_file, deterministic = parse_args () in
+  let json_file, deterministic, baseline_file, check = parse_args () in
+  Metrics.enable ();
   Fmt.pr "Global Instruction Scheduling for Superscalar Machines@.";
   Fmt.pr "Bernstein & Rodeh, PLDI 1991 — benchmark reproduction@.";
   let e1_e3 = bench_figures_256 () in
@@ -883,35 +893,72 @@ let () =
   let r1 = bench_regalloc () in
   let p1 = bench_parallel_batch ~deterministic () in
   let e4 = bench_figure7 ~deterministic () in
+  let report =
+    Json.Obj
+      [
+        ( "paper",
+          Json.String
+            "Global Instruction Scheduling for Superscalar Machines \
+             (Bernstein & Rodeh, PLDI 1991)" );
+        ("E1_E3_figures_2_5_6", e1_e3);
+        ("E4_figure7_compile_time", e4);
+        ("E5_figure8_runtime", e5);
+        ("E6_section53_safety", e6);
+        ("A1_width_sweep", a1);
+        ("A2_heuristic_order", a2);
+        ("A3_design_ablation", a3);
+        ("A4_register_webs", a4);
+        ("A5_speculation_degree", a5);
+        ("A6_profile_guided", a6);
+        ("A7_two_model", a7);
+        ("A8_duplication", a8);
+        ("R1_register_allocation", r1);
+        ("P1_parallel_batch", p1);
+        ("metrics", Metrics.to_json ~deterministic ());
+      ]
+  in
   (match json_file with
   | None -> ()
   | Some path ->
-      let report =
-        Json.Obj
-          [
-            ( "paper",
-              Json.String
-                "Global Instruction Scheduling for Superscalar Machines \
-                 (Bernstein & Rodeh, PLDI 1991)" );
-            ("E1_E3_figures_2_5_6", e1_e3);
-            ("E4_figure7_compile_time", e4);
-            ("E5_figure8_runtime", e5);
-            ("E6_section53_safety", e6);
-            ("A1_width_sweep", a1);
-            ("A2_heuristic_order", a2);
-            ("A3_design_ablation", a3);
-            ("A4_register_webs", a4);
-            ("A5_speculation_degree", a5);
-            ("A6_profile_guided", a6);
-            ("A7_two_model", a7);
-            ("A8_duplication", a8);
-            ("R1_register_allocation", r1);
-            ("P1_parallel_batch", p1);
-          ]
-      in
       let oc = open_out path in
       output_string oc (Json.to_string report);
       output_char oc '\n';
       close_out oc;
       Fmt.pr "@.tables written to %s@." path);
+  (* --baseline: diff this run's cycle metrics against a committed
+     report. Under --check, a regression beyond the 2% tolerance (or a
+     metric the baseline had that this run lost) is exit code 1 — the
+     CI leg runs exactly this against BENCH_gis.json. *)
+  (match baseline_file with
+  | None ->
+      if check then begin
+        Fmt.epr "--check needs --baseline FILE@.";
+        exit 2
+      end
+  | Some path ->
+      let text =
+        match open_in_bin path with
+        | exception Sys_error m ->
+            Fmt.epr "cannot read baseline: %s@." m;
+            exit 2
+        | ic ->
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+      in
+      let baseline =
+        match Json.of_string text with
+        | Ok j -> j
+        | Error m ->
+            Fmt.epr "baseline %s is not valid JSON: %s@." path m;
+            exit 2
+      in
+      let outcome = Regress.check ~baseline ~current:report () in
+      Fmt.pr "@.baseline %s@.%a" path Regress.pp outcome;
+      if check && not (Regress.ok outcome) then begin
+        Fmt.pr "@.regression gate: FAIL@.";
+        exit 1
+      end;
+      if check then Fmt.pr "@.regression gate: ok@.");
   Fmt.pr "@.done.@."

@@ -102,15 +102,17 @@ let config_of_level level =
       Fmt.epr "unknown level %s (local|useful|speculative)@." other;
       exit 2
 
-let write_json path json =
+let write_file path s =
   match open_out path with
   | exception Sys_error m ->
-      Fmt.epr "cannot write stats: %s@." m;
+      Fmt.epr "cannot write %s: %s@." path m;
       exit 2
   | oc ->
-      output_string oc (Json.to_string json);
+      output_string oc s;
       output_char oc '\n';
       close_out oc
+
+let write_json path json = write_file path (Json.to_string json)
 
 (* Batch mode: schedule every file in DIR (plus nothing else) across a
    pool of [jobs] domains. Exit code 0 when the whole batch succeeds,
@@ -142,7 +144,13 @@ let run_batch dir jobs width simulate elements seed deterministic stats_file
     report.Gis_driver.Driver.pool.Gis_driver.Driver.jobs Gis_driver.Driver.pp_table report;
   Option.iter
     (fun path ->
-      write_json path (Gis_driver.Driver.report_to_json ~deterministic report);
+      let json =
+        match Gis_driver.Driver.report_to_json ~deterministic report with
+        | Json.Obj fields ->
+            Json.Obj (fields @ [ ("metrics", Metrics.to_json ~deterministic ()) ])
+        | j -> j
+      in
+      write_json path json;
       Fmt.pr "@.stats written to %s@." path)
     stats_file;
   (* A batch that only ran out of budget is a different condition than
@@ -160,12 +168,13 @@ let run_batch dir jobs width simulate elements seed deterministic stats_file
       exit (if timeout_only then 5 else 4)
 
 let run_gisc source batch jobs level width show_code simulate elements seed
-    trace_issue deterministic stats_file regalloc pressure_aware regs timeout
-    verbose =
+    trace_issue trace_out pipeline_view deterministic stats_file regalloc
+    pressure_aware regs timeout verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
+  Metrics.enable ();
   let with_alloc config =
     { config with Config.regalloc; pressure_aware; regs }
   in
@@ -181,7 +190,12 @@ let run_gisc source batch jobs level width show_code simulate elements seed
   in
   let sink, sink_events = Sink.memory () in
   let config = with_alloc (config_of_level level) in
-  let config = { config with Config.obs = sink } in
+  (* A provenance table costs a hashtable insert per instruction and
+     motion, so only attach one when a JSON report will use it. *)
+  let prov =
+    if stats_file <> None then Some (Provenance.create ()) else None
+  in
+  let config = { config with Config.obs = sink; prov } in
   let compile_input () =
     (* Files ending in .s hold pseudo-assembly in the paper's Figure 2
        notation; everything else is Tiny-C. *)
@@ -220,6 +234,9 @@ let run_gisc source batch jobs level width show_code simulate elements seed
           (fun s -> Fmt.pr "  phase %a@." Span.pp s)
           stats.Pipeline.phases;
       if show_code then Fmt.pr "@.%a@." Cfg.pp cfg;
+      if (trace_out <> None || pipeline_view) && not simulate then
+        Fmt.epr "note: --trace-out and --pipeline-view need --simulate@.";
+      let want_trace = trace_issue || trace_out <> None || pipeline_view in
       let simulation =
         if not simulate then None
         else begin
@@ -246,7 +263,7 @@ let run_gisc source batch jobs level width show_code simulate elements seed
                   exit 3)
             stats.Pipeline.regalloc;
           let ob = Simulator.run machine baseline input in
-          let os = Simulator.run ~trace:trace_issue machine cfg sched_input in
+          let os = Simulator.run ~trace:want_trace machine cfg sched_input in
           if not (String.equal (obs_of ob) (obs_of os)) then begin
             Fmt.epr "INTERNAL ERROR: scheduling changed observable behaviour@.";
             Fmt.epr "--- base observables ---@.%s@." (obs_of ob);
@@ -269,6 +286,17 @@ let run_gisc source batch jobs level width show_code simulate elements seed
             Fmt.pr "@.issue trace (scheduled):@.";
             Report.pp_issue_diagram Fmt.stdout os.Simulator.telemetry
           end;
+          if pipeline_view then begin
+            Fmt.pr "@.pipeline view (scheduled):@.";
+            Report.pp_pipeline Fmt.stdout os.Simulator.telemetry
+          end;
+          Option.iter
+            (fun path ->
+              write_file path
+                (Chrome_trace.to_string ~process_name:name
+                   os.Simulator.telemetry);
+              Fmt.pr "@.chrome trace written to %s (load in Perfetto)@." path)
+            trace_out;
           Some (ob, os)
         end
       in
@@ -297,6 +325,11 @@ let run_gisc source batch jobs level width show_code simulate elements seed
                  ("level", Json.String (Fmt.str "%a" Config.pp_level config.Config.level));
                  ("elements", Json.Int elements);
                  ("seed", Json.Int seed);
+                 ("metrics", Metrics.to_json ~deterministic ());
+                 ( "provenance",
+                   match prov with
+                   | None -> Json.Null
+                   | Some p -> Provenance.to_json p );
                  ( "scheduler",
                    Json.Obj
                      [
@@ -366,6 +399,59 @@ let run_gisc source batch jobs level width show_code simulate elements seed
           write_json path report;
           Fmt.pr "@.stats written to %s@." path
 
+(* `gisc explain`: provenance-tracked run of one program — where each
+   final instruction came from and what the motions bought, block by
+   block. The attribution identity (credits sum exactly to the base vs
+   scheduled issue-cycle delta) is checked on every run. *)
+let run_explain source level width elements seed regalloc pressure_aware regs
+    json_file trace_out verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  Metrics.enable ();
+  let name, src = load_source source in
+  let machine =
+    if width = 1 then Machine.rs6k else Machine.superscalar ~width
+  in
+  let config = config_of_level level in
+  let config = { config with Config.regalloc; pressure_aware; regs } in
+  let task =
+    {
+      Gis_driver.Driver.name;
+      source =
+        (if Filename.check_suffix name ".s" then Gis_driver.Driver.Asm src
+         else Gis_driver.Driver.Tiny_c src);
+    }
+  in
+  let trace = trace_out <> None in
+  match
+    Gis_driver.Explain.explain ~elements ~seed ~trace machine config task
+  with
+  | Error e ->
+      Fmt.epr "%s: %a@." name Gis_driver.Driver.pp_error e;
+      exit 1
+  | Ok e ->
+      Fmt.pr "%a" Gis_driver.Explain.pp e;
+      if not (Gis_driver.Explain.identity_holds e) then begin
+        Fmt.epr
+          "INTERNAL ERROR: cycle attribution does not sum to the base vs \
+           scheduled issue delta@.";
+        exit 3
+      end;
+      Option.iter
+        (fun path ->
+          write_json path (Gis_driver.Explain.to_json e);
+          Fmt.pr "@.explain report written to %s@." path)
+        json_file;
+      Option.iter
+        (fun path ->
+          write_file path
+            (Chrome_trace.to_string ~process_name:name
+               e.Gis_driver.Explain.sched_telemetry);
+          Fmt.pr "@.chrome trace written to %s (load in Perfetto)@." path)
+        trace_out
+
 let source_arg =
   let file =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Tiny-C source file.")
@@ -423,6 +509,25 @@ let trace_issue_arg =
         ~doc:"With --simulate, print the cycle-by-cycle issue diagram of \
               the scheduled program (which instruction issued on which \
               unit, and the binding stall reason for silent cycles).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"With $(b,--simulate), write the scheduled run's issue trace \
+              as Chrome trace-event JSON to $(docv): one track per \
+              functional unit, each dynamic instruction a complete slice \
+              from issue to completion, attributed stalls as instant \
+              events. Load in Perfetto or chrome://tracing.")
+
+let pipeline_view_arg =
+  Arg.(
+    value & flag
+    & info [ "pipeline-view" ]
+        ~doc:"With $(b,--simulate), print an ASCII pipeline occupancy view \
+              of the scheduled run: one row per functional unit, $(b,#) \
+              issue, $(b,=) executing, $(b,.) idle.")
 
 let stats_arg =
   Arg.(
@@ -497,17 +602,43 @@ let deterministic_arg =
         ~doc:"Zero all wall-clock timing fields in $(b,--stats) output so \
               reports diff stably across runs, machines, and job counts.")
 
+let explain_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the explain report (per-instruction provenance, \
+              motion-kind counts, per-block cycle attribution) as JSON to \
+              $(docv).")
+
+let main_term =
+  Term.(
+    const run_gisc $ source_arg $ batch_arg $ jobs_arg $ level_arg
+    $ width_arg $ show_code_arg $ simulate_arg $ elements_arg $ seed_arg
+    $ trace_issue_arg $ trace_out_arg $ pipeline_view_arg $ deterministic_arg
+    $ stats_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg $ timeout_arg
+    $ verbose_arg)
+
+let explain_cmd =
+  let doc =
+    "show where every scheduled instruction came from (motion kind, \
+     priority scores, unroll copy) and attribute the cycle savings per \
+     block"
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(
+      const run_explain $ source_arg $ level_arg $ width_arg $ elements_arg
+      $ seed_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg
+      $ explain_json_arg $ trace_out_arg $ verbose_arg)
+
 let cmd =
   let doc =
     "global instruction scheduling for superscalar machines (Bernstein & \
      Rodeh, PLDI 1991)"
   in
-  Cmd.v
+  Cmd.group ~default:main_term
     (Cmd.info "gisc" ~version:"1.0.0" ~doc)
-    Term.(
-      const run_gisc $ source_arg $ batch_arg $ jobs_arg $ level_arg
-      $ width_arg $ show_code_arg $ simulate_arg $ elements_arg $ seed_arg
-      $ trace_issue_arg $ deterministic_arg $ stats_arg $ regalloc_arg
-      $ pressure_aware_arg $ regs_arg $ timeout_arg $ verbose_arg)
+    [ explain_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -29,6 +29,7 @@ type t = {
   regalloc : bool;
   regs : int option;
   obs : Gis_obs.Sink.t;
+  prov : Gis_obs.Provenance.t option;
 }
 
 let default =
@@ -54,6 +55,7 @@ let default =
     regalloc = false;
     regs = None;
     obs = Gis_obs.Sink.null;
+    prov = None;
   }
 
 let base =

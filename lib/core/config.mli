@@ -80,6 +80,12 @@ type t = {
           (candidates, motions, renames, safety rejections, skipped
           regions, phase timings). {!Gis_obs.Sink.null} by default —
           one dropped closure call per event. *)
+  prov : Gis_obs.Provenance.t option;
+      (** motion provenance table. When set, the pipeline seeds every
+          original instruction, the passes record motions/copies/spill
+          code into it, and the final CFG is indexed on completion
+          ([gisc explain] renders it). [None] by default — recording is
+          a no-op and schedules are byte-identical (pinned test). *)
 }
 
 val default : t

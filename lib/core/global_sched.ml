@@ -52,6 +52,18 @@ let src = Logs.Src.create "gis.global" ~doc:"global instruction scheduler"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Process-wide metrics (no-ops until Gis_obs.Metrics.enable). *)
+let m_moves_useful = Gis_obs.Metrics.counter "sched.moves_useful_total"
+
+let m_moves_speculative =
+  Gis_obs.Metrics.counter "sched.moves_speculative_total"
+
+let m_renames = Gis_obs.Metrics.counter "sched.renames_total"
+let m_dup_copies = Gis_obs.Metrics.counter "sched.duplication_copies_total"
+let m_blocked = Gis_obs.Metrics.counter "sched.blocked_motions_total"
+let m_regions_scheduled = Gis_obs.Metrics.counter "sched.regions_scheduled_total"
+let m_regions_skipped = Gis_obs.Metrics.counter "sched.regions_skipped_total"
+
 let blocked_reason = function
   | `Live_on_exit r -> Fmt.str "%a live on exit" Reg.pp r
   | `Rename_unsafe r -> Fmt.str "%a not renameable" Reg.pp r
@@ -366,12 +378,15 @@ let apply_motion st ~node:i ~target_blk ~speculative ~rename ~duplicated_into =
   (let uid = Instr.uid inst
    and from_block = from_blk.Block.label
    and to_block = target_blk.Block.label in
+   Gis_obs.Metrics.incr
+     (if speculative then m_moves_speculative else m_moves_useful);
    emit st
      (if speculative then
         Gis_obs.Sink.Moved_speculative { uid; from_block; to_block }
       else Gis_obs.Sink.Moved_useful { uid; from_block; to_block });
    match renamed with
    | Some (from_reg, to_reg) ->
+       Gis_obs.Metrics.incr m_renames;
        emit st (Gis_obs.Sink.Renamed { uid; from_reg; to_reg })
    | None -> ());
   invalidate_dataflow st;
@@ -726,6 +741,10 @@ let schedule_block st a blk_id =
                   match st.view.Regions.nodes.(p) with
                   | Regions.Block pb ->
                       let copy = Cfg.copy_instr st.cfg placed in
+                      Gis_obs.Metrics.incr m_dup_copies;
+                      Gis_obs.Provenance.duplicated st.config.Config.prov
+                        ~orig:(Instr.uid placed) ~copy:(Instr.uid copy)
+                        ~block:(Cfg.block st.cfg pb).Block.label;
                       if Ints.Int_set.mem p st.processed then
                         Vec.push (Cfg.block st.cfg pb).Block.body copy
                       else
@@ -736,6 +755,27 @@ let schedule_block st a blk_id =
                   | Regions.Inner_loop _ -> assert false)
                 copy_hosts;
               if copy_hosts <> [] then invalidate_dataflow st
+            in
+            (* Provenance: the committed motion with the heap entry's
+               decision-time ranks. Reads the move record [apply_motion]
+               just pushed, so rename and duplication details are exact. *)
+            let record_motion () =
+              match st.config.Config.prov, st.moves with
+              | None, _ | _, [] -> ()
+              | (Some _ as prov), m :: _ ->
+                  Gis_obs.Provenance.moved prov ~uid:m.uid
+                    ~kind:
+                      (if needs_duplication then Gis_obs.Provenance.Duplicated
+                       else if speculative then Gis_obs.Provenance.Speculative
+                       else Gis_obs.Provenance.Useful)
+                    ~scores:
+                      {
+                        Gis_obs.Provenance.d = it.Priority.d;
+                        cp = it.Priority.cp;
+                        order = it.Priority.order;
+                        pressure = it.Priority.pressure;
+                      }
+                    ~renamed:(m.renamed <> None) ~from:m.from_label ()
             in
             let hosts_labels =
               List.filter_map
@@ -751,6 +791,7 @@ let schedule_block st a blk_id =
                   apply_motion st ~node:i ~target_blk:blk ~speculative
                     ~rename:None ~duplicated_into:hosts_labels
                 in
+                record_motion ();
                 place_copies placed;
                 st.home.(i) <- a;
                 accept ~was_own:false;
@@ -760,11 +801,13 @@ let schedule_block st a blk_id =
                   apply_motion st ~node:i ~target_blk:blk ~speculative
                     ~rename:(Some (r, uses)) ~duplicated_into:hosts_labels
                 in
+                record_motion ();
                 place_copies placed;
                 st.home.(i) <- a;
                 accept ~was_own:false;
                 rekey_ready ()
             | Unsafe b ->
+                Gis_obs.Metrics.incr m_blocked;
                 st.blocked_log <- b :: st.blocked_log;
                 emit st
                   (Gis_obs.Sink.Blocked
@@ -812,6 +855,7 @@ let schedule_region machine config cfg regions region =
     }
   in
   let skipped why =
+    Gis_obs.Metrics.incr m_regions_skipped;
     note_skip config region.Regions.id why;
     { base_report with skip_reason = Some why }
   in
@@ -836,6 +880,7 @@ let schedule_region machine config cfg regions region =
                   (fun i h -> if h = v then st.done_.(i) <- true)
                   st.home)
               topo;
+            Gis_obs.Metrics.incr m_regions_scheduled;
             Log.debug (fun m ->
                 m "region %d: %d moves" region.Regions.id (List.length st.moves));
             {

@@ -77,7 +77,8 @@ let run machine rules ddg =
   done;
   (Vec.to_list emission, issue)
 
-let schedule_block ?(rules = Priority_rule.paper_order) machine (b : Block.t) =
+let schedule_block ?(rules = Priority_rule.paper_order) ?prov machine
+    (b : Block.t) =
   let ddg = Ddg.build_single_block machine b in
   let order, issue = run machine rules ddg in
   let n = Ddg.num_nodes ddg in
@@ -86,16 +87,33 @@ let schedule_block ?(rules = Priority_rule.paper_order) machine (b : Block.t) =
     | Some ins -> ins
     | None -> assert false
   in
+  (* Decision-time ranks for instructions the global pass never moved:
+     fills a record's empty scores, never overwrites a motion's. *)
+  (match prov with
+  | None -> ()
+  | Some _ ->
+      let heur = Heuristics.compute ddg in
+      List.iter
+        (fun i ->
+          Gis_obs.Provenance.scored prov ~uid:(Instr.uid (instr_of i))
+            ~scores:
+              {
+                Gis_obs.Provenance.d = Heuristics.d heur i;
+                cp = Heuristics.cp heur i;
+                order = i;
+                pressure = 0;
+              })
+        order);
   let body_order = List.filter (fun i -> i <> n - 1) order in
   Vec.clear b.Block.body;
   List.iter (fun i -> Vec.push b.Block.body (instr_of i)) body_order;
   issue.(n - 1) + 1
 
 let schedule_cfg ?(rules = Priority_rule.paper_order) ?(obs = Gis_obs.Sink.null)
-    machine cfg =
+    ?prov machine cfg =
   Cfg.iter_blocks
     (fun b ->
-      let cycles = schedule_block ~rules machine b in
+      let cycles = schedule_block ~rules ?prov machine b in
       obs.Gis_obs.Sink.emit
         (Gis_obs.Sink.Block_scheduled { block = b.Block.label; cycles }))
     cfg

@@ -10,16 +10,19 @@
 
 val schedule_block :
   ?rules:Priority_rule.t list ->
+  ?prov:Gis_obs.Provenance.t ->
   Gis_machine.Machine.t ->
   Gis_ir.Block.t ->
   int
 (** Reorder the block body in place (the terminator stays last) and
     return the schedule length in cycles — the issue cycle of the
-    terminator plus one. *)
+    terminator plus one. With [prov], records the decision-time ranks
+    of instructions whose provenance has no scores yet. *)
 
 val schedule_cfg :
   ?rules:Priority_rule.t list ->
   ?obs:Gis_obs.Sink.t ->
+  ?prov:Gis_obs.Provenance.t ->
   Gis_machine.Machine.t ->
   Gis_ir.Cfg.t ->
   unit

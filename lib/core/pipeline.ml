@@ -19,6 +19,22 @@ let seconds stats = Gis_obs.Span.total stats.phases
 let phase_names = [ "unroll"; "global-pass1"; "rotate"; "global-pass2"; "local" ]
 
 let run machine (config : Config.t) cfg =
+  let prov = config.Config.prov in
+  (* Every original instruction gets an [Unmoved] record in its source
+     block before any pass runs; passes overwrite kind/scores as they
+     commit decisions, and fresh copies are recorded at creation. *)
+  (match prov with
+  | None -> ()
+  | Some _ ->
+      Cfg.iter_blocks
+        (fun b ->
+          let at i =
+            Gis_obs.Provenance.seed prov ~uid:(Instr.uid i)
+              ~origin:b.Block.label
+          in
+          Gis_util.Vec.iter at b.Block.body;
+          at b.Block.term)
+        cfg);
   let spans = ref [] in
   let time name f =
     let v, span = Gis_obs.Span.time name f in
@@ -41,14 +57,19 @@ let run machine (config : Config.t) cfg =
     match !regions_cache with
     | Some r -> r
     | None ->
-        let r = Gis_analysis.Regions.compute cfg in
+        (* A nested span: shows up as a child of whichever global pass
+           forced the computation. *)
+        let r, _span =
+          Gis_obs.Span.time "regions" (fun () ->
+              Gis_analysis.Regions.compute cfg)
+        in
         regions_cache := Some r;
         r
   in
   let unrolled =
     time "unroll" (fun () ->
         if global && config.Config.unroll_small_loops then
-          Unroll.unroll_small_inner_loops
+          Unroll.unroll_small_inner_loops ?prov
             ~max_blocks:config.Config.small_loop_blocks cfg
         else 0)
   in
@@ -62,7 +83,7 @@ let run machine (config : Config.t) cfg =
   let rotated =
     time "rotate" (fun () ->
         if global && config.Config.rotate_small_loops then
-          Rotate.rotate_small_inner_loops
+          Rotate.rotate_small_inner_loops ?prov
             ~max_blocks:config.Config.small_loop_blocks cfg
         else 0)
   in
@@ -81,18 +102,19 @@ let run machine (config : Config.t) cfg =
           Option.value ~default:machine config.Config.local_machine
         in
         Local_sched.schedule_cfg ~rules:config.Config.rules
-          ~obs:config.Config.obs local_machine cfg
+          ~obs:config.Config.obs ?prov local_machine cfg
       end);
   let regalloc =
     if config.Config.regalloc then
       time "regalloc" (fun () ->
           match
             Gis_regalloc.Regalloc.allocate ?gprs:config.Config.regs
-              ?fprs:config.Config.regs machine cfg
+              ?fprs:config.Config.regs ?prov machine cfg
           with
           | Ok alloc -> Some alloc
           | Error msg -> failwith ("regalloc: " ^ msg))
     else None
   in
   ignore (Cfg.reachable cfg);
+  Gis_obs.Provenance.finalize prov cfg;
   { unrolled; rotated; pass1; pass2; regalloc; phases = List.rev !spans }

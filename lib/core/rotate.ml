@@ -2,7 +2,7 @@ open Gis_ir
 open Gis_analysis
 open Gis_util.Ints
 
-let rotate cfg (loop : Loops.loop) =
+let rotate ?prov cfg (loop : Loops.loop) =
   let header = Cfg.block cfg loop.Loops.header in
   let header_label = header.Block.label in
   let copy_lbl = Label.fresh ~prefix:(header_label ^ ".r") () in
@@ -15,7 +15,11 @@ let rotate cfg (loop : Loops.loop) =
   let copy = Cfg.insert_block_after cfg ~after:last_in_layout ~label:copy_lbl in
   (* The copy branches exactly where the original header did. *)
   Gis_util.Vec.iter
-    (fun i -> Gis_util.Vec.push copy.Block.body (Cfg.copy_instr cfg i))
+    (fun i ->
+      let ci = Cfg.copy_instr cfg i in
+      Gis_obs.Provenance.copied prov ~orig:(Instr.uid i) ~copy:(Instr.uid ci)
+        ~block:copy_lbl;
+      Gis_util.Vec.push copy.Block.body ci)
     header.Block.body;
   (let term_kind =
      match Instr.kind header.Block.term with
@@ -25,7 +29,10 @@ let rotate cfg (loop : Loops.loop) =
      | Instr.Call _ ->
          invalid_arg "Rotate: non-branch terminator"
    in
-   copy.Block.term <- Cfg.make_instr cfg term_kind);
+   let term = Cfg.make_instr cfg term_kind in
+   Gis_obs.Provenance.copied prov ~orig:(Instr.uid header.Block.term)
+     ~copy:(Instr.uid term) ~block:copy_lbl;
+   copy.Block.term <- term);
   (* Back edges now land on the copy. *)
   List.iter
     (fun (tail, _) ->
@@ -48,7 +55,7 @@ let rotate cfg (loop : Loops.loop) =
     loop.Loops.back_edges;
   copy_lbl
 
-let rotate_small_inner_loops ~max_blocks cfg =
+let rotate_small_inner_loops ?prov ~max_blocks cfg =
   let info = Loops.compute cfg in
   if not (Loops.reducible info) then 0
   else begin
@@ -74,7 +81,7 @@ let rotate_small_inner_loops ~max_blocks cfg =
             (Array.to_list (Loops.loops info))
         with
         | Some l ->
-            ignore (rotate cfg l);
+            ignore (rotate ?prov cfg l);
             incr count
         | None -> ())
       targets;

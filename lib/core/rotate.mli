@@ -7,9 +7,15 @@
     pass can pull the next iteration's leading instructions up into the
     body — the partial software-pipelining effect. *)
 
-val rotate : Gis_ir.Cfg.t -> Gis_analysis.Loops.loop -> Gis_ir.Label.t
+val rotate :
+  ?prov:Gis_obs.Provenance.t ->
+  Gis_ir.Cfg.t ->
+  Gis_analysis.Loops.loop ->
+  Gis_ir.Label.t
 (** Rotate the loop in place; returns the label of the header copy. *)
 
-val rotate_small_inner_loops : max_blocks:int -> Gis_ir.Cfg.t -> int
+val rotate_small_inner_loops :
+  ?prov:Gis_obs.Provenance.t -> max_blocks:int -> Gis_ir.Cfg.t -> int
 (** Rotate every innermost loop with at most [max_blocks] blocks;
-    returns how many loops were rotated. *)
+    returns how many loops were rotated. With [prov], header copies are
+    recorded one copy generation deeper than their source. *)

@@ -5,9 +5,13 @@ open Ints
 
 (* Clone the instructions of [src] into [dst] with fresh uids,
    rewriting branch targets through [map_target]. *)
-let clone_block_into cfg ~map_target ~(src : Block.t) ~(dst : Block.t) =
+let clone_block_into ?prov cfg ~map_target ~(src : Block.t) ~(dst : Block.t) =
   Vec.iter
-    (fun i -> Vec.push dst.Block.body (Cfg.copy_instr cfg i))
+    (fun i ->
+      let copy = Cfg.copy_instr cfg i in
+      Gis_obs.Provenance.copied prov ~orig:(Instr.uid i)
+        ~copy:(Instr.uid copy) ~block:dst.Block.label;
+      Vec.push dst.Block.body copy)
     src.Block.body;
   let term_kind =
     match Instr.kind src.Block.term with
@@ -24,9 +28,12 @@ let clone_block_into cfg ~map_target ~(src : Block.t) ~(dst : Block.t) =
     | Instr.Call _ ->
         invalid_arg "Unroll: non-branch terminator"
   in
-  dst.Block.term <- Cfg.make_instr cfg term_kind
+  let term = Cfg.make_instr cfg term_kind in
+  Gis_obs.Provenance.copied prov ~orig:(Instr.uid src.Block.term)
+    ~copy:(Instr.uid term) ~block:dst.Block.label;
+  dst.Block.term <- term
 
-let unroll_once cfg (loop : Loops.loop) =
+let unroll_once ?prov cfg (loop : Loops.loop) =
   let header_label = (Cfg.block cfg loop.Loops.header).Block.label in
   let members = Int_set.elements loop.Loops.blocks in
   (* Fresh labels for the copy, keyed by original label. *)
@@ -86,12 +93,12 @@ let unroll_once cfg (loop : Loops.loop) =
   in
   List.iter
     (fun (orig_id, nb) ->
-      clone_block_into cfg ~map_target:copy_target
+      clone_block_into ?prov cfg ~map_target:copy_target
         ~src:(Cfg.block cfg orig_id) ~dst:nb)
     copies;
   List.iter (fun b -> redirect_original (Cfg.block cfg b)) members
 
-let unroll_small_inner_loops ~max_blocks cfg =
+let unroll_small_inner_loops ?prov ~max_blocks cfg =
   let info = Loops.compute cfg in
   if not (Loops.reducible info) then 0
   else begin
@@ -121,7 +128,7 @@ let unroll_small_inner_loops ~max_blocks cfg =
         in
         match found with
         | Some l ->
-            unroll_once cfg l;
+            unroll_once ?prov cfg l;
             incr count
         | None -> ())
       targets;

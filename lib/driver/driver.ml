@@ -121,6 +121,11 @@ let default_input compiled ~elements ~seed =
 
 exception Observable_mismatch of string
 
+(* Process-wide metrics (no-ops until Gis_obs.Metrics.enable). *)
+let m_tasks = Metrics.counter "driver.tasks_total"
+let m_failed = Metrics.counter "driver.tasks_failed_total"
+let m_task_seconds = Metrics.histogram "driver.task_seconds"
+
 let compile_task task =
   match task.source with
   | Tiny_c src -> Codegen.compile_string src
@@ -268,6 +273,8 @@ let run ?(jobs = 1) ?timeout ?(simulate = true) ?(elements = 128) ?(seed = 3)
                  out without running it at all, instead of letting
                  everything still queued run to completion. The payload
                  is the batch time elapsed when it was skipped. *)
+              Metrics.incr m_tasks;
+              Metrics.incr m_failed;
               results.(i) <-
                 Some
                   {
@@ -291,6 +298,9 @@ let run ?(jobs = 1) ?timeout ?(simulate = true) ?(elements = 128) ?(seed = 3)
                 | Some budget when seconds > budget -> Error (Timed_out seconds)
                 | Some _ | None -> outcome
               in
+              Metrics.incr m_tasks;
+              if Result.is_error outcome then Metrics.incr m_failed;
+              Metrics.observe m_task_seconds seconds;
               busy.(wid) <- busy.(wid) +. seconds;
               ran.(wid) <- ran.(wid) + 1;
               results.(i) <-

@@ -88,6 +88,20 @@ type error =
 
 val pp_error : error Fmt.t
 
+val compile_task : task -> Gis_frontend.Codegen.compiled
+(** Compile the task's source to a CFG; raises the frontend's own
+    exceptions ([Parser.Error], [Lexer.Error], [Codegen.Error],
+    [Asm.Error]). Exposed for {!Explain} and single-program tools. *)
+
+val default_input :
+  Gis_frontend.Codegen.compiled ->
+  elements:int ->
+  seed:int ->
+  Gis_sim.Simulator.input
+(** The simulation input [gisc] uses by default: deterministic
+    pseudo-random contents for every declared array, and the variable
+    [n] (if declared) bound to [elements]. *)
+
 type task_result = {
   task : string;
   outcome : (summary, error) result;

@@ -1,0 +1,163 @@
+open Gis_ir
+open Gis_core
+open Gis_sim
+open Gis_obs
+
+(* `gisc explain`: run one program through the full pipeline with a
+   provenance table attached, simulate the base and scheduled versions,
+   and attribute the cycle difference to the motion kinds.
+
+   The accounting identity behind the attribution: the simulator's
+   per-block stall gaps telescope to the program's last issue cycle, so
+   summing (base gap - scheduled gap) over the union of block labels
+   yields exactly base.last_issue - sched.last_issue — the E-A delta of
+   the paper's tables. Each block's share is then apportioned across
+   the motion kinds statically present in it (largest remainders, so
+   integer credits still sum exactly). *)
+
+type t = {
+  task : string;
+  prov : Provenance.t;
+  cfg : Cfg.t;  (** the final scheduled (and possibly allocated) CFG *)
+  attribution : Provenance.attribution list;
+  base_last_issue : int;
+  sched_last_issue : int;
+  base_cycles : int;
+  sched_cycles : int;
+  base_telemetry : Trace.summary;
+  sched_telemetry : Trace.summary;
+}
+
+let delta_total e = e.base_last_issue - e.sched_last_issue
+
+let identity_holds e =
+  Provenance.attribution_total e.attribution = delta_total e
+
+let explain ?(elements = 128) ?(seed = 3) ?(trace = false) machine
+    (config : Config.t) (task : Driver.task) =
+  Label.reset_fresh_counter ();
+  match Driver.compile_task task with
+  | exception Gis_frontend.Parser.Error m
+  | exception Gis_frontend.Lexer.Error m
+  | exception Gis_frontend.Codegen.Error m
+  | exception Asm.Error m ->
+      Error (Driver.Compile_error m)
+  | exception e -> Error (Driver.Crashed (Printexc.to_string e))
+  | compiled -> (
+      match
+        let prov = Provenance.create () in
+        let config = { config with Config.prov = Some prov } in
+        let baseline = Cfg.deep_copy compiled.Gis_frontend.Codegen.cfg in
+        ignore (Pipeline.run machine Config.base baseline);
+        let cfg = Cfg.deep_copy compiled.Gis_frontend.Codegen.cfg in
+        let stats = Pipeline.run machine config cfg in
+        let input =
+          match task.Driver.source with
+          | Driver.Generated gseed ->
+              Gis_workloads.Random_prog.random_input ~seed:gseed compiled
+          | Driver.Tiny_c _ | Driver.Asm _ | Driver.File _ ->
+              Driver.default_input compiled ~elements ~seed
+        in
+        let sched_input =
+          match stats.Pipeline.regalloc with
+          | Some alloc -> Gis_regalloc.Regalloc.remap_input alloc input
+          | None -> input
+        in
+        let ob = Simulator.run ~trace machine baseline input in
+        let os = Simulator.run ~trace machine cfg sched_input in
+        let attribution =
+          Provenance.attribute prov ~base:ob.Simulator.telemetry
+            ~sched:os.Simulator.telemetry
+        in
+        {
+          task = task.Driver.name;
+          prov;
+          cfg;
+          attribution;
+          base_last_issue = ob.Simulator.telemetry.Trace.last_issue;
+          sched_last_issue = os.Simulator.telemetry.Trace.last_issue;
+          base_cycles = ob.Simulator.cycles;
+          sched_cycles = os.Simulator.cycles;
+          base_telemetry = ob.Simulator.telemetry;
+          sched_telemetry = os.Simulator.telemetry;
+        }
+      with
+      | e -> Ok e
+      | exception exn -> Error (Driver.Crashed (Printexc.to_string exn)))
+
+(* ---- rendering ---- *)
+
+let pp_record ppf (r : Provenance.record) =
+  Fmt.pf ppf "%a" Provenance.pp_kind r.Provenance.kind;
+  (match r.Provenance.moved_from with
+  | Some l when not (Label.equal l r.Provenance.origin) ->
+      Fmt.pf ppf " from %a (origin %a)" Label.pp l Label.pp r.Provenance.origin
+  | Some l -> Fmt.pf ppf " from %a" Label.pp l
+  | None ->
+      if r.Provenance.kind <> Provenance.Unmoved then
+        Fmt.pf ppf " (origin %a)" Label.pp r.Provenance.origin);
+  if r.Provenance.copy_index > 0 then
+    Fmt.pf ppf ", copy %d" r.Provenance.copy_index;
+  if r.Provenance.renamed then Fmt.pf ppf ", renamed";
+  match r.Provenance.scores with
+  | Some s ->
+      Fmt.pf ppf ", scores d=%d cp=%d ord=%d" s.Provenance.d s.Provenance.cp
+        s.Provenance.order;
+      if s.Provenance.pressure <> 0 then Fmt.pf ppf " press=%d" s.Provenance.pressure
+  | None -> ()
+
+let pp ppf e =
+  Fmt.pf ppf "== %s: provenance ==@." e.task;
+  let reach = Cfg.reachable e.cfg in
+  List.iter
+    (fun id ->
+      if Gis_util.Ints.Int_set.mem id reach then begin
+        let b = Cfg.block e.cfg id in
+        Fmt.pf ppf "%a:@." Label.pp b.Block.label;
+        let line i =
+          Fmt.pf ppf "  %4d  %-36s " (Instr.uid i) (Fmt.str "%a" Instr.pp i);
+          (match Provenance.find e.prov (Instr.uid i) with
+          | Some r -> Fmt.pf ppf "[%a]" pp_record r
+          | None -> Fmt.pf ppf "[no provenance]");
+          Fmt.pf ppf "@."
+        in
+        Gis_util.Vec.iter line b.Block.body;
+        line b.Block.term
+      end)
+    (Cfg.layout e.cfg);
+  Fmt.pf ppf "@.== %s: motion kinds ==@." e.task;
+  List.iter
+    (fun (k, c) ->
+      if c > 0 then Fmt.pf ppf "  %-14s %5d@." (Provenance.kind_name k) c)
+    (Provenance.counts e.prov);
+  Fmt.pf ppf "@.== %s: cycle attribution ==@." e.task;
+  Fmt.pf ppf
+    "  issue span: base %d, scheduled %d, saved %d cycle(s)@."
+    e.base_last_issue e.sched_last_issue (delta_total e);
+  List.iter
+    (fun (a : Provenance.attribution) ->
+      if a.Provenance.delta <> 0 then begin
+        Fmt.pf ppf "  %-10s %+5d  <-" a.Provenance.ablock a.Provenance.delta;
+        List.iter
+          (fun (k, c) -> Fmt.pf ppf " %s %+d" (Provenance.kind_name k) c)
+          a.Provenance.credits;
+        Fmt.pf ppf "@."
+      end)
+    e.attribution;
+  Fmt.pf ppf "  total %+d (identity %s)@."
+    (Provenance.attribution_total e.attribution)
+    (if identity_holds e then "exact" else "VIOLATED")
+
+let to_json e =
+  Json.Obj
+    [
+      ("task", Json.String e.task);
+      ("base_last_issue", Json.Int e.base_last_issue);
+      ("sched_last_issue", Json.Int e.sched_last_issue);
+      ("base_cycles", Json.Int e.base_cycles);
+      ("sched_cycles", Json.Int e.sched_cycles);
+      ("delta_cycles", Json.Int (delta_total e));
+      ("identity_exact", Json.Bool (identity_holds e));
+      ("provenance", Provenance.to_json e.prov);
+      ("attribution", Provenance.attribution_to_json e.attribution);
+    ]

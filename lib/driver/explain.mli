@@ -1,0 +1,43 @@
+(** [gisc explain]: provenance-tracked run of one program.
+
+    Compiles the task, schedules it with a fresh provenance table on
+    [config], simulates the base and scheduled versions, and attributes
+    the per-block issue-cycle difference to motion kinds. The deltas
+    sum to [base_last_issue - sched_last_issue] exactly (the E−A
+    accounting identity; {!identity_holds} checks it and the test suite
+    pins it on every workload). *)
+
+type t = {
+  task : string;
+  prov : Gis_obs.Provenance.t;
+  cfg : Gis_ir.Cfg.t;
+  attribution : Gis_obs.Provenance.attribution list;
+  base_last_issue : int;
+  sched_last_issue : int;
+  base_cycles : int;
+  sched_cycles : int;
+  base_telemetry : Gis_obs.Trace.summary;
+  sched_telemetry : Gis_obs.Trace.summary;
+}
+
+val delta_total : t -> int
+val identity_holds : t -> bool
+
+val explain :
+  ?elements:int ->
+  ?seed:int ->
+  ?trace:bool ->
+  Gis_machine.Machine.t ->
+  Gis_core.Config.t ->
+  Driver.task ->
+  (t, Driver.error) result
+(** [trace] (default false) additionally records per-issue event logs
+    in both telemetry summaries (for {!Gis_obs.Chrome_trace} export or
+    the ASCII pipeline view). Any [Config.prov] already on [config] is
+    replaced by the fresh table. *)
+
+val pp : t Fmt.t
+(** Per-instruction provenance grouped by block, motion-kind counts,
+    and the per-block cycle attribution table. *)
+
+val to_json : t -> Gis_obs.Json.t

@@ -1,0 +1,105 @@
+open Gis_ir
+
+(* Chrome trace-event export of a simulator issue trace.
+
+   The trace-event JSON format (loadable in chrome://tracing and
+   Perfetto) wants an object with a "traceEvents" array; we map one
+   simulated cycle to one microsecond of trace time, give every
+   functional unit its own thread (track), and render each dynamic
+   instruction as a complete ("X") slice from its issue cycle to its
+   completion cycle. Cycles lost to a stall appear as instant ("i")
+   events on the stalled unit's track at the start of the gap, so the
+   dead time between slices is labelled with its cause. *)
+
+let pid = 1
+
+let unit_rank = function Instr.Fixed -> 0 | Instr.Float -> 1 | Instr.Branch -> 2
+let unit_tid u = unit_rank u + 1
+let unit_name u = Fmt.str "%a" Instr.pp_unit_ty u
+
+let str s = Json.String s
+let int n = Json.Int n
+
+let meta ~name ~tid fields =
+  Json.Obj
+    ([
+       ("name", str name);
+       ("ph", str "M");
+       ("pid", int pid);
+       ("tid", int tid);
+     ]
+    @ [ ("args", Json.Obj fields) ])
+
+let slice (e : Trace.event) =
+  let dur = max 1 (e.Trace.fin - e.Trace.cycle) in
+  Json.Obj
+    [
+      ("name", str (Fmt.str "%a" Instr.pp e.Trace.instr));
+      ("cat", str "issue");
+      ("ph", str "X");
+      ("ts", int e.Trace.cycle);
+      ("dur", int dur);
+      ("pid", int pid);
+      ("tid", int (unit_tid e.Trace.unit_));
+      ( "args",
+        Json.Obj
+          [
+            ("block", str e.Trace.block);
+            ("uid", int (Instr.uid e.Trace.instr));
+            ("issue_cycle", int e.Trace.cycle);
+            ("completion_cycle", int e.Trace.fin);
+            ("gap", int e.Trace.gap);
+            ("stall", str (Trace.stall_category e.Trace.stall));
+          ] );
+    ]
+
+let stall_instant (e : Trace.event) =
+  match e.Trace.stall with
+  | Trace.No_stall | Trace.In_order _ -> None
+  | st when e.Trace.gap > 0 ->
+      Some
+        (Json.Obj
+           [
+             ("name", str (Fmt.str "stall: %a" Trace.pp_stall st));
+             ("cat", str "stall");
+             ("ph", str "i");
+             ("ts", int (e.Trace.cycle - e.Trace.gap));
+             ("pid", int pid);
+             ("tid", int (unit_tid e.Trace.unit_));
+             ("s", str "t");
+             ( "args",
+               Json.Obj
+                 [
+                   ("category", str (Trace.stall_category st));
+                   ("cycles", int e.Trace.gap);
+                   ("until_uid", int (Instr.uid e.Trace.instr));
+                 ] );
+           ])
+  | _ -> None
+
+let to_json ?(process_name = "gisc simulator") (s : Trace.summary) =
+  let unit_tys = [ Instr.Fixed; Instr.Float; Instr.Branch ] in
+  let metadata =
+    meta ~name:"process_name" ~tid:0 [ ("name", str process_name) ]
+    :: List.map
+         (fun u ->
+           meta ~name:"thread_name" ~tid:(unit_tid u)
+             [ ("name", str (unit_name u ^ " unit")) ])
+         unit_tys
+  in
+  let slices = List.map slice s.Trace.events in
+  let stalls = List.filter_map stall_instant s.Trace.events in
+  Json.Obj
+    [
+      ("displayTimeUnit", str "ms");
+      ("traceEvents", Json.List (metadata @ slices @ stalls));
+      ( "otherData",
+        Json.Obj
+          [
+            ("cycles_per_us", int 1);
+            ("last_issue", int s.Trace.last_issue);
+            ("stall_cycles", int (Trace.stall_total s));
+          ] );
+    ]
+
+let to_string ?process_name s = Json.to_string (to_json ?process_name s)

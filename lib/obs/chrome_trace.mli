@@ -1,0 +1,13 @@
+(** Chrome trace-event export of a simulator issue trace.
+
+    Converts a {!Trace.summary} recorded with tracing on into the
+    trace-event JSON format understood by [chrome://tracing] and
+    Perfetto: one thread (track) per functional unit, each dynamic
+    instruction a complete ["X"] slice spanning issue to completion
+    (one cycle = one microsecond of trace time), and each attributed
+    stall an instant ["i"] event at the start of its gap. The top-level
+    object carries [displayTimeUnit] and a ["traceEvents"] array, per
+    the schema. *)
+
+val to_json : ?process_name:string -> Trace.summary -> Json.t
+val to_string : ?process_name:string -> Trace.summary -> string

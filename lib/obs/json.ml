@@ -13,24 +13,49 @@ and t_float = float
 
 let escape_string b s =
   Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '"' -> Buffer.add_string b "\\\""
+    | '\\' -> Buffer.add_string b "\\\\"
+    | '\n' -> Buffer.add_string b "\\n"
+    | '\r' -> Buffer.add_string b "\\r"
+    | '\t' -> Buffer.add_string b "\\t"
+    (* U+2028/U+2029 (UTF-8 e2 80 a8 / e2 80 a9) are valid JSON but
+       illegal in JavaScript string literals; emitting them raw breaks
+       consumers that eval or inline reports. Escape the whole
+       three-byte sequence. *)
+    | '\xe2'
+      when !i + 2 < n
+           && s.[!i + 1] = '\x80'
+           && (s.[!i + 2] = '\xa8' || s.[!i + 2] = '\xa9') ->
+        Buffer.add_string b
+          (if s.[!i + 2] = '\xa8' then "\\u2028" else "\\u2029");
+        i := !i + 2
+    | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
   Buffer.add_char b '"'
 
 let float_literal f =
   if not (Float.is_finite f) then "null"
   else
-    let s = Printf.sprintf "%.12g" f in
+    (* Shortest decimal that round-trips to exactly this double: try 15
+       significant digits, then 16, then fall back to 17 (always
+       sufficient for IEEE binary64). A fixed precision either loses
+       bits (%.12g) or prints noise digits (%.17g for 0.1); probing
+       keeps the emitted literal both exact and canonical, so equal
+       floats always serialize to equal bytes. *)
+    let s =
+      let p15 = Printf.sprintf "%.15g" f in
+      if float_of_string p15 = f then p15
+      else
+        let p16 = Printf.sprintf "%.16g" f in
+        if float_of_string p16 = f then p16 else Printf.sprintf "%.17g" f
+    in
     (* "1" is valid JSON but loses the floatness; keep a decimal point so
        round-trips stay typed. *)
     if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s

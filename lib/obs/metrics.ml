@@ -1,0 +1,165 @@
+(* Process-wide metrics registry.
+
+   One flat namespace of named counters, gauges and histograms that
+   every subsystem (scheduler, driver pool, register allocator,
+   simulator) registers into, dumped verbatim into every JSON report.
+   Counters and gauges are atomics and the registry itself is guarded
+   by a mutex, so the batch driver's worker domains can bump the same
+   metric concurrently.
+
+   Collection is off until [enable] is called (the CLI entry points and
+   the bench harness turn it on); with the registry disabled every
+   recording operation is a single atomic load and branch, so library
+   code can instrument unconditionally. *)
+
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; cell : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  (* log2 buckets: bucket i counts observations in [2^(i-1), 2^i), with
+     bucket 0 holding everything below 1.0. Coarse, fixed and
+     allocation-free — enough to tell microseconds from seconds. *)
+  buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  sum : float Atomic.t;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let num_buckets = 32
+let enabled = Atomic.make false
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+let register name make =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> m
+      | None ->
+          let m = make () in
+          Hashtbl.replace registry name m;
+          m)
+
+let counter name =
+  match
+    register name (fun () ->
+        Counter { c_name = name; count = Atomic.make 0 })
+  with
+  | Counter c -> c
+  | Gauge _ | Histogram _ ->
+      invalid_arg (name ^ " is already registered with another type")
+
+let gauge name =
+  match
+    register name (fun () -> Gauge { g_name = name; cell = Atomic.make 0.0 })
+  with
+  | Gauge g -> g
+  | Counter _ | Histogram _ ->
+      invalid_arg (name ^ " is already registered with another type")
+
+let histogram name =
+  match
+    register name (fun () ->
+        Histogram
+          {
+            h_name = name;
+            buckets = Array.init num_buckets (fun _ -> Atomic.make 0);
+            h_count = Atomic.make 0;
+            sum = Atomic.make 0.0;
+          })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ ->
+      invalid_arg (name ^ " is already registered with another type")
+
+let incr ?(by = 1) c =
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add c.count by)
+
+let set g v = if Atomic.get enabled then Atomic.set g.cell v
+
+let rec add_float cell by =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. by)) then add_float cell by
+
+let bucket_of v =
+  if not (v >= 1.0) then 0
+  else min (num_buckets - 1) (1 + int_of_float (Float.log2 v))
+
+let observe h v =
+  if Atomic.get enabled then begin
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    add_float h.sum v
+  end
+
+(* A metric whose name ends in "_seconds" (or "_ns") measures wall
+   clock; deterministic dumps zero it the same way [Span.scrub] zeroes
+   phase timings, so reports stay byte-stable across runs. *)
+let time_based name =
+  let suffix s = Filename.check_suffix name s in
+  suffix "_seconds" || suffix "_ns"
+
+let metric_to_json ~deterministic = function
+  | Counter c ->
+      let v = if deterministic && time_based c.c_name then 0 else Atomic.get c.count in
+      (c.c_name, Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int v) ])
+  | Gauge g ->
+      let v = if deterministic && time_based g.g_name then 0.0 else Atomic.get g.cell in
+      (g.g_name, Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float v) ])
+  | Histogram h ->
+      let scrubbed = deterministic && time_based h.h_name in
+      let count = if scrubbed then 0 else Atomic.get h.h_count in
+      let sum = if scrubbed then 0.0 else Atomic.get h.sum in
+      let buckets =
+        if scrubbed then []
+        else
+          Array.to_list h.buckets
+          |> List.mapi (fun i c -> (i, Atomic.get c))
+          |> List.filter (fun (_, c) -> c > 0)
+      in
+      ( h.h_name,
+        Json.Obj
+          [
+            ("type", Json.String "histogram");
+            ("count", Json.Int count);
+            ("sum", Json.Float sum);
+            ( "buckets",
+              Json.Obj
+                (List.map
+                   (fun (i, c) -> (string_of_int i, Json.Int c))
+                   buckets) );
+          ] )
+
+let to_json ?(deterministic = false) () =
+  let all =
+    Mutex.protect lock (fun () ->
+        Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  in
+  let fields = List.map (metric_to_json ~deterministic) all in
+  Json.Obj (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | Counter c -> Atomic.set c.count 0
+          | Gauge g -> Atomic.set g.cell 0.0
+          | Histogram h ->
+              Array.iter (fun b -> Atomic.set b 0) h.buckets;
+              Atomic.set h.h_count 0;
+              Atomic.set h.sum 0.0)
+        registry)
+
+let find_counter name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> Some (Atomic.get c.count)
+      | Some (Gauge _ | Histogram _) | None -> None)

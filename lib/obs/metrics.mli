@@ -1,0 +1,47 @@
+(** Process-wide metrics registry.
+
+    Counters, gauges and log2 histograms in one flat namespace, safe to
+    bump from any domain (atomics; the registry table itself is behind a
+    mutex). The scheduler, driver pool, register allocator and simulator
+    register into it; [gisc --stats] and [bench --json] dump it as a
+    ["metrics"] section.
+
+    Collection is disabled until {!enable} — a disabled recording is one
+    atomic load and a branch, so schedules and timings are unaffected
+    when observability is off. Registration itself is always allowed
+    (handles are cheap and idempotent: the same name returns the same
+    metric). *)
+
+type counter
+type gauge
+type histogram
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val counter : string -> counter
+(** Get or register. Raises [Invalid_argument] if the name is already
+    registered as a different metric type. *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+(** Bucket [i] counts observations in [2^(i-1), 2^i) (bucket 0 holds
+    everything below 1.0); count and sum are kept exactly. *)
+
+val to_json : ?deterministic:bool -> unit -> Json.t
+(** Every registered metric, sorted by name. With [deterministic], any
+    metric whose name ends in ["_seconds"] or ["_ns"] is zeroed — the
+    registry's equivalent of [Span.scrub]. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (the registry keeps its names). Used
+    by tests and by the bench harness between table groups. *)
+
+val find_counter : string -> int option
+(** Current value of a registered counter, for tests. *)

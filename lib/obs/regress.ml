@@ -1,0 +1,113 @@
+type finding = { path : string; baseline : float; current : float }
+
+let ratio f =
+  if f.baseline <> 0.0 then f.current /. f.baseline
+  else if f.current = 0.0 then 1.0
+  else infinity
+
+type outcome = {
+  compared : int;
+  regressions : finding list;
+  improvements : finding list;
+  missing : string list;
+}
+
+let is_cycle_key k =
+  String.equal k "cycles"
+  || String.equal k "cycles_per_iteration"
+  || (String.length k > 7
+     && String.equal (String.sub k (String.length k - 7) 7) "_cycles")
+
+let number = function
+  | Json.Int n -> Some (float_of_int n)
+  | Json.Float f -> Some f
+  | Json.Null | Json.Bool _ | Json.String _ | Json.List _ | Json.Obj _ -> None
+
+(* Does this baseline subtree hold any cycle metric? Decides whether a
+   key missing from the current report matters to the gate. *)
+let rec bears_cycles in_cycles = function
+  | (Json.Int _ | Json.Float _) as j -> in_cycles && number j <> None
+  | Json.Obj fields ->
+      List.exists
+        (fun (k, v) -> bears_cycles (in_cycles || is_cycle_key k) v)
+        fields
+  | Json.List items -> List.exists (bears_cycles in_cycles) items
+  | Json.Null | Json.Bool _ | Json.String _ -> false
+
+type state = {
+  mutable n : int;
+  mutable regs : finding list;
+  mutable imps : finding list;
+  mutable miss : string list;
+}
+
+let check ?(tolerance = 0.02) ~baseline ~current () =
+  let st = { n = 0; regs = []; imps = []; miss = [] } in
+  let lost path b in_cycles =
+    if bears_cycles in_cycles b then st.miss <- path :: st.miss
+  in
+  let rec walk path in_cycles b c =
+    match (b, c) with
+    | (Json.Int _ | Json.Float _), _ when in_cycles -> (
+        match (number b, number c) with
+        | Some bv, Some cv ->
+            st.n <- st.n + 1;
+            let f = { path; baseline = bv; current = cv } in
+            if cv > bv *. (1.0 +. tolerance) then st.regs <- f :: st.regs
+            else if cv < bv then st.imps <- f :: st.imps
+        | Some _, None -> st.miss <- path :: st.miss
+        | None, _ -> ())
+    | Json.Obj bf, Json.Obj cf ->
+        List.iter
+          (fun (k, bv) ->
+            let kpath = if path = "" then k else path ^ "." ^ k in
+            let inc = in_cycles || is_cycle_key k in
+            match List.assoc_opt k cf with
+            | Some cv -> walk kpath inc bv cv
+            | None -> lost kpath bv inc)
+          bf
+    | Json.List bl, Json.List cl ->
+        List.iteri
+          (fun i bv ->
+            let ipath = Fmt.str "%s[%d]" path i in
+            match List.nth_opt cl i with
+            | Some cv -> walk ipath in_cycles bv cv
+            | None -> lost ipath bv in_cycles)
+          bl
+    | b, _ -> lost path b in_cycles
+  in
+  walk "" false baseline current;
+  {
+    compared = st.n;
+    regressions = List.rev st.regs;
+    improvements = List.rev st.imps;
+    missing = List.rev st.miss;
+  }
+
+let ok o = o.regressions = [] && o.missing = []
+
+let pp_pct ppf f =
+  if ratio f = infinity then Fmt.string ppf "from 0"
+  else Fmt.pf ppf "%+.1f%%" (100.0 *. (ratio f -. 1.0))
+
+let pp ppf o =
+  Fmt.pf ppf
+    "regression check: %d cycle metric(s) compared, %d regression(s), %d \
+     improvement(s), %d missing@."
+    o.compared
+    (List.length o.regressions)
+    (List.length o.improvements)
+    (List.length o.missing);
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "  REGRESSION %s: %g -> %g (%a)@." f.path f.baseline f.current
+        pp_pct f)
+    o.regressions;
+  List.iter
+    (fun p -> Fmt.pf ppf "  MISSING %s (in baseline, not in current)@." p)
+    o.missing;
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "  improved %s: %g -> %g (%a)@." f.path f.baseline f.current
+        pp_pct f)
+    o.improvements

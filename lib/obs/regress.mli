@@ -1,0 +1,45 @@
+(** Benchmark regression gate: diff two JSON reports on cycle metrics.
+
+    Walks a baseline and a current report in lockstep and compares
+    every numeric field that measures cycles — a field named [cycles]
+    or [cycles_per_iteration], one whose name ends in [_cycles], or any
+    numeric leaf directly under such a field (the A2/A3 tables nest
+    per-program counts under a ["cycles"] object). A comparison fails
+    when the current value exceeds the baseline by more than the
+    tolerance (default 2%); a cycle-bearing subtree present in the
+    baseline but absent from the current report also fails, so schema
+    drift cannot silently shrink coverage. Timing fields are never
+    cycle-named, so reports generated with [--deterministic] gate
+    cleanly. *)
+
+type finding = {
+  path : string;  (** JSON path, e.g. [E5_figure8_runtime[2].base_cycles] *)
+  baseline : float;
+  current : float;
+}
+
+val ratio : finding -> float
+(** [current /. baseline]; [infinity] when the baseline is zero and the
+    current value positive, [1.0] when both are zero. *)
+
+type outcome = {
+  compared : int;  (** cycle metrics compared *)
+  regressions : finding list;  (** current > baseline * (1 + tolerance) *)
+  improvements : finding list;  (** current < baseline *)
+  missing : string list;
+      (** cycle-bearing paths in the baseline with no counterpart (or a
+          non-numeric counterpart) in the current report *)
+}
+
+val check :
+  ?tolerance:float -> baseline:Json.t -> current:Json.t -> unit -> outcome
+(** [tolerance] (default [0.02]) is the fractional slack before a
+    larger current value counts as a regression. *)
+
+val ok : outcome -> bool
+(** No regressions and nothing missing. Comparing a report against
+    itself is always [ok]. *)
+
+val pp : outcome Fmt.t
+(** Summary line, then one line per regression (with percentages), per
+    missing path, and per improvement. *)

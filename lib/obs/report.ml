@@ -13,12 +13,30 @@ let by_cycle events =
     [] events
   |> List.rev_map (fun (c, es) -> (c, List.rev es))
 
+(* Compact per-line stall code; the expansion is printed once in the
+   diagram header rather than spelled out on every stalled line. *)
+let stall_code ppf = function
+  | Trace.No_stall -> Fmt.string ppf "--"
+  | Trace.In_order k -> Fmt.pf ppf "IO+%d" k
+  | Trace.Interlock { reg; producer } ->
+      Fmt.pf ppf "RAW %a<-#%d" Reg.pp reg producer
+  | Trace.Mem_interlock { producer } -> Fmt.pf ppf "STQ #%d" producer
+  | Trace.Call_interlock { producer } -> Fmt.pf ppf "CALL #%d" producer
+  | Trace.Unit_busy u -> Fmt.pf ppf "UNIT %a" Instr.pp_unit_ty u
+
+let pp_legend ppf () =
+  Fmt.pf ppf
+    "stall legend: RAW=register interlock  STQ=store-queue delay  \
+     CALL=serialized behind call  UNIT=functional unit busy  \
+     IO+k=in-order issue (operands ready k cycles early)@."
+
 let pp_issue_diagram ppf (s : Trace.summary) =
   match s.Trace.events with
   | [] ->
       Fmt.pf ppf
         "(no issue trace recorded — run the simulator with tracing enabled)@."
   | events ->
+      pp_legend ppf ();
       let groups = by_cycle events in
       let prev = ref (-1) in
       List.iter
@@ -32,8 +50,8 @@ let pp_issue_diagram ppf (s : Trace.summary) =
                  Fmt.pf ppf "cycle %4d-%-4d | -- stall --@." (!prev + 1)
                    (cycle - 1)
              | st ->
-                 Fmt.pf ppf "cycle %4d-%-4d | -- stall: %a --@." (!prev + 1)
-                   (cycle - 1) Trace.pp_stall st);
+                 Fmt.pf ppf "cycle %4d-%-4d | -- %a --@." (!prev + 1)
+                   (cycle - 1) stall_code st);
           Fmt.pf ppf "cycle %4d |" cycle;
           List.iter
             (fun (e : Trace.event) ->
@@ -43,14 +61,69 @@ let pp_issue_diagram ppf (s : Trace.summary) =
           (match es with
           | [ e ] -> (
               match e.Trace.stall with
-              | Trace.Interlock _ | Trace.Mem_interlock _ | Trace.Unit_busy _
+              | Trace.Interlock _ | Trace.Mem_interlock _
+              | Trace.Call_interlock _ | Trace.Unit_busy _
                 when e.Trace.gap > 0 ->
-                  Fmt.pf ppf " (%a)" Trace.pp_stall e.Trace.stall
+                  Fmt.pf ppf " (%a)" stall_code e.Trace.stall
               | _ -> ())
           | _ -> ());
           Fmt.pf ppf "@.";
           prev := cycle)
         groups
+
+(* ASCII pipeline occupancy: one row per functional unit, one column
+   per cycle. '#' marks an issue, '=' marks cycles an earlier issue is
+   still executing on the unit, a digit marks multi-issue on a
+   superscalar unit, '.' is idle. Wide traces are windowed to the
+   first [max_cycles] columns with a truncation note. *)
+let pp_pipeline ?(max_cycles = 120) ppf (s : Trace.summary) =
+  match s.Trace.events with
+  | [] ->
+      Fmt.pf ppf
+        "(no issue trace recorded — run the simulator with tracing enabled)@."
+  | events ->
+      let span = s.Trace.last_issue + 1 in
+      let shown = min span max_cycles in
+      let unit_tys = [ Instr.Fixed; Instr.Float; Instr.Branch ] in
+      let rank = function
+        | Instr.Fixed -> 0
+        | Instr.Float -> 1
+        | Instr.Branch -> 2
+      in
+      let issues = Array.make_matrix 3 shown 0 in
+      let exec = Array.make_matrix 3 shown false in
+      List.iter
+        (fun (e : Trace.event) ->
+          let r = rank e.Trace.unit_ in
+          if e.Trace.cycle < shown then
+            issues.(r).(e.Trace.cycle) <- issues.(r).(e.Trace.cycle) + 1;
+          for c = e.Trace.cycle + 1 to min (e.Trace.fin - 1) (shown - 1) do
+            exec.(r).(c) <- true
+          done)
+        events;
+      (* Decade ruler so columns can be read off against cycle numbers. *)
+      Fmt.pf ppf "%8s " "";
+      for c = 0 to shown - 1 do
+        Fmt.pf ppf "%c" (if c mod 10 = 0 then Char.chr (0x30 + c / 10 mod 10) else ' ')
+      done;
+      Fmt.pf ppf "@.";
+      List.iter
+        (fun u ->
+          let r = rank u in
+          Fmt.pf ppf "%8s " (unit_name u);
+          for c = 0 to shown - 1 do
+            let ch =
+              match issues.(r).(c) with
+              | 0 -> if exec.(r).(c) then '=' else '.'
+              | 1 -> '#'
+              | k -> Char.chr (0x30 + min k 9)
+            in
+            Fmt.pf ppf "%c" ch
+          done;
+          Fmt.pf ppf "@.")
+        unit_tys;
+      if span > shown then
+        Fmt.pf ppf "(%d of %d cycles shown)@." shown span
 
 let pp_summary ppf (s : Trace.summary) =
   Fmt.pf ppf

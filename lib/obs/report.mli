@@ -7,9 +7,20 @@
     cycle iteration. {!pp_summary} prints the aggregate breakdown:
     per-unit utilization and where the non-issue cycles went. *)
 
+val pp_legend : Format.formatter -> unit -> unit
+(** The stall-reason legend ([RAW]/[STQ]/[CALL]/[UNIT]/[IO+k]) printed
+    once at the top of the issue diagram. *)
+
 val pp_issue_diagram : Format.formatter -> Trace.summary -> unit
 (** Requires a summary recorded with tracing on ([Trace.summary.events]
-    non-empty); prints a notice otherwise. *)
+    non-empty); prints a notice otherwise. Starts with {!pp_legend};
+    stalled lines carry compact codes rather than full descriptions. *)
+
+val pp_pipeline : ?max_cycles:int -> Format.formatter -> Trace.summary -> unit
+(** ASCII pipeline occupancy: one row per functional unit, one column
+    per cycle; ['#'] an issue, a digit multi-issue, ['='] an earlier
+    instruction still executing, ['.'] idle. Windows to the first
+    [max_cycles] (default 120) columns. *)
 
 val pp_summary : Format.formatter -> Trace.summary -> unit
 

@@ -1,24 +1,60 @@
-type t = { name : string; seconds : float }
+type t = { name : string; seconds : float; children : t list }
 
 let now () = Unix.gettimeofday ()
 
+(* Per-domain stack of open frames. Each frame accumulates the child
+   spans finished while it was the innermost open span; [time] pushes a
+   frame, runs the thunk, pops the frame and — when another frame is
+   still open — records the finished span as that parent's child. The
+   stack is domain-local so the batch driver's workers never interleave
+   each other's frames. *)
+let frames : t list ref list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
 let time name f =
+  let stack = Domain.DLS.get frames in
+  let frame = ref [] in
+  stack := frame :: !stack;
   let t0 = now () in
-  let v = f () in
-  (v, { name; seconds = now () -. t0 })
+  let finish () =
+    let dt = now () -. t0 in
+    let children = List.rev !frame in
+    (match !stack with
+    | top :: rest when top == frame -> stack := rest
+    | _ -> () (* an escaped effect unbalanced the stack; don't corrupt it *));
+    let span = { name; seconds = dt; children } in
+    (match !stack with
+    | parent :: _ -> parent := span :: !parent
+    | [] -> ());
+    span
+  in
+  match f () with
+  | v -> (v, finish ())
+  | exception e ->
+      ignore (finish ());
+      raise e
 
 let total spans = List.fold_left (fun acc s -> acc +. s.seconds) 0.0 spans
 
 let find spans name =
   List.find_opt (fun s -> String.equal s.name name) spans
 
-let scrub spans = List.map (fun s -> { s with seconds = 0.0 }) spans
+(* Scrubbing is recursive: a span opened inside a scrubbed parent must
+   not leak wall-clock through its children, or [--deterministic]
+   reports stop being byte-stable across runs. *)
+let rec scrub spans =
+  List.map (fun s -> { s with seconds = 0.0; children = scrub s.children }) spans
 
-let to_json spans =
+let rec to_json spans =
   Json.List
     (List.map
        (fun s ->
-         Json.Obj [ ("name", Json.String s.name); ("seconds", Json.Float s.seconds) ])
+         Json.Obj
+           ([ ("name", Json.String s.name); ("seconds", Json.Float s.seconds) ]
+           @
+           match s.children with
+           | [] -> []
+           | children -> [ ("children", to_json children) ]))
        spans)
 
 let pp ppf s = Fmt.pf ppf "%s: %.6fs" s.name s.seconds

@@ -4,9 +4,14 @@
     scheduling; spans attribute that time to the individual phases
     (unroll, first global pass, rotate, second global pass, local
     post-pass) so compile-time regressions can be localised — the
-    Figure 7 experiment, but per phase. *)
+    Figure 7 experiment, but per phase.
 
-type t = { name : string; seconds : float }
+    Spans nest: a [time] call made while another [time] call is running
+    (in the same domain) is recorded as a child of the enclosing span,
+    so a phase can expose sub-phase structure (e.g. the region analysis
+    computed inside a global pass) without changing its own total. *)
+
+type t = { name : string; seconds : float; children : t list }
 
 val now : unit -> float
 (** Wall-clock seconds (via [Unix.gettimeofday]). *)
@@ -15,18 +20,25 @@ val time : string -> (unit -> 'a) -> 'a * t
 (** [time name f] runs [f] and returns its result with the wall-clock
     seconds it took. Wall clock, not CPU time: under the parallel batch
     driver a task's CPU time is split across domains, and reports that
-    mix the two are meaningless. *)
+    mix the two are meaningless. Nested [time] calls in the same domain
+    become [children] of this span (innermost-open parent), in call
+    order. *)
 
 val total : t list -> float
-(** Sum of all span durations. *)
+(** Sum of the top-level span durations (children are already counted
+    inside their parents). *)
 
 val find : t list -> string -> t option
 
 val scrub : t list -> t list
-(** Zero every duration, keeping names and order — used by the
-    [--deterministic] report mode so golden tests and CI artifact diffs
-    are stable. *)
+(** Zero every duration, recursively through [children], keeping names
+    and order — used by the [--deterministic] report mode so golden
+    tests and CI artifact diffs are byte-stable across runs. A nested
+    span inherits its parent's scrubbing; partially-scrubbed trees were
+    the PR-4 determinism bug. *)
 
 val to_json : t list -> Json.t
+(** Each span is [{name, seconds}] plus a ["children"] field when it
+    has any. *)
 
 val pp : t Fmt.t

@@ -33,6 +33,7 @@ type event = {
   instr : Instr.t;
   stall : stall;
   gap : int;
+  fin : int;
 }
 
 type unit_stat = {
@@ -118,6 +119,7 @@ let event_to_json e =
       ("instr", Json.String (Fmt.str "%a" Instr.pp e.instr));
       ("stall", stall_to_json e.stall);
       ("gap", Json.Int e.gap);
+      ("fin", Json.Int e.fin);
     ]
 
 let to_json s =

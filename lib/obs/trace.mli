@@ -52,6 +52,7 @@ type event = {
   instr : Gis_ir.Instr.t;
   stall : stall;  (** the binding constraint on this issue cycle *)
   gap : int;  (** cycles since the previous instruction's issue *)
+  fin : int;  (** completion cycle: issue + the unit's execution time *)
 }
 
 type unit_stat = {

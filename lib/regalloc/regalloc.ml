@@ -165,7 +165,7 @@ let scan ~pool_size ~phys intervals =
 
 (* ---- rewriting onto physical names ---- *)
 
-let rewrite cfg ~assignment ~spilled ~base ~scratch =
+let rewrite ?prov cfg ~assignment ~spilled ~base ~scratch =
   let loads = ref 0 and stores = ref 0 in
   let phys_of r =
     match Hashtbl.find_opt assignment (Reg.hash r) with
@@ -222,15 +222,19 @@ let rewrite cfg ~assignment ~spilled ~base ~scratch =
               (fun r ->
                 if List.exists (Reg.equal r) (Instr.uses i) then begin
                   incr loads;
-                  emit
-                    (Cfg.make_instr cfg
-                       (Instr.Load
-                          {
-                            dst = Hashtbl.find scratch_map (Reg.hash r);
-                            base = base_reg;
-                            offset = slot_offset r.Reg.cls (slot_of r);
-                            update = false;
-                          }))
+                  let reload =
+                    Cfg.make_instr cfg
+                      (Instr.Load
+                         {
+                           dst = Hashtbl.find scratch_map (Reg.hash r);
+                           base = base_reg;
+                           offset = slot_offset r.Reg.cls (slot_of r);
+                           update = false;
+                         })
+                  in
+                  Gis_obs.Provenance.spill prov ~uid:(Instr.uid reload)
+                    ~block:b.Block.label;
+                  emit reload
                 end)
               sp;
             emit (Instr.map_regs ~f:lookup i);
@@ -238,15 +242,19 @@ let rewrite cfg ~assignment ~spilled ~base ~scratch =
               (fun r ->
                 if List.exists (Reg.equal r) (Instr.defs i) then begin
                   incr stores;
-                  emit
-                    (Cfg.make_instr cfg
-                       (Instr.Store
-                          {
-                            src = Hashtbl.find scratch_map (Reg.hash r);
-                            base = base_reg;
-                            offset = slot_offset r.Reg.cls (slot_of r);
-                            update = false;
-                          }))
+                  let store =
+                    Cfg.make_instr cfg
+                      (Instr.Store
+                         {
+                           src = Hashtbl.find scratch_map (Reg.hash r);
+                           base = base_reg;
+                           offset = slot_offset r.Reg.cls (slot_of r);
+                           update = false;
+                         })
+                  in
+                  Gis_obs.Provenance.spill prov ~uid:(Instr.uid store)
+                    ~block:b.Block.label;
+                  emit store
                 end)
               sp
           end)
@@ -268,7 +276,12 @@ let rewrite cfg ~assignment ~spilled ~base ~scratch =
 
 (* ---- driver ---- *)
 
-let allocate ?gprs ?fprs machine cfg =
+(* Process-wide metrics (no-ops until Gis_obs.Metrics.enable). *)
+let m_allocations = Gis_obs.Metrics.counter "regalloc.allocations_total"
+let m_spill_instrs = Gis_obs.Metrics.counter "regalloc.spill_instrs_total"
+let m_spilled_regs = Gis_obs.Metrics.counter "regalloc.spilled_regs_total"
+
+let allocate ?gprs ?fprs ?prov machine cfg =
   let budget = function
     | Reg.Gpr -> Option.value gprs ~default:(Machine.regs machine Reg.Gpr)
     | Reg.Fpr -> Option.value fprs ~default:(Machine.regs machine Reg.Fpr)
@@ -279,13 +292,19 @@ let allocate ?gprs ?fprs machine cfg =
   let intervals, entry_live = build_intervals cfg in
   let has_fpr = List.exists (fun iv -> iv.reg.Reg.cls = Reg.Fpr) intervals in
   let finish ~assignment ~spilled ~slots ~base ~scratch =
-    let loads, stores = rewrite cfg ~assignment ~spilled ~base ~scratch in
+    let loads, stores = rewrite ?prov cfg ~assignment ~spilled ~base ~scratch in
+    Gis_obs.Metrics.incr m_allocations;
+    Gis_obs.Metrics.incr ~by:(loads + stores) m_spill_instrs;
+    Gis_obs.Metrics.incr ~by:(Hashtbl.length spilled) m_spilled_regs;
     if Hashtbl.length spilled > 0 then begin
       let base_reg = match base with Some r -> r | None -> assert false in
-      Gis_util.Vec.insert
-        (Cfg.block cfg (Cfg.entry cfg)).Block.body
-        0
-        (Cfg.make_instr cfg (Instr.Load_imm { dst = base_reg; value = 0 }))
+      let entry_block = Cfg.block cfg (Cfg.entry cfg) in
+      let setup =
+        Cfg.make_instr cfg (Instr.Load_imm { dst = base_reg; value = 0 })
+      in
+      Gis_obs.Provenance.spill prov ~uid:(Instr.uid setup)
+        ~block:entry_block.Block.label;
+      Gis_util.Vec.insert entry_block.Block.body 0 setup
     end;
     let used cls =
       let seen = Hashtbl.create 16 in

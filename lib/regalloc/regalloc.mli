@@ -53,6 +53,7 @@ type t = {
 val allocate :
   ?gprs:int ->
   ?fprs:int ->
+  ?prov:Gis_obs.Provenance.t ->
   Gis_machine.Machine.t ->
   Gis_ir.Cfg.t ->
   (t, string) result

@@ -32,6 +32,11 @@ type outcome = {
 
 exception Trapped of string
 
+(* Process-wide metrics (no-ops until Gis_obs.Metrics.enable). *)
+let m_runs = Metrics.counter "sim.runs_total"
+let m_instrs = Metrics.counter "sim.instructions_total"
+let m_issue_span = Metrics.histogram "sim.issue_span_cycles"
+
 type state = {
   machine : Machine.t;
   cfg : Cfg.t;
@@ -173,6 +178,7 @@ let issue st i =
   if st.cursor > ready then st.in_order_instrs <- st.in_order_instrs + 1;
   let bi, bs = Option.value ~default:(0, 0) (Hashtbl.find_opt st.block_stats st.cur_block) in
   Hashtbl.replace st.block_stats st.cur_block (bi + 1, bs + gap);
+  let fin = !cycle + Machine.exec_time st.machine i in
   (match st.trace with
   | Some log ->
       let stall =
@@ -190,10 +196,10 @@ let issue st i =
           instr = i;
           stall;
           gap;
+          fin;
         }
   | None -> ());
   st.cursor <- !cycle;
-  let fin = !cycle + Machine.exec_time st.machine i in
   st.last_done <- max st.last_done fin;
   List.iter (fun r -> Hashtbl.replace st.producers (Reg.hash r) (i, fin)) (Instr.defs i);
   if Instr.is_store i then st.last_store <- Some (i, fin);
@@ -389,6 +395,9 @@ let run_with_header ~fuel ?(trace = false) machine cfg ~header input =
        end
      done
    with Trapped m -> stop := Some (Trap m));
+  Metrics.incr m_runs;
+  Metrics.incr ~by:st.executed m_instrs;
+  Metrics.observe m_issue_span (float_of_int st.cursor);
   let dump tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
   ( {
       stop = Option.value ~default:(Trap "internal") !stop;

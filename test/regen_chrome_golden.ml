@@ -1,0 +1,45 @@
+(* Regenerates the Chrome-trace golden file used by test_obs.ml:
+
+     dune exec test/regen_chrome_golden.exe > test/golden_chrome_trace.json
+
+   Keep the program here in lockstep with [diamond_outcome] in
+   test_obs.ml — same builder calls, same input — or the golden test
+   will (rightly) fail. *)
+
+open Gis_ir
+open Gis_machine
+open Gis_sim
+open Gis_obs
+
+let () =
+  let module B = Builder in
+  let g = Reg.Gen.create () in
+  let p = Reg.Gen.reserve g Reg.Gpr 1 in
+  let q = Reg.Gen.reserve g Reg.Gpr 2 in
+  let m = Reg.Gen.fresh g Reg.Gpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let a1 = Reg.Gen.fresh g Reg.Gpr in
+  let t = Reg.Gen.fresh g Reg.Gpr in
+  let u = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "E",
+          [ B.binop Instr.Div ~dst:m ~lhs:p ~rhs:(Instr.Imm 3);
+            B.cmpi ~dst:c ~lhs:p 0 ],
+          B.bt ~cr:c ~cond:Instr.Gt ~taken:"L" ~fallthru:"R" );
+        ("L", [ B.addi ~dst:a1 ~lhs:p 1 ], B.jmp "J");
+        ("R", [ B.addi ~dst:a1 ~lhs:q 2 ], B.jmp "J");
+        ( "J",
+          [ B.add ~dst:t ~lhs:m ~rhs:q; B.add ~dst:u ~lhs:t ~rhs:a1;
+            B.call "print_int" [ u ] ],
+          Instr.Halt );
+      ]
+  in
+  let input =
+    { Simulator.no_input with Simulator.int_regs = [ (p, 41); (q, 7) ] }
+  in
+  let o = Simulator.run ~trace:true Machine.rs6k cfg input in
+  print_string
+    (Chrome_trace.to_string ~process_name:"diamond" o.Simulator.telemetry);
+  print_newline ()

@@ -232,6 +232,129 @@ let test_timeout_preempts_queue () =
   Alcotest.(check bool) "all failures are timeouts" true timeout_only
 
 (* ------------------------------------------------------------------ *)
+(* Provenance and explainability                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Provenance = Gis_obs.Provenance
+
+let reachable_instr_count cfg =
+  let reach = Cfg.reachable cfg in
+  let n = ref 0 in
+  List.iter
+    (fun id ->
+      if Gis_util.Ints.Int_set.mem id reach then begin
+        let b = Cfg.block cfg id in
+        Gis_util.Vec.iter (fun _ -> incr n) b.Block.body;
+        incr n
+      end)
+    (Cfg.layout cfg);
+  !n
+
+(* Conservation: whatever combination of passes ran, every reachable
+   instruction of the final CFG has exactly one provenance record, and
+   the per-kind counts tile the instruction count. The generator sweeps
+   workload x level x unroll/rotate x regalloc. *)
+let prop_provenance_conservation =
+  QCheck.Test.make ~count:60 ~name:"provenance conservation"
+    QCheck.(
+      quad (int_bound 4) (int_bound 2) bool bool)
+    (fun (wi, li, unroll, regalloc) ->
+      let task = List.nth (workload_tasks ()) wi in
+      Label.reset_fresh_counter ();
+      let compiled = compile_task task in
+      let prov = Provenance.create () in
+      let level = List.nth [ `Local; `Useful; `Speculative ] li in
+      let config =
+        {
+          (config_of_level level) with
+          Config.unroll_small_loops = unroll;
+          rotate_small_loops = unroll;
+          regalloc;
+          prov = Some prov;
+        }
+      in
+      let cfg = Cfg.deep_copy compiled.Codegen.cfg in
+      ignore (Pipeline.run machine config cfg);
+      let count = reachable_instr_count cfg in
+      Provenance.missing prov cfg = []
+      && List.length (Provenance.entries prov) = count
+      && List.fold_left (fun a (_, c) -> a + c) 0 (Provenance.counts prov)
+         = count)
+
+(* The E-A accounting identity: the per-block attribution credits sum
+   exactly (integer-exactly, not approximately) to the difference of
+   the base and scheduled issue spans, on every workload, with and
+   without the allocator's spill code in the mix. *)
+let test_explain_identity () =
+  List.iter
+    (fun (cname, config) ->
+      List.iter
+        (fun task ->
+          match Explain.explain machine config task with
+          | Error e ->
+              Alcotest.failf "%s (%s): %a" task.name cname pp_error e
+          | Ok e ->
+              Alcotest.(check int)
+                (Fmt.str "%s (%s): credits sum to the E-A delta" task.name
+                   cname)
+                (e.Explain.base_last_issue - e.Explain.sched_last_issue)
+                (Provenance.attribution_total e.Explain.attribution);
+              Alcotest.(check bool)
+                (Fmt.str "%s (%s): identity holds" task.name cname)
+                true (Explain.identity_holds e))
+        (workload_tasks ()))
+    [
+      ("speculative", Config.speculative);
+      ("regalloc", { Config.speculative with Config.regalloc = true });
+    ]
+
+(* Pinned: attaching a provenance table must not change one byte of the
+   scheduled code — recording is observation, not participation. *)
+let test_provenance_zero_cost () =
+  List.iter
+    (fun task ->
+      let print_with prov =
+        Label.reset_fresh_counter ();
+        let compiled = compile_task task in
+        let cfg = Cfg.deep_copy compiled.Codegen.cfg in
+        ignore
+          (Pipeline.run machine
+             { Config.speculative with Config.prov; regalloc = true }
+             cfg);
+        Fmt.str "%a" Cfg.pp cfg
+      in
+      Alcotest.(check string)
+        (task.name ^ ": schedule byte-identical with provenance on")
+        (print_with None)
+        (print_with (Some (Provenance.create ()))))
+    (workload_tasks ())
+
+(* The minmax walkthrough documented in EXPERIMENTS.md: speculative
+   scheduling must show actual useful and speculative motions, and the
+   JSON report must carry the identity flag. *)
+let test_explain_minmax_motions () =
+  match
+    Explain.explain machine Config.speculative
+      { name = "minmax"; source = Tiny_c Minmax.source }
+  with
+  | Error e -> Alcotest.failf "minmax: %a" pp_error e
+  | Ok e ->
+      let count k =
+        match List.assoc_opt k (Provenance.counts e.Explain.prov) with
+        | Some c -> c
+        | None -> 0
+      in
+      Alcotest.(check bool) "useful motions recorded" true
+        (count Provenance.Useful > 0);
+      Alcotest.(check bool) "speculative motions recorded" true
+        (count Provenance.Speculative > 0);
+      Alcotest.(check bool) "scheduled faster than base" true
+        (Explain.delta_total e > 0);
+      (match Gis_obs.Json.member "identity_exact" (Explain.to_json e) with
+      | Some (Gis_obs.Json.Bool true) -> ()
+      | _ -> Alcotest.fail "identity_exact missing or false in JSON")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "gis_driver"
@@ -249,5 +372,13 @@ let () =
           Alcotest.test_case "timeout budget" `Quick test_timeout;
           Alcotest.test_case "timeout preempts queue" `Quick
             test_timeout_preempts_queue;
+        ] );
+      ( "provenance",
+        [
+          QCheck_alcotest.to_alcotest prop_provenance_conservation;
+          Alcotest.test_case "accounting identity" `Quick test_explain_identity;
+          Alcotest.test_case "zero cost when off" `Quick
+            test_provenance_zero_cost;
+          Alcotest.test_case "minmax explain" `Quick test_explain_minmax_motions;
         ] );
     ]

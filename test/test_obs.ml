@@ -96,6 +96,184 @@ let test_json_unicode_escapes () =
       ({|"\ud834\udd1e"|}, "\"\xf0\x9d\x84\x9e\"");
     ]
 
+(* U+2028/U+2029 are valid JSON but illegal in JavaScript string
+   literals; the emitter must escape them (and only them) among the
+   printable multi-byte sequences. *)
+let test_json_js_separators () =
+  let s = "a\xe2\x80\xa8b\xe2\x80\xa9c\xe2\x80\xaad" in
+  let text = Json.to_string ~minify:true (Json.String s) in
+  Alcotest.(check string)
+    "line/paragraph separators escaped, other E2 80 xx raw"
+    "\"a\\u2028b\\u2029c\xe2\x80\xaad\"" text;
+  (match Json.of_string text with
+  | Ok (Json.String s') -> Alcotest.(check string) "round-trips" s s'
+  | Ok _ -> Alcotest.fail "parsed to a non-string"
+  | Error e -> Alcotest.fail e);
+  (* A string ending mid-sequence must not read out of bounds. *)
+  ignore (Json.to_string (Json.String "\xe2\x80"));
+  ignore (Json.to_string (Json.String "\xe2"))
+
+(* Shortest round-trip float printing: every finite double re-parses to
+   the exact same bits, and the literal always stays typed as a float. *)
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"float literals round-trip exactly"
+    QCheck.float (fun f ->
+      (not (Float.is_finite f))
+      ||
+      match Json.of_string (Json.to_string ~minify:true (Json.Float f)) with
+      | Ok (Json.Float g) ->
+          Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g)
+      | Ok _ | Error _ -> false)
+
+let test_json_float_canonical () =
+  List.iter
+    (fun (f, want) ->
+      Alcotest.(check string)
+        (Fmt.str "%h" f)
+        want
+        (Json.to_string ~minify:true (Json.Float f)))
+    [
+      (0.1, "0.1");
+      (1.0, "1.0");
+      (-0.0, "-0.0");
+      (1e22, "1e+22");
+      (* smallest denormal: 15 significant digits already round-trip *)
+      (5e-324, "4.94065645841247e-324");
+      (nan, "null");
+      (infinity, "null");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting and scrubbing                                          *)
+(* ------------------------------------------------------------------ *)
+
+let nested_span () =
+  let (), outer =
+    Span.time "outer" (fun () ->
+        let (), _inner =
+          Span.time "inner" (fun () ->
+              let (), _leaf = Span.time "leaf" (fun () -> ()) in
+              ())
+        in
+        ())
+  in
+  outer
+
+type shape = Shape of string * shape list
+
+let rec span_shape (s : Span.t) =
+  Shape (s.Span.name, List.map span_shape s.Span.children)
+
+let shape name children = Shape (name, children)
+
+let rec all_zero (s : Span.t) =
+  s.Span.seconds = 0.0 && List.for_all all_zero s.Span.children
+
+let test_span_nesting () =
+  let outer = nested_span () in
+  Alcotest.(check bool)
+    "children nest innermost-open" true
+    (span_shape outer
+    = shape "outer" [ shape "inner" [ shape "leaf" [] ] ]);
+  (* A parent's time includes its children's. *)
+  let inner = List.hd outer.Span.children in
+  Alcotest.(check bool) "parent >= child" true
+    (outer.Span.seconds >= inner.Span.seconds)
+
+(* The PR-4 determinism bug: scrub zeroed only the top level, so a
+   nested span leaked wall-clock into --deterministic reports. Pinned:
+   scrubbing is recursive and shape-preserving, and the scrubbed JSON
+   is byte-stable across runs. *)
+let test_span_scrub_nested () =
+  let scrubbed = Span.scrub [ nested_span () ] in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "every nested duration zeroed" true (all_zero s))
+    scrubbed;
+  Alcotest.(check bool)
+    "shape preserved" true
+    (List.map span_shape scrubbed
+    = [ shape "outer" [ shape "inner" [ shape "leaf" [] ] ] ]);
+  let again = Span.scrub [ nested_span () ] in
+  Alcotest.(check string) "scrubbed JSON byte-stable"
+    (Json.to_string (Span.to_json scrubbed))
+    (Json.to_string (Span.to_json again))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.enable ();
+  Fun.protect ~finally:(fun () -> Metrics.disable (); Metrics.reset ()) f
+
+let test_metrics_counter_gauge () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test.hits_total" in
+      Metrics.incr c;
+      Metrics.incr ~by:4 c;
+      Alcotest.(check (option int)) "counter accumulates" (Some 5)
+        (Metrics.find_counter "test.hits_total");
+      (* Same name returns the same metric, not a fresh zero. *)
+      Metrics.incr (Metrics.counter "test.hits_total");
+      Alcotest.(check (option int)) "registration is idempotent" (Some 6)
+        (Metrics.find_counter "test.hits_total");
+      Alcotest.check_raises "type clash rejected"
+        (Invalid_argument "test.hits_total is already registered with another type")
+        (fun () -> ignore (Metrics.gauge "test.hits_total")))
+
+let test_metrics_disabled_noop () =
+  Metrics.reset ();
+  Metrics.disable ();
+  let c = Metrics.counter "test.off_total" in
+  Metrics.incr ~by:100 c;
+  Alcotest.(check (option int)) "disabled incr is a no-op" (Some 0)
+    (Metrics.find_counter "test.off_total");
+  Metrics.reset ()
+
+let test_metrics_histogram_json () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.latency_seconds" in
+      List.iter (Metrics.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+      let c = Metrics.counter "test.runs_total" in
+      Metrics.incr c;
+      let json = Metrics.to_json () in
+      (match Json.member "test.latency_seconds" json with
+      | Some hist ->
+          (match Json.member "count" hist with
+          | Some (Json.Int n) -> Alcotest.(check int) "histogram count" 4 n
+          | _ -> Alcotest.fail "histogram count missing");
+          (match Json.member "sum" hist with
+          | Some (Json.Float s) ->
+              Alcotest.(check (float 1e-9)) "histogram sum" 105.0 s
+          | _ -> Alcotest.fail "histogram sum missing")
+      | None -> Alcotest.fail "histogram not dumped");
+      (* Deterministic dumps zero time-based metrics but keep counters. *)
+      (match
+         Json.member "test.latency_seconds" (Metrics.to_json ~deterministic:true ())
+       with
+      | Some hist -> (
+          match (Json.member "count" hist, Json.member "sum" hist) with
+          | Some (Json.Int 0), Some (Json.Float 0.0) -> ()
+          | _ -> Alcotest.fail "_seconds metric not scrubbed")
+      | None -> Alcotest.fail "scrubbed histogram missing");
+      (match
+         Json.member "test.runs_total" (Metrics.to_json ~deterministic:true ())
+       with
+      | Some (Json.Obj fields) ->
+          Alcotest.(check bool) "counters survive deterministic dumps" true
+            (List.assoc_opt "value" fields = Some (Json.Int 1))
+      | _ -> Alcotest.fail "counter missing from deterministic dump");
+      (* Dump order is sorted by name, so reports diff stably. *)
+      match Metrics.to_json () with
+      | Json.Obj fields ->
+          let names = List.map fst fields in
+          Alcotest.(check (list string)) "sorted by name"
+            (List.sort String.compare names)
+            names
+      | _ -> Alcotest.fail "metrics dump is not an object")
+
 (* ------------------------------------------------------------------ *)
 (* Simulator stall attribution                                         *)
 (* ------------------------------------------------------------------ *)
@@ -287,6 +465,176 @@ let test_phase_spans () =
   Alcotest.(check (list string)) "Phase_finished events match"
     Pipeline.phase_names finished
 
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A small fixed diamond (slow divide, two arms, join) built directly,
+   so uids, labels and therefore the whole trace are deterministic —
+   golden-file testable. *)
+let diamond_outcome () =
+  let module B = Builder in
+  let g = Reg.Gen.create () in
+  let p = Reg.Gen.reserve g Reg.Gpr 1 in
+  let q = Reg.Gen.reserve g Reg.Gpr 2 in
+  let m = Reg.Gen.fresh g Reg.Gpr in
+  let c = Reg.Gen.fresh g Reg.Cr in
+  let a1 = Reg.Gen.fresh g Reg.Gpr in
+  let t = Reg.Gen.fresh g Reg.Gpr in
+  let u = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "E",
+          [ B.binop Instr.Div ~dst:m ~lhs:p ~rhs:(Instr.Imm 3);
+            B.cmpi ~dst:c ~lhs:p 0 ],
+          B.bt ~cr:c ~cond:Instr.Gt ~taken:"L" ~fallthru:"R" );
+        ("L", [ B.addi ~dst:a1 ~lhs:p 1 ], B.jmp "J");
+        ("R", [ B.addi ~dst:a1 ~lhs:q 2 ], B.jmp "J");
+        ( "J",
+          [ B.add ~dst:t ~lhs:m ~rhs:q; B.add ~dst:u ~lhs:t ~rhs:a1;
+            B.call "print_int" [ u ] ],
+          Instr.Halt );
+      ]
+  in
+  let input =
+    { Simulator.no_input with Simulator.int_regs = [ (p, 41); (q, 7) ] }
+  in
+  Simulator.run ~trace:true machine cfg input
+
+(* Golden file: regenerate with
+     dune exec test/regen_chrome_golden.exe > test/golden_chrome_trace.json
+   after an intentional trace format change, and eyeball the diff. *)
+let test_chrome_trace_golden () =
+  let o = diamond_outcome () in
+  let text =
+    Chrome_trace.to_string ~process_name:"diamond" o.Simulator.telemetry
+  in
+  let golden =
+    (* dune runtest runs in _build/default/test (where the dep is
+       staged); dune exec runs from the project root. *)
+    let path =
+      if Sys.file_exists "golden_chrome_trace.json" then
+        "golden_chrome_trace.json"
+      else "test/golden_chrome_trace.json"
+    in
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  Alcotest.(check string) "trace matches the committed golden file"
+    (String.trim golden) (String.trim text)
+
+let test_chrome_trace_schema () =
+  let o = minmax_outcome ~trace:true Config.Speculative in
+  let json = Chrome_trace.to_json o.Simulator.telemetry in
+  (* Emitted text re-parses (well-formed JSON). *)
+  (match Json.of_string (Json.to_string json) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Json.member "displayTimeUnit" json with
+  | Some (Json.String _) -> ()
+  | _ -> Alcotest.fail "displayTimeUnit missing");
+  let events = Json.to_list (Option.get (Json.member "traceEvents" json)) in
+  let phase e =
+    match Json.member "ph" e with Some (Json.String p) -> p | _ -> "?"
+  in
+  let int_field k e =
+    match Json.member k e with Some (Json.Int n) -> Some n | _ -> None
+  in
+  List.iter
+    (fun e ->
+      (* Every event carries pid/tid; slices also ts and dur >= 1. *)
+      Alcotest.(check bool) "pid present" true (int_field "pid" e <> None);
+      Alcotest.(check bool) "tid present" true (int_field "tid" e <> None);
+      match phase e with
+      | "X" ->
+          Alcotest.(check bool) "slice has ts" true (int_field "ts" e <> None);
+          Alcotest.(check bool) "slice dur >= 1" true
+            (match int_field "dur" e with Some d -> d >= 1 | None -> false)
+      | "i" | "M" -> ()
+      | p -> Alcotest.fail ("unexpected event phase " ^ p))
+    events;
+  let slices = List.filter (fun e -> phase e = "X") events in
+  Alcotest.(check int) "one slice per dynamic instruction"
+    o.Simulator.instructions (List.length slices);
+  (* Three unit tracks + process name = 4 metadata events. *)
+  Alcotest.(check int) "metadata events" 4
+    (List.length (List.filter (fun e -> phase e = "M") events))
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let report cycles nested =
+  Json.Obj
+    [
+      ("label", Json.String "x");
+      ("timing_seconds", Json.Float 9.9);
+      ( "table",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("program", Json.String "p");
+                ("base_cycles", Json.Int cycles);
+                ( "cycles",
+                  Json.Obj [ ("minmax", Json.Int nested) ] );
+              ];
+          ] );
+    ]
+
+let test_regress_self_ok () =
+  let r = report 1000 200 in
+  let o = Regress.check ~baseline:r ~current:r () in
+  Alcotest.(check bool) "self-comparison is ok" true (Regress.ok o);
+  Alcotest.(check int) "both cycle metrics compared" 2 o.Regress.compared;
+  Alcotest.(check int) "no regressions" 0 (List.length o.Regress.regressions)
+
+let test_regress_detects () =
+  (* +5% on a cycle metric fails; +5% on a timing float does not. *)
+  let o =
+    Regress.check ~baseline:(report 1000 200) ~current:(report 1050 200) ()
+  in
+  Alcotest.(check bool) "5% regression fails the gate" false (Regress.ok o);
+  (match o.Regress.regressions with
+  | [ f ] ->
+      Alcotest.(check string) "path names the metric"
+        "table[0].base_cycles" f.Regress.path;
+      Alcotest.(check (float 1e-9)) "ratio" 1.05 (Regress.ratio f)
+  | _ -> Alcotest.fail "expected exactly one regression");
+  (* Within tolerance passes. *)
+  let o =
+    Regress.check ~baseline:(report 1000 200) ~current:(report 1010 200) ()
+  in
+  Alcotest.(check bool) "1% is within the 2% tolerance" true (Regress.ok o);
+  (* Improvements are reported but do not fail. *)
+  let o =
+    Regress.check ~baseline:(report 1000 200) ~current:(report 900 200) ()
+  in
+  Alcotest.(check bool) "improvement is ok" true (Regress.ok o);
+  Alcotest.(check int) "improvement recorded" 1
+    (List.length o.Regress.improvements)
+
+let test_regress_nested_and_missing () =
+  (* Numeric leaves under a "cycles" object count as cycle metrics. *)
+  let o =
+    Regress.check ~baseline:(report 1000 200) ~current:(report 1000 300) ()
+  in
+  Alcotest.(check bool) "nested cycles table gated" false (Regress.ok o);
+  (* A cycle-bearing subtree missing from the current report fails;
+     a missing non-cycle field is ignored. *)
+  let chopped =
+    Json.Obj [ ("label", Json.String "x"); ("timing_seconds", Json.Float 0.0) ]
+  in
+  let o = Regress.check ~baseline:(report 1000 200) ~current:chopped () in
+  Alcotest.(check bool) "missing cycle metrics fail" false (Regress.ok o);
+  Alcotest.(check bool) "missing paths recorded" true (o.Regress.missing <> []);
+  let o = Regress.check ~baseline:chopped ~current:(report 1000 200) () in
+  Alcotest.(check bool) "extra current-only fields are fine" true
+    (Regress.ok o)
+
 let () =
   Alcotest.run "gis_obs"
     [
@@ -296,6 +644,33 @@ let () =
           Alcotest.test_case "parser accepts" `Quick test_json_parser_accepts;
           Alcotest.test_case "parser rejects" `Quick test_json_parser_rejects;
           Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "js separators" `Quick test_json_js_separators;
+          Alcotest.test_case "float canonical" `Quick test_json_float_canonical;
+          QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "recursive scrub" `Quick test_span_scrub_nested;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick
+            test_metrics_counter_gauge;
+          Alcotest.test_case "disabled no-op" `Quick test_metrics_disabled_noop;
+          Alcotest.test_case "histogram json" `Quick test_metrics_histogram_json;
+        ] );
+      ( "chrome trace",
+        [
+          Alcotest.test_case "golden file" `Quick test_chrome_trace_golden;
+          Alcotest.test_case "schema" `Quick test_chrome_trace_schema;
+        ] );
+      ( "regression gate",
+        [
+          Alcotest.test_case "self ok" `Quick test_regress_self_ok;
+          Alcotest.test_case "detects regressions" `Quick test_regress_detects;
+          Alcotest.test_case "nested and missing" `Quick
+            test_regress_nested_and_missing;
         ] );
       ( "stall attribution",
         [
