@@ -18,6 +18,7 @@ open Gis_frontend
 open Gis_workloads
 open Gis_obs
 open Cmdliner
+module Exit = Gis_driver.Exit_codes
 
 type source =
   | From_file of string
@@ -42,7 +43,7 @@ let load_source = function
           Fmt.epr "unknown workload %s (available: %a)@." name
             Fmt.(list ~sep:comma string)
             (List.map fst builtin_workloads);
-          exit 2)
+          exit Exit.usage_error)
 
 let default_input compiled ~elements ~seed =
   let rng = Prng.create ~seed in
@@ -100,13 +101,13 @@ let config_of_level level =
   | "speculative" | "spec" -> Config.speculative
   | other ->
       Fmt.epr "unknown level %s (local|useful|speculative)@." other;
-      exit 2
+      exit Exit.usage_error
 
 let write_file path s =
   match open_out path with
   | exception Sys_error m ->
       Fmt.epr "cannot write %s: %s@." path m;
-      exit 2
+      exit Exit.usage_error
   | oc ->
       output_string oc s;
       output_char oc '\n';
@@ -125,7 +126,7 @@ let run_batch dir jobs width simulate elements seed deterministic stats_file
     match Sys.readdir dir with
     | exception Sys_error m ->
         Fmt.epr "cannot read batch directory: %s@." m;
-        exit 2
+        exit Exit.usage_error
     | names ->
         Array.sort String.compare names;
         Array.to_list names
@@ -134,7 +135,7 @@ let run_batch dir jobs width simulate elements seed deterministic stats_file
   in
   if entries = [] then begin
     Fmt.epr "batch directory %s has no files@." dir;
-    exit 2
+    exit Exit.usage_error
   end;
   let report =
     Gis_driver.Driver.run ~jobs ?timeout ~simulate ~elements ~seed machine
@@ -157,7 +158,7 @@ let run_batch dir jobs width simulate elements seed deterministic stats_file
      one whose tasks crashed: timeouts say "give me more time", crashes
      say "the compiler is broken". *)
   match Gis_driver.Driver.failures report with
-  | [] -> exit 0
+  | [] -> exit Exit.ok
   | fails ->
       let timeout_only =
         List.for_all
@@ -165,7 +166,9 @@ let run_batch dir jobs width simulate elements seed deterministic stats_file
             match e with Gis_driver.Driver.Timed_out _ -> true | _ -> false)
           fails
       in
-      exit (if timeout_only then 5 else 4)
+      exit
+        (if timeout_only then Exit.batch_timeout_only
+         else Exit.batch_partial_failure)
 
 let run_gisc source batch jobs level width show_code simulate elements seed
     trace_issue trace_out pipeline_view deterministic stats_file regalloc
@@ -209,7 +212,7 @@ let run_gisc source batch jobs level width show_code simulate elements seed
   | exception Codegen.Error m
   | exception Asm.Error m ->
       Fmt.epr "%s: %s@." name m;
-      exit 1
+      exit Exit.compile_error
   | compiled ->
       let baseline = Cfg.deep_copy compiled.Codegen.cfg in
       ignore (Pipeline.run machine Config.base baseline);
@@ -260,7 +263,7 @@ let run_gisc source batch jobs level width show_code simulate elements seed
               | Ok () -> Fmt.pr "regalloc: verified@."
               | Error m ->
                   Fmt.epr "INTERNAL ERROR: allocation verifier failed: %s@." m;
-                  exit 3)
+                  exit Exit.verification_failure)
             stats.Pipeline.regalloc;
           let ob = Simulator.run machine baseline input in
           let os = Simulator.run ~trace:want_trace machine cfg sched_input in
@@ -268,7 +271,7 @@ let run_gisc source batch jobs level width show_code simulate elements seed
             Fmt.epr "INTERNAL ERROR: scheduling changed observable behaviour@.";
             Fmt.epr "--- base observables ---@.%s@." (obs_of ob);
             Fmt.epr "--- scheduled observables ---@.%s@." (obs_of os);
-            exit 3
+            exit Exit.verification_failure
           end;
           Fmt.pr "@.simulation (%d array elements):@." elements;
           Fmt.pr "  base      %7d cycles, %6d instructions@." ob.Simulator.cycles
@@ -430,14 +433,14 @@ let run_explain source level width elements seed regalloc pressure_aware regs
   with
   | Error e ->
       Fmt.epr "%s: %a@." name Gis_driver.Driver.pp_error e;
-      exit 1
+      exit Exit.compile_error
   | Ok e ->
       Fmt.pr "%a" Gis_driver.Explain.pp e;
       if not (Gis_driver.Explain.identity_holds e) then begin
         Fmt.epr
           "INTERNAL ERROR: cycle attribution does not sum to the base vs \
            scheduled issue delta@.";
-        exit 3
+        exit Exit.verification_failure
       end;
       Option.iter
         (fun path ->
@@ -451,6 +454,105 @@ let run_explain source level width elements seed regalloc pressure_aware regs
                e.Gis_driver.Explain.sched_telemetry);
           Fmt.pr "@.chrome trace written to %s (load in Perfetto)@." path)
         trace_out
+
+(* `gisc check`: static certification of one program's schedule. The
+   pipeline runs with the per-stage verification hook installed; every
+   stage transition is checked against a dependence graph and
+   control-dependence relation reconstructed independently from the
+   stage's input, plus an IR lint over the source and final programs.
+   No simulation is involved. Exit code 3 on any legality Error. *)
+let run_check source level width regalloc pressure_aware regs json_file
+    deterministic verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  Metrics.enable ();
+  let name, src = load_source source in
+  let machine =
+    if width = 1 then Machine.rs6k else Machine.superscalar ~width
+  in
+  let config = config_of_level level in
+  let prov = Provenance.create () in
+  let collector =
+    Gis_check.Check.collector ~prov
+      ~max_speculation_degree:config.Config.max_speculation_degree ()
+  in
+  let config =
+    {
+      config with
+      Config.regalloc;
+      pressure_aware;
+      regs;
+      prov = Some prov;
+      check = Some (Gis_check.Check.hook collector);
+    }
+  in
+  let compile_input () =
+    if Filename.check_suffix name ".s" then
+      { Codegen.cfg = Asm.parse src; vars = []; arrays = [] }
+    else Codegen.compile_string src
+  in
+  match compile_input () with
+  | exception Parser.Error m
+  | exception Lexer.Error m
+  | exception Codegen.Error m
+  | exception Asm.Error m ->
+      Fmt.epr "%s: %s@." name m;
+      exit Exit.compile_error
+  | compiled ->
+      let cfg = compiled.Codegen.cfg in
+      let input_lint = Gis_check.Lint.run ~stage:"input" cfg in
+      let pstats = Pipeline.run machine config cfg in
+      let staged_slots =
+        match pstats.Pipeline.regalloc with
+        | Some alloc -> Gis_regalloc.Regalloc.staged_slots alloc
+        | None -> []
+      in
+      let final_lint =
+        Gis_check.Lint.run ~prov ~staged_slots ~stage:"final" cfg
+      in
+      let results =
+        (("input", input_lint) :: Gis_check.Check.diagnostics collector)
+        @ [ ("final", final_lint) ]
+      in
+      let all = List.concat_map snd results in
+      let errors = Gis_check.Check.errors all in
+      let stats = Gis_check.Check.stats collector in
+      Gis_check.Check.record_metrics all;
+      Metrics.set (Metrics.gauge "check_seconds")
+        (if deterministic then 0.0 else Gis_check.Check.seconds collector);
+      List.iter
+        (fun (_, ds) ->
+          List.iter (fun d -> Fmt.pr "%a@." Gis_check.Diagnostic.pp d) ds)
+        results;
+      if all <> [] then
+        List.iter
+          (fun (rule, n) -> Fmt.pr "  %4d %s@." n rule)
+          (Gis_check.Diagnostic.counts all);
+      Fmt.pr
+        "check %s: %d stages, %d dependences checked, %d motions classified; \
+         %d errors, %d warnings@."
+        name stats.Gis_check.Check.stages
+        stats.Gis_check.Check.deps_checked
+        stats.Gis_check.Check.motions_classified (List.length errors)
+        (List.length all - List.length errors);
+      Option.iter
+        (fun path ->
+          let json =
+            match Gis_check.Check.report_to_json ~stats results with
+            | Json.Obj fields ->
+                Json.Obj
+                  (("program", Json.String name)
+                   :: ("level", Json.String level)
+                   :: fields
+                  @ [ ("metrics", Metrics.to_json ~deterministic ()) ])
+            | j -> j
+          in
+          write_json path json;
+          Fmt.pr "diagnostics written to %s@." path)
+        json_file;
+      if errors <> [] then exit Exit.verification_failure
 
 let source_arg =
   let file =
@@ -632,6 +734,29 @@ let explain_cmd =
       $ seed_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg
       $ explain_json_arg $ trace_out_arg $ verbose_arg)
 
+let check_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the structured diagnostics (per stage, with rule \
+              counts and checker statistics) as JSON to $(docv).")
+
+let check_cmd =
+  let doc =
+    "statically certify a schedule: re-derive the dependence graph and \
+     control dependences of every pipeline stage's input, verify the \
+     stage's output preserves them, classify each cross-block motion \
+     against the paper's speculation rules, and lint the IR — no \
+     simulation involved; exits 3 on any legality violation"
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const run_check $ source_arg $ level_arg $ width_arg $ regalloc_arg
+      $ pressure_aware_arg $ regs_arg $ check_json_arg $ deterministic_arg
+      $ verbose_arg)
+
 let cmd =
   let doc =
     "global instruction scheduling for superscalar machines (Bernstein & \
@@ -639,6 +764,6 @@ let cmd =
   in
   Cmd.group ~default:main_term
     (Cmd.info "gisc" ~version:"1.0.0" ~doc)
-    [ explain_cmd ]
+    [ explain_cmd; check_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,86 @@
+(* Static schedule-legality verification demo (EXPERIMENTS.md C1).
+
+   Part 1: run the full pipeline over minmax with the per-stage
+   verification hook installed — every stage transition is certified
+   against a dependence graph reconstructed independently from the
+   stage's input. No simulation involved.
+
+   Part 2: inject two illegal "schedules" by hand and show the checker
+   rejecting each with a precise diagnostic: a store hoisted above its
+   guarding branch (the paper's canonical unsafe speculation, §5.1),
+   and two flow-dependent instructions swapped inside a block. *)
+
+open Gis_ir
+open Gis_core
+module B = Builder
+module C = Gis_check.Check
+module D = Gis_check.Diagnostic
+
+let () =
+  (* -- Part 1: certify the pipeline's own output ---------------- *)
+  Label.reset_fresh_counter ();
+  let compiled = Gis_frontend.Codegen.compile_string Gis_workloads.Minmax.source in
+  let cfg = compiled.Gis_frontend.Codegen.cfg in
+  let prov = Gis_obs.Provenance.create () in
+  let collector = C.collector ~prov ~max_speculation_degree:1 () in
+  let config =
+    {
+      Config.speculative with
+      Config.prov = Some prov;
+      check = Some (C.hook collector);
+    }
+  in
+  ignore (Pipeline.run Gis_machine.Machine.rs6k config cfg);
+  let stats = C.stats collector in
+  List.iter
+    (fun (stage, ds) ->
+      Fmt.pr "  %-13s %d findings@." stage (List.length ds))
+    (C.diagnostics collector);
+  Fmt.pr
+    "minmax/speculative: %d stages certified, %d dependences checked, %d \
+     motions classified@."
+    stats.C.stages stats.C.deps_checked stats.C.motions_classified;
+
+  (* -- Part 2a: a store hoisted above its branch ----------------- *)
+  let g = Reg.Gen.create () in
+  let r1 = Reg.Gen.fresh g Reg.Gpr in
+  let rb = Reg.Gen.fresh g Reg.Gpr in
+  let c0 = Reg.Gen.fresh g Reg.Cr in
+  let pre =
+    B.func ~reg_gen:g
+      [
+        ( "L.entry",
+          [ B.li ~dst:r1 7; B.li ~dst:rb 100; B.cmpi ~dst:c0 ~lhs:r1 0 ],
+          B.bt ~cr:c0 ~cond:Instr.Gt ~taken:"L.then" ~fallthru:"L.join" );
+        ("L.then", [ B.store ~src:r1 ~base:rb ~offset:0 ], B.jmp "L.join");
+        ("L.join", [], B.halt);
+      ]
+  in
+  let post = Cfg.deep_copy pre in
+  let bthen = Cfg.block_of_label post "L.then" in
+  let store = List.hd (Gis_util.Vec.to_list bthen.Block.body) in
+  ignore (Block.remove_by_uid bthen ~uid:(Instr.uid store));
+  Gis_util.Vec.push (Cfg.block_of_label post "L.entry").Block.body store;
+  Fmt.pr "@.injected: store hoisted from L.then into L.entry@.";
+  List.iter
+    (fun d -> Fmt.pr "  %a@." D.pp d)
+    (C.check_stage ~stage:"global-pass1" ~pre ~post ());
+
+  (* -- Part 2b: a flow-dependent pair swapped in place ----------- *)
+  let g2 = Reg.Gen.create () in
+  let a = Reg.Gen.fresh g2 Reg.Gpr in
+  let b = Reg.Gen.fresh g2 Reg.Gpr in
+  let pre =
+    B.func ~reg_gen:g2
+      [ ("L.entry", [ B.li ~dst:a 7; B.addi ~dst:b ~lhs:a 1 ], B.halt) ]
+  in
+  let post = Cfg.deep_copy pre in
+  let blk = Cfg.block_of_label post "L.entry" in
+  let i0 = Gis_util.Vec.get blk.Block.body 0 in
+  let i1 = Gis_util.Vec.get blk.Block.body 1 in
+  Gis_util.Vec.set blk.Block.body 0 i1;
+  Gis_util.Vec.set blk.Block.body 1 i0;
+  Fmt.pr "@.injected: 'addi b=a,1' reordered above 'li a,7'@.";
+  List.iter
+    (fun d -> Fmt.pr "  %a@." D.pp d)
+    (C.check_stage ~stage:"local" ~pre ~post ())

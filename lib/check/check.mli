@@ -1,0 +1,74 @@
+(** Static schedule-legality verification (translation validation).
+
+    Given the pre- and post-IR of one pipeline stage, the checker
+    independently reconstructs the dependence graph and the
+    control-dependence relation of the *input* program and verifies,
+    without running anything, that the stage's output preserves them:
+
+    - every data/control/memory dependence still executes in order
+      (modulo anti/output dependences legitimately dissolved by
+      renaming, re-validated against the transformed registers);
+    - every use still reads from exactly the same definition sites
+      (use-def chains are invariant under legal motion and renaming);
+    - every cross-block motion is classified against the paper's
+      taxonomy — useful into an equivalent block (Definition 3),
+      speculative into a dominating block within the configured
+      speculation degree (Definition 7), or duplicated (Definition 6) —
+      and each speculative motion satisfies the Section 5.3 safety
+      rules: no store speculation, no clobber of a register live on the
+      off-path, renames proven by sole-definition use-def chains;
+    - instruction conservation holds (nothing vanishes; everything that
+      appears is a provenance-recorded copy, duplicate, or spill), and
+      the result is cross-checked against {!Gis_obs.Provenance} records
+      when a table is supplied.
+
+    Findings that only a paper-stricter policy would reject (Div/Rem
+    speculation, degree overruns, taxonomy disagreements with the
+    provenance table) are [Warning]s; hard legality violations are
+    [Error]s. *)
+
+open Gis_ir
+
+val check_stage :
+  ?prov:Gis_obs.Provenance.t ->
+  ?max_speculation_degree:int ->
+  stage:string ->
+  pre:Cfg.t ->
+  post:Cfg.t ->
+  unit ->
+  Diagnostic.t list
+(** Verify one stage transition. [stage] selects the check matrix:
+    ["unroll"]/["rotate"] (copying transforms), ["global-pass1"]/
+    ["global-pass2"] (interblock motion), ["local"] (intra-block
+    reordering only), ["regalloc"] (register rewriting + spill
+    insertion); any other name gets the conservative motion checks. *)
+
+type stats = {
+  stages : int;
+  deps_checked : int;
+  motions_classified : int;
+}
+
+(** A collector accumulates per-stage results across one pipeline run;
+    its [hook] has the shape of {!Gis_core.Config.t}'s [check] field. *)
+type collector
+
+val collector :
+  ?prov:Gis_obs.Provenance.t -> ?max_speculation_degree:int -> unit -> collector
+
+val hook : collector -> stage:string -> pre:Cfg.t -> post:Cfg.t -> unit
+
+val diagnostics : collector -> (string * Diagnostic.t list) list
+(** Stage name and findings, in execution order. *)
+
+val stats : collector -> stats
+val seconds : collector -> float
+
+val errors : Diagnostic.t list -> Diagnostic.t list
+
+val record_metrics : Diagnostic.t list -> unit
+(** Bump the [check_*] counters in {!Gis_obs.Metrics} (total findings,
+    errors, warnings, and one [check_rule_<rule>] counter per rule). *)
+
+val report_to_json :
+  ?stats:stats -> (string * Diagnostic.t list) list -> Gis_obs.Json.t

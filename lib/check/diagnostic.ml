@@ -1,0 +1,59 @@
+open Gis_obs
+
+type severity = Error | Warning
+
+let pp_severity ppf s =
+  Fmt.string ppf (match s with Error -> "error" | Warning -> "warning")
+
+type t = {
+  rule : string;
+  severity : severity;
+  stage : string;
+  message : string;
+  uid : int option;
+  blocks : Gis_ir.Label.t list;
+}
+
+let make severity ~rule ~stage ?uid ?(blocks = []) message =
+  { rule; severity; stage; message; uid; blocks }
+
+let error ~rule ~stage ?uid ?blocks msg =
+  make Error ~rule ~stage ?uid ?blocks msg
+
+let warning ~rule ~stage ?uid ?blocks msg =
+  make Warning ~rule ~stage ?uid ?blocks msg
+
+let is_error d = d.severity = Error
+
+let counts ds =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace tbl d.rule
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d.rule)))
+    ds;
+  Hashtbl.fold (fun rule n acc -> (rule, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf d =
+  Fmt.pf ppf "%a[%s] %s: %s" pp_severity d.severity d.stage d.rule d.message;
+  (match d.uid with None -> () | Some u -> Fmt.pf ppf " (uid %d)" u);
+  match d.blocks with
+  | [] -> ()
+  | bs -> Fmt.pf ppf " [%a]" Fmt.(list ~sep:comma Gis_ir.Label.pp) bs
+
+let to_json d =
+  Json.Obj
+    ([
+       ("rule", Json.String d.rule);
+       ("severity", Json.String (Fmt.str "%a" pp_severity d.severity));
+       ("stage", Json.String d.stage);
+       ("message", Json.String d.message);
+     ]
+    @ (match d.uid with None -> [] | Some u -> [ ("uid", Json.Int u) ])
+    @
+    match d.blocks with
+    | [] -> []
+    | bs -> [ ("blocks", Json.List (List.map (fun l -> Json.String l) bs)) ])
+
+let list_to_json ds = Json.List (List.map to_json ds)

@@ -1,0 +1,179 @@
+open Gis_util
+open Gis_ir
+open Gis_analysis
+open Gis_obs
+
+(* Rules, in reporting order:
+     cfg.malformed-target   (E) successor label missing or detached
+     cfg.unreachable-block  (W) layout block the entry cannot reach
+     cfg.irreducible        (W) back edge whose target does not dominate
+     lint.maybe-uninit      (W) a use reached by External *and* a real def
+     lint.dead-def          (W) a definition no instruction ever reads
+     spill.not-mem          (E) Spill_inserted provenance on a non-load/store
+     spill.orphan-reload    (W) spill load from a slot nothing spilled to *)
+
+let structural ~stage cfg acc =
+  let layout = Cfg.layout cfg in
+  let layout_set =
+    List.fold_left
+      (fun s id -> Ints.Int_set.add id s)
+      Ints.Int_set.empty layout
+  in
+  let reach = Cfg.reachable cfg in
+  List.iter
+    (fun id ->
+      let b = Cfg.block cfg id in
+      List.iter
+        (fun target ->
+          match Cfg.find_label cfg target with
+          | None ->
+              acc :=
+                Diagnostic.error ~rule:"cfg.malformed-target" ~stage
+                  ~uid:(Instr.uid b.Block.term) ~blocks:[ b.Block.label ]
+                  (Fmt.str "branch target %a does not exist" Label.pp target)
+                :: !acc
+          | Some tid when not (Ints.Int_set.mem tid layout_set) ->
+              acc :=
+                Diagnostic.error ~rule:"cfg.malformed-target" ~stage
+                  ~uid:(Instr.uid b.Block.term) ~blocks:[ b.Block.label ]
+                  (Fmt.str "branch target %a names a detached block" Label.pp
+                     target)
+                :: !acc
+          | Some _ -> ())
+        (try Block.successor_labels b with Invalid_argument _ -> []);
+      if not (Ints.Int_set.mem id reach) then
+        acc :=
+          Diagnostic.warning ~rule:"cfg.unreachable-block" ~stage
+            ~blocks:[ b.Block.label ]
+            "block is unreachable from the entry"
+          :: !acc)
+    layout
+
+let irreducibility ~stage cfg acc =
+  if Cfg.num_blocks cfg = 0 then ()
+  else begin
+    let flow = Flow.of_cfg ~entry:(Cfg.entry cfg) cfg in
+    let local = Flow.local_of_block flow in
+    let dom = Dominance.compute flow in
+    List.iter
+      (fun (u, v) ->
+        match Ints.Int_map.find_opt u local, Ints.Int_map.find_opt v local with
+        | Some lu, Some lv ->
+            if not (Dominance.dominates dom lv lu) then
+              acc :=
+                Diagnostic.warning ~rule:"cfg.irreducible" ~stage
+                  ~blocks:
+                    [
+                      (Cfg.block cfg u).Block.label;
+                      (Cfg.block cfg v).Block.label;
+                    ]
+                  "back edge into a block that does not dominate its source \
+                   (non-natural loop)"
+                :: !acc
+        | None, _ | _, None -> ())
+      (Deps.back_edges cfg)
+  end
+
+let dataflow ~stage cfg acc =
+  let reaching = Reaching.compute cfg in
+  let reach = Cfg.reachable cfg in
+  Cfg.iter_blocks
+    (fun b ->
+      if Ints.Int_set.mem b.Block.id reach then
+        List.iter
+          (fun i ->
+            let uid = Instr.uid i in
+            List.iter
+              (fun r ->
+                match Reaching.defs_of_use reaching ~uid ~reg:r with
+                | exception Invalid_argument _ -> ()
+                | sites ->
+                    let external_ =
+                      List.exists
+                        (fun s -> Reaching.equal_site s Reaching.External)
+                        sites
+                    in
+                    let has_def =
+                      List.exists
+                        (function Reaching.Def _ -> true | _ -> false)
+                        sites
+                    in
+                    if external_ && has_def then
+                      acc :=
+                        Diagnostic.warning ~rule:"lint.maybe-uninit" ~stage
+                          ~uid ~blocks:[ b.Block.label ]
+                          (Fmt.str
+                             "%a may be read before it is written on some path"
+                             Reg.pp r)
+                        :: !acc)
+              (List.sort_uniq Reg.compare (Instr.uses i));
+            if not (Instr.is_call i) then
+              List.iter
+                (fun r ->
+                  match Reaching.uses_of_def reaching ~uid ~reg:r with
+                  | [] ->
+                      acc :=
+                        Diagnostic.warning ~rule:"lint.dead-def" ~stage ~uid
+                          ~blocks:[ b.Block.label ]
+                          (Fmt.str "definition of %a is never read" Reg.pp r)
+                        :: !acc
+                  | _ :: _ -> ())
+                (Instr.defs i))
+          (Block.instrs b))
+    cfg
+
+let spill_discipline ~stage ~prov ~staged_slots cfg acc =
+  let spill_stores = Hashtbl.create 8 in
+  let spill_instrs = ref [] in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun i ->
+          match Provenance.find prov (Instr.uid i) with
+          | Some { Provenance.kind = Provenance.Spill_inserted; _ } ->
+              spill_instrs := (b.Block.label, i) :: !spill_instrs;
+              (match Instr.kind i with
+              | Instr.Store { offset; _ } ->
+                  Hashtbl.replace spill_stores offset ()
+              | _ -> ())
+          | Some _ | None -> ())
+        (Block.instrs b))
+    cfg;
+  List.iter
+    (fun (label, i) ->
+      match Instr.kind i with
+      | Instr.Store _ -> ()
+      (* The allocator's frame-base setup ([li base,0]) is spill code
+         that is neither a load nor a store — the one exception. *)
+      | Instr.Load_imm _ -> ()
+      | Instr.Load { offset; _ } ->
+          if
+            (not (Hashtbl.mem spill_stores offset))
+            && not (List.mem offset staged_slots)
+          then
+            acc :=
+              Diagnostic.warning ~rule:"spill.orphan-reload" ~stage
+                ~uid:(Instr.uid i) ~blocks:[ label ]
+                (Fmt.str
+                   "spill reload from slot offset %d with no spill store to \
+                    that slot"
+                   offset)
+              :: !acc
+      | _ ->
+          acc :=
+            Diagnostic.error ~rule:"spill.not-mem" ~stage ~uid:(Instr.uid i)
+              ~blocks:[ label ]
+              "Spill_inserted provenance on an instruction that is neither a \
+               load nor a store"
+            :: !acc)
+    !spill_instrs
+
+let run ?prov ?(staged_slots = []) ?(stage = "lint") cfg =
+  let acc = ref [] in
+  structural ~stage cfg acc;
+  irreducibility ~stage cfg acc;
+  dataflow ~stage cfg acc;
+  (match prov with
+  | Some p -> spill_discipline ~stage ~prov:p ~staged_slots cfg acc
+  | None -> ());
+  List.rev !acc

@@ -30,6 +30,8 @@ type t = {
   regs : int option;
   obs : Gis_obs.Sink.t;
   prov : Gis_obs.Provenance.t option;
+  check :
+    (stage:string -> pre:Gis_ir.Cfg.t -> post:Gis_ir.Cfg.t -> unit) option;
 }
 
 let default =
@@ -56,6 +58,7 @@ let default =
     regs = None;
     obs = Gis_obs.Sink.null;
     prov = None;
+    check = None;
   }
 
 let base =

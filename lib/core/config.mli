@@ -86,6 +86,14 @@ type t = {
           code into it, and the final CFG is indexed on completion
           ([gisc explain] renders it). [None] by default — recording is
           a no-op and schedules are byte-identical (pinned test). *)
+  check :
+    (stage:string -> pre:Gis_ir.Cfg.t -> post:Gis_ir.Cfg.t -> unit) option;
+      (** per-stage verification hook. When set, the pipeline snapshots
+          the CFG before each executed stage ([unroll], [global-pass1],
+          [rotate], [global-pass2], [local], [regalloc]) and calls the
+          hook with the pre/post pair after the stage runs —
+          [Gis_check.Check.hook] is the intended callee. [None] by
+          default: no snapshots, no cost. *)
 }
 
 val default : t

@@ -46,6 +46,19 @@ let run machine (config : Config.t) cfg =
   in
   if config.Config.split_webs && config.Config.level <> Config.Local then
     time "webs" (fun () -> ignore (Webs.split cfg));
+  (* Per-stage verification: snapshot the CFG before a stage that will
+     actually run, hand the pre/post pair to the hook afterwards. The
+     snapshot is taken only when a hook is installed. *)
+  let snapshot () =
+    match config.Config.check with
+    | Some _ -> Some (Cfg.deep_copy cfg)
+    | None -> None
+  in
+  let fire stage pre =
+    match config.Config.check, pre with
+    | Some f, Some pre -> f ~stage ~pre ~post:cfg
+    | _, _ -> ()
+  in
   let global = config.Config.level <> Config.Local in
   (* Region analysis is a function of the CFG's shape, which interblock
      motion preserves — only unrolling and rotation invalidate it. Both
@@ -68,32 +81,57 @@ let run machine (config : Config.t) cfg =
   in
   let unrolled =
     time "unroll" (fun () ->
-        if global && config.Config.unroll_small_loops then
-          Unroll.unroll_small_inner_loops ?prov
-            ~max_blocks:config.Config.small_loop_blocks cfg
+        if global && config.Config.unroll_small_loops then begin
+          let pre = snapshot () in
+          let n =
+            Unroll.unroll_small_inner_loops ?prov
+              ~max_blocks:config.Config.small_loop_blocks cfg
+          in
+          fire "unroll" pre;
+          n
+        end
         else 0)
   in
   let pass1 =
     time "global-pass1" (fun () ->
-        if global then
-          Global_sched.schedule ~only:Global_sched.is_inner_region
-            ~regions:(regions ()) machine config cfg
+        if global then begin
+          let pre = snapshot () in
+          let reports =
+            Global_sched.schedule ~only:Global_sched.is_inner_region
+              ~regions:(regions ()) machine config cfg
+          in
+          fire "global-pass1" pre;
+          reports
+        end
         else [])
   in
   let rotated =
     time "rotate" (fun () ->
-        if global && config.Config.rotate_small_loops then
-          Rotate.rotate_small_inner_loops ?prov
-            ~max_blocks:config.Config.small_loop_blocks cfg
+        if global && config.Config.rotate_small_loops then begin
+          let pre = snapshot () in
+          let n =
+            Rotate.rotate_small_inner_loops ?prov
+              ~max_blocks:config.Config.small_loop_blocks cfg
+          in
+          fire "rotate" pre;
+          n
+        end
         else 0)
   in
   if rotated > 0 then regions_cache := None;
   let pass2 =
     time "global-pass2" (fun () ->
-        if global then
-          Global_sched.schedule
-            ~only:(fun r -> rotated > 0 || not (Global_sched.is_inner_region r))
-            ~regions:(regions ()) machine config cfg
+        if global then begin
+          let pre = snapshot () in
+          let reports =
+            Global_sched.schedule
+              ~only:(fun r ->
+                rotated > 0 || not (Global_sched.is_inner_region r))
+              ~regions:(regions ()) machine config cfg
+          in
+          fire "global-pass2" pre;
+          reports
+        end
         else [])
   in
   time "local" (fun () ->
@@ -101,17 +139,22 @@ let run machine (config : Config.t) cfg =
         let local_machine =
           Option.value ~default:machine config.Config.local_machine
         in
+        let pre = snapshot () in
         Local_sched.schedule_cfg ~rules:config.Config.rules
-          ~obs:config.Config.obs ?prov local_machine cfg
+          ~obs:config.Config.obs ?prov local_machine cfg;
+        fire "local" pre
       end);
   let regalloc =
     if config.Config.regalloc then
       time "regalloc" (fun () ->
+          let pre = snapshot () in
           match
             Gis_regalloc.Regalloc.allocate ?gprs:config.Config.regs
               ?fprs:config.Config.regs ?prov machine cfg
           with
-          | Ok alloc -> Some alloc
+          | Ok alloc ->
+              fire "regalloc" pre;
+              Some alloc
           | Error msg -> failwith ("regalloc: " ^ msg))
     else None
   in

@@ -1,0 +1,28 @@
+(* Single source of truth for the CLI's exit codes — the README table,
+   [gisc], [gisc explain] and [gisc check] all derive from here. *)
+
+let ok = 0
+let compile_error = 1
+let usage_error = 2
+let verification_failure = 3
+let batch_partial_failure = 4
+let batch_timeout_only = 5
+
+let describe = function
+  | 0 -> "success"
+  | 1 -> "compile or input error"
+  | 2 -> "usage error"
+  | 3 -> "verification or schedule-legality failure"
+  | 4 -> "batch run with at least one failing program"
+  | 5 -> "batch run whose only failures were timeouts"
+  | _ -> "unknown"
+
+let all =
+  [
+    ok;
+    compile_error;
+    usage_error;
+    verification_failure;
+    batch_partial_failure;
+    batch_timeout_only;
+  ]

@@ -1,0 +1,24 @@
+(** Single source of truth for [gisc] exit codes.
+
+    Every subcommand exits through these constants; the README's
+    exit-code table documents the same values. *)
+
+val ok : int  (** 0 *)
+
+val compile_error : int  (** 1 — the input program failed to compile *)
+
+val usage_error : int  (** 2 — bad flags or arguments *)
+
+val verification_failure : int
+(** 3 — a simulation mismatch, identity failure, or static
+    schedule-legality violation *)
+
+val batch_partial_failure : int  (** 4 — batch run, ≥1 program failed *)
+
+val batch_timeout_only : int  (** 5 — batch run, only timeouts failed *)
+
+val describe : int -> string
+(** Human-readable meaning of a code; ["unknown"] otherwise. *)
+
+val all : int list
+(** The codes above, ascending. *)

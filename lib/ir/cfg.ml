@@ -59,6 +59,11 @@ let insert_block_after t ~after ~label =
       Vec.insert t.layout_order (pos + 1) b.Block.id;
       b
 
+let remove_block t id =
+  match Vec.find_index (fun bid -> bid = id) t.layout_order with
+  | None -> invalid_arg "Cfg.remove_block: block not in layout"
+  | Some pos -> ignore (Vec.remove t.layout_order pos)
+
 let set_entry t id = t.entry_id <- id
 let entry t = t.entry_id
 let num_blocks t = Vec.length t.blocks

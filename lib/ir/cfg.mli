@@ -37,6 +37,14 @@ val insert_block_after : t -> after:int -> label:Label.t -> Block.t
 (** Like {!add_block} but placed immediately after block [after] in the
     layout. *)
 
+val remove_block : t -> int -> unit
+(** Detach a block from the layout. The block's storage and label stay
+    registered (ids are stable, [find_label] still resolves), so any
+    branch still naming the label now targets a detached block — it is
+    the caller's burden to retarget those branches, and
+    {!Validate.check} rejects graphs where one was missed. Raises
+    [Invalid_argument] if the block is not in the layout. *)
+
 val set_entry : t -> int -> unit
 val entry : t -> int
 val num_blocks : t -> int

@@ -69,6 +69,16 @@ let check cfg =
       err (Fmt.str "%s: branch in block body" where);
     check_kind ~err ~where (Instr.kind i)
   in
+  let layout = Cfg.layout cfg in
+  let layout_set = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem layout_set id then
+        err (Fmt.str "block id %d appears twice in the layout" id)
+      else Hashtbl.add layout_set id ())
+    layout;
+  if layout <> [] && not (Hashtbl.mem layout_set (Cfg.entry cfg)) then
+    err "entry block is not in the layout";
   Cfg.iter_blocks
     (fun b ->
       let label = b.Block.label in
@@ -81,11 +91,22 @@ let check cfg =
       check_instr ~where ~terminator:true b.Block.term;
       List.iter
         (fun target ->
-          if Cfg.find_label cfg target = None then
-            err (Fmt.str "%a: unresolved branch target %a" Label.pp label Label.pp target))
+          match Cfg.find_label cfg target with
+          | None ->
+              err
+                (Fmt.str "%a: unresolved branch target %a" Label.pp label
+                   Label.pp target)
+          | Some tid when not (Hashtbl.mem layout_set tid) ->
+              (* The label resolves, but its block was detached from the
+                 layout (e.g. a loop header removed after rotation): the
+                 branch escapes into dead storage. *)
+              err
+                (Fmt.str "%a: branch target %a names a detached block"
+                   Label.pp label Label.pp target)
+          | Some _ -> ())
         (try Block.successor_labels b with Invalid_argument m -> err m; []))
     cfg;
-  if Cfg.num_blocks cfg = 0 then err "empty graph";
+  if Cfg.num_blocks cfg = 0 || layout = [] then err "empty graph";
   match List.rev !errors with [] -> Ok () | es -> Error es
 
 let check_exn cfg =

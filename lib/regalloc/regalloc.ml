@@ -400,6 +400,17 @@ let allocate ?gprs ?fprs ?prov machine cfg =
 
 (* ---- inputs and observables ---- *)
 
+(* Slots that {!remap_input} pre-stages from the caller: spilled
+   registers live at entry are initialized in memory, not by a spill
+   store — reloads from these slots are legitimate without one. *)
+let staged_slots t =
+  List.filter_map
+    (fun ((r : Reg.t), s) ->
+      if List.exists (Reg.equal r) t.entry_live then
+        Some (slot_offset r.Reg.cls s)
+      else None)
+    t.spilled
+
 let remap_input t (input : Simulator.input) =
   let assign = Hashtbl.create 32 in
   List.iter (fun (r, p) -> Hashtbl.replace assign (Reg.hash r) p) t.assignment;

@@ -73,6 +73,11 @@ val allocate :
     instruction needs more spilled operands of a class than there are
     scratch registers (a call with 4+ spilled arguments). *)
 
+val staged_slots : t -> int list
+(** Spill-slot offsets that {!remap_input} pre-stages from the caller
+    (spilled registers live at procedure entry): reloads from these
+    slots legitimately have no matching spill store. *)
+
 val remap_input : t -> Gis_sim.Simulator.input -> Gis_sim.Simulator.input
 (** Translate an input built for the symbolic procedure: register
     bindings move to their physical names, bindings of spilled

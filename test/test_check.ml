@@ -1,0 +1,344 @@
+(* Static schedule-legality verification: the checker certifies every
+   pipeline output over the workloads at every level (no simulator
+   involved), rejects hand-mutated schedules with precise diagnostics,
+   the tightened IR validator catches branches into detached blocks,
+   the exit-code table is pinned, and the linter is clean over the
+   example programs (golden file). *)
+
+open Gis_ir
+open Gis_machine
+open Gis_core
+open Gis_frontend
+open Gis_workloads
+module B = Builder
+module C = Gis_check.Check
+module D = Gis_check.Diagnostic
+module L = Gis_check.Lint
+
+let machine = Machine.rs6k
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+  in
+  m = 0 || go 0
+
+let workloads =
+  ("minmax", Minmax.source)
+  :: List.map
+       (fun (p : Spec_proxy.t) -> (p.Spec_proxy.name, p.Spec_proxy.source))
+       Spec_proxy.all
+
+let levels =
+  [
+    ("local", Config.base);
+    ("useful", Config.useful_only);
+    ("speculative", Config.speculative);
+  ]
+
+(* Run the pipeline with the verification hook installed; return every
+   diagnostic the checker produced (stage transitions + final lint). *)
+let check_run ?regs ?(regalloc = false) config src =
+  Label.reset_fresh_counter ();
+  let compiled = Codegen.compile_string src in
+  let cfg = compiled.Codegen.cfg in
+  let prov = Gis_obs.Provenance.create () in
+  let collector =
+    C.collector ~prov
+      ~max_speculation_degree:config.Config.max_speculation_degree ()
+  in
+  let config =
+    {
+      config with
+      Config.regalloc;
+      regs;
+      prov = Some prov;
+      check = Some (C.hook collector);
+    }
+  in
+  let stats = Pipeline.run machine config cfg in
+  let staged_slots =
+    match stats.Pipeline.regalloc with
+    | Some alloc -> Gis_regalloc.Regalloc.staged_slots alloc
+    | None -> []
+  in
+  let final = L.run ~prov ~staged_slots ~stage:"final" cfg in
+  (List.concat_map snd (C.diagnostics collector) @ final, C.stats collector)
+
+let pp_diags ds = Fmt.str "%a" Fmt.(list ~sep:cut D.pp) ds
+
+let test_accepts_workloads () =
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun (lname, config) ->
+          let diags, stats = check_run config src in
+          Alcotest.(check int)
+            (Fmt.str "%s/%s errors: %s" name lname (pp_diags diags))
+            0
+            (List.length (C.errors diags));
+          if config.Config.level <> Config.Local then
+            Alcotest.(check bool)
+              (Fmt.str "%s/%s checked some dependences" name lname)
+              true (stats.C.deps_checked > 0))
+        levels)
+    workloads
+
+let test_accepts_regalloc () =
+  List.iter
+    (fun (name, src) ->
+      let diags, stats = check_run ~regalloc:true ~regs:6 Config.speculative src in
+      Alcotest.(check int)
+        (Fmt.str "%s regalloc/6 errors: %s" name (pp_diags diags))
+        0
+        (List.length (C.errors diags));
+      Alcotest.(check int)
+        (Fmt.str "%s regalloc stage ran" name)
+        6 stats.C.stages)
+    workloads
+
+(* ---- mutation rejection ---- *)
+
+let has_rule rule ds = List.exists (fun d -> String.equal d.D.rule rule) ds
+
+let fresh_gprs n =
+  let g = Reg.Gen.create () in
+  (g, List.init n (fun _ -> Reg.Gen.fresh g Reg.Gpr))
+
+(* Swapping two flow-dependent instructions inside a block must be
+   caught by the local-stage check. *)
+let test_rejects_swap () =
+  let g, regs = fresh_gprs 3 in
+  let r1, r2 = (List.nth regs 0, List.nth regs 1) in
+  let pre =
+    B.func ~reg_gen:g
+      [ ("L.entry", [ B.li ~dst:r1 7; B.addi ~dst:r2 ~lhs:r1 1 ], B.halt) ]
+  in
+  let post = Cfg.deep_copy pre in
+  let b = Cfg.block_of_label post "L.entry" in
+  let i0 = Gis_util.Vec.get b.Block.body 0 in
+  let i1 = Gis_util.Vec.get b.Block.body 1 in
+  Gis_util.Vec.set b.Block.body 0 i1;
+  Gis_util.Vec.set b.Block.body 1 i0;
+  let ds = C.check_stage ~stage:"local" ~pre ~post () in
+  Alcotest.(check bool)
+    (Fmt.str "flow-dep swap rejected: %s" (pp_diags ds))
+    true
+    (has_rule "dependence.violated" (C.errors ds))
+
+(* Hoisting a store above its guarding branch is the paper's canonical
+   illegal speculation; the checker must name the store's uid. *)
+let test_rejects_store_speculation () =
+  let g, regs = fresh_gprs 3 in
+  let r1, rb, c0 =
+    (List.nth regs 0, List.nth regs 1, Reg.Gen.fresh g Reg.Cr)
+  in
+  let pre =
+    B.func ~reg_gen:g
+      [
+        ( "L.entry",
+          [ B.li ~dst:r1 7; B.li ~dst:rb 100; B.cmpi ~dst:c0 ~lhs:r1 0 ],
+          B.bt ~cr:c0 ~cond:Instr.Gt ~taken:"L.then" ~fallthru:"L.join" );
+        ("L.then", [ B.store ~src:r1 ~base:rb ~offset:0 ], B.jmp "L.join");
+        ("L.join", [], B.halt);
+      ]
+  in
+  let post = Cfg.deep_copy pre in
+  let bthen = Cfg.block_of_label post "L.then" in
+  let store = List.hd (Gis_util.Vec.to_list bthen.Block.body) in
+  ignore (Block.remove_by_uid bthen ~uid:(Instr.uid store));
+  let bentry = Cfg.block_of_label post "L.entry" in
+  Gis_util.Vec.push bentry.Block.body store;
+  let ds = C.check_stage ~stage:"global-pass1" ~pre ~post () in
+  let errs = C.errors ds in
+  Alcotest.(check bool)
+    (Fmt.str "store speculation rejected: %s" (pp_diags ds))
+    true
+    (has_rule "speculation.store" errs);
+  Alcotest.(check bool) "diagnostic names the store's uid" true
+    (List.exists
+       (fun d -> d.D.uid = Some (Instr.uid store))
+       errs)
+
+(* Deleting an instruction must be caught as a conservation failure. *)
+let test_rejects_deletion () =
+  let g, regs = fresh_gprs 2 in
+  let r1, r2 = (List.nth regs 0, List.nth regs 1) in
+  let pre =
+    B.func ~reg_gen:g
+      [ ("L.entry", [ B.li ~dst:r1 7; B.li ~dst:r2 8 ], B.halt) ]
+  in
+  let post = Cfg.deep_copy pre in
+  let b = Cfg.block_of_label post "L.entry" in
+  let victim = Gis_util.Vec.get b.Block.body 1 in
+  ignore (Block.remove_by_uid b ~uid:(Instr.uid victim));
+  let ds = C.check_stage ~stage:"global-pass2" ~pre ~post () in
+  Alcotest.(check bool)
+    (Fmt.str "deletion rejected: %s" (pp_diags ds))
+    true
+    (has_rule "conservation.removed" (C.errors ds))
+
+(* ---- validator: branch into a detached block ---- *)
+
+let test_validator_detached_block () =
+  let g, regs = fresh_gprs 1 in
+  let r1 = List.hd regs in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ("L.entry", [ B.li ~dst:r1 1 ], B.jmp "L.dead");
+        ("L.dead", [], B.halt);
+      ]
+  in
+  (match Validate.check cfg with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.failf "well-formed graph rejected: %a"
+        Fmt.(list ~sep:cut string)
+        es);
+  (match Cfg.find_label cfg "L.dead" with
+  | Some id -> Cfg.remove_block cfg id
+  | None -> Alcotest.fail "L.dead not found");
+  match Validate.check cfg with
+  | Ok () -> Alcotest.fail "branch into a detached block accepted"
+  | Error es ->
+      Alcotest.(check bool)
+        (Fmt.str "error mentions detachment: %a"
+           Fmt.(list ~sep:cut string)
+           es)
+        true
+        (List.exists (fun m -> contains m "detached") es)
+
+(* The linter flags the same hazard on a full CFG. *)
+let test_lint_detached_target () =
+  let g, regs = fresh_gprs 1 in
+  let r1 = List.hd regs in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ("L.entry", [ B.li ~dst:r1 1 ], B.jmp "L.dead");
+        ("L.dead", [], B.halt);
+      ]
+  in
+  (match Cfg.find_label cfg "L.dead" with
+  | Some id -> Cfg.remove_block cfg id
+  | None -> Alcotest.fail "L.dead not found");
+  let ds = L.run cfg in
+  Alcotest.(check bool)
+    (Fmt.str "lint flags detached target: %s" (pp_diags ds))
+    true
+    (has_rule "cfg.malformed-target" (C.errors ds))
+
+(* ---- exit codes: single source of truth, pinned ---- *)
+
+let test_exit_codes () =
+  let module E = Gis_driver.Exit_codes in
+  Alcotest.(check (list int)) "table" [ 0; 1; 2; 3; 4; 5 ] E.all;
+  Alcotest.(check int) "ok" 0 E.ok;
+  Alcotest.(check int) "compile" 1 E.compile_error;
+  Alcotest.(check int) "usage" 2 E.usage_error;
+  Alcotest.(check int) "verification" 3 E.verification_failure;
+  Alcotest.(check int) "batch partial" 4 E.batch_partial_failure;
+  Alcotest.(check int) "batch timeout" 5 E.batch_timeout_only;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Fmt.str "code %d described" c)
+        false
+        (String.equal (E.describe c) "unknown"))
+    E.all
+
+(* ---- golden lint over the example programs ---- *)
+
+let golden_path =
+  if Sys.file_exists "golden_lint.txt" then "golden_lint.txt"
+  else "test/golden_lint.txt"
+
+let lint_report () =
+  String.concat ""
+    (List.map
+       (fun (name, src) ->
+         Label.reset_fresh_counter ();
+         let compiled = Codegen.compile_string src in
+         match L.run ~stage:name compiled.Codegen.cfg with
+         | [] -> Fmt.str "%s: clean\n" name
+         | ds -> Fmt.str "%a\n" Fmt.(list ~sep:cut D.pp) ds)
+       workloads)
+
+let test_golden_lint () =
+  let ic = open_in golden_path in
+  let n = in_channel_length ic in
+  let golden = really_input_string ic n in
+  close_in ic;
+  Alcotest.(check string) "lint diagnostics match golden file" golden
+    (lint_report ())
+
+(* ---- property: the checker accepts every pipeline output ---- *)
+
+let prop_accepts config seed =
+  let compiled = Random_prog.generate_compiled ~seed in
+  let cfg = compiled.Codegen.cfg in
+  let prov = Gis_obs.Provenance.create () in
+  let collector =
+    C.collector ~prov
+      ~max_speculation_degree:config.Config.max_speculation_degree ()
+  in
+  let config =
+    { config with Config.prov = Some prov; check = Some (C.hook collector) }
+  in
+  ignore (Pipeline.run machine config cfg);
+  let diags = List.concat_map snd (C.diagnostics collector) in
+  match C.errors diags with
+  | [] -> true
+  | es ->
+      QCheck.Test.fail_reportf "checker rejected seed %d:@.%s" seed
+        (pp_diags es)
+
+let qtest name count prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count QCheck.(int_range 1 1_000_000) prop)
+
+let () =
+  Alcotest.run "gis_check"
+    [
+      ( "acceptance",
+        [
+          Alcotest.test_case "workloads x levels" `Quick test_accepts_workloads;
+          Alcotest.test_case "workloads under regalloc" `Quick
+            test_accepts_regalloc;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "intra-block dependence swap" `Quick
+            test_rejects_swap;
+          Alcotest.test_case "store hoisted above its branch" `Quick
+            test_rejects_store_speculation;
+          Alcotest.test_case "instruction deleted" `Quick test_rejects_deletion;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "detached branch target" `Quick
+            test_validator_detached_block;
+          Alcotest.test_case "lint flags detached target" `Quick
+            test_lint_detached_target;
+        ] );
+      ( "exit codes",
+        [ Alcotest.test_case "pinned table" `Quick test_exit_codes ] );
+      ( "lint golden",
+        [ Alcotest.test_case "examples are clean" `Quick test_golden_lint ] );
+      ( "properties",
+        [
+          qtest "random programs accepted (useful)" 40
+            (prop_accepts Config.useful_only);
+          qtest "random programs accepted (speculative)" 60
+            (prop_accepts Config.speculative);
+          qtest "random programs accepted (no transforms)" 40
+            (prop_accepts
+               {
+                 Config.speculative with
+                 Config.unroll_small_loops = false;
+                 rotate_small_loops = false;
+               });
+        ] );
+    ]
