@@ -842,6 +842,98 @@ let bench_parallel_batch ~deterministic () =
   Json.List rows
 
 (* ------------------------------------------------------------------ *)
+(* P2: compiler self-profile                                           *)
+(* ------------------------------------------------------------------ *)
+
+let profile_phases =
+  [ "unroll"; "global-pass1"; "rotate"; "global-pass2"; "local" ]
+
+(* One profiled pipeline run per workload. The [_bytes] keys join the
+   regression gate (looser tolerance + absolute floor, see Regress), so
+   an allocation blow-up in one phase fails CI like a cycle regression
+   would. Also the source of the [--history] trajectory record. *)
+let bench_self_profile ~deterministic () =
+  hr "P2: compiler self-profile (allocation per pipeline phase)";
+  Fmt.pr
+    "  (bytes allocated compiling each workload at the speculative level; \
+     identity-checked; seconds scrubbed under --deterministic)@.";
+  Fmt.pr "  %-10s | %11s |" "program" "total bytes";
+  List.iter (fun p -> Fmt.pr " %8s |" p) profile_phases;
+  Fmt.pr " cycles@.";
+  let t0 = Span.now () in
+  let measured =
+    List.map
+      (fun (name, (cfg0, input)) ->
+        let prof = Prof.create () in
+        let config = { Config.speculative with Config.prof = Some prof } in
+        let cfg = Cfg.deep_copy cfg0 in
+        ignore (Pipeline.run rs6k config cfg);
+        let root =
+          match Prof.roots prof with
+          | [ r ] -> r
+          | _ ->
+              Fmt.epr "P2: expected exactly one profile tree for %s@." name;
+              exit 1
+        in
+        if not (Prof.identity_ok root) then begin
+          Fmt.epr "P2: profile accounting identity violated on %s@." name;
+          exit 1
+        end;
+        let cycles = (Simulator.run rs6k cfg input).Simulator.cycles in
+        (name, root, cycles))
+      (proxy_programs ())
+  in
+  let wall_seconds = Span.now () -. t0 in
+  let zf x = if deterministic then 0.0 else x in
+  let rows =
+    List.map
+      (fun (name, (root : Prof.node), cycles) ->
+        let phase_bytes p =
+          match
+            List.find_opt
+              (fun (c : Prof.node) -> String.equal c.Prof.name p)
+              root.Prof.children
+          with
+          | Some c -> c.Prof.alloc_bytes
+          | None -> 0
+        in
+        Fmt.pr "  %-10s | %11d |" name root.Prof.alloc_bytes;
+        List.iter (fun p -> Fmt.pr " %8d |" (phase_bytes p)) profile_phases;
+        Fmt.pr " %d@." cycles;
+        Json.Obj
+          [
+            ("program", Json.String name);
+            ("alloc_bytes", Json.Int root.Prof.alloc_bytes);
+            ("wall_seconds", Json.Float (zf (Prof.seconds_of_ns root.Prof.wall_ns)));
+            ( "phases",
+              Json.Obj
+                (List.map
+                   (fun p -> (p ^ "_bytes", Json.Int (phase_bytes p)))
+                   profile_phases) );
+          ])
+      measured
+  in
+  let total_alloc =
+    List.fold_left
+      (fun acc (_, (r : Prof.node), _) -> acc + r.Prof.alloc_bytes)
+      0 measured
+  in
+  let per_program_cycles = List.map (fun (n, _, c) -> (n, c)) measured in
+  let total_cycles = List.fold_left (fun acc (_, c) -> acc + c) 0 per_program_cycles in
+  Fmt.pr "  (accounting identity holds on every workload)@.";
+  let history =
+    {
+      History.time = (if deterministic then 0.0 else Span.now ());
+      label = "bench";
+      total_cycles;
+      wall_seconds;
+      total_alloc_bytes = total_alloc;
+      per_program_cycles;
+    }
+  in
+  (Json.List rows, history)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -856,26 +948,32 @@ let parse_args () =
   let usage rest =
     Fmt.epr
       "usage: %s [--json [FILE]] [--deterministic] [--baseline FILE] \
-       [--check] (got: %s)@."
+       [--check] [--history FILE] [--trend] (got: %s)@."
       Sys.argv.(0) (String.concat " " rest);
     exit 2
   in
-  let rec go (json, det, base, chk) = function
-    | [] -> (json, det, base, chk)
-    | "--deterministic" :: rest -> go (json, true, base, chk) rest
-    | "--check" :: rest -> go (json, det, base, true) rest
+  let rec go (json, det, base, chk, hist, trend) = function
+    | [] -> (json, det, base, chk, hist, trend)
+    | "--deterministic" :: rest -> go (json, true, base, chk, hist, trend) rest
+    | "--check" :: rest -> go (json, det, base, true, hist, trend) rest
+    | "--trend" :: rest -> go (json, det, base, chk, hist, true) rest
     | "--baseline" :: file :: rest when String.length file > 0 && file.[0] <> '-'
       ->
-        go (json, det, Some file, chk) rest
+        go (json, det, Some file, chk, hist, trend) rest
+    | "--history" :: file :: rest when String.length file > 0 && file.[0] <> '-'
+      ->
+        go (json, det, base, chk, Some file, trend) rest
     | "--json" :: file :: rest when String.length file > 2 && file.[0] <> '-' ->
-        go (Some file, det, base, chk) rest
-    | "--json" :: rest -> go (Some "BENCH_gis.json", det, base, chk) rest
+        go (Some file, det, base, chk, hist, trend) rest
+    | "--json" :: rest -> go (Some "BENCH_gis.json", det, base, chk, hist, trend) rest
     | rest -> usage rest
   in
-  go (None, false, None, false) (List.tl (Array.to_list Sys.argv))
+  go (None, false, None, false, None, false) (List.tl (Array.to_list Sys.argv))
 
 let () =
-  let json_file, deterministic, baseline_file, check = parse_args () in
+  let json_file, deterministic, baseline_file, check, history_file, trend =
+    parse_args ()
+  in
   Metrics.enable ();
   Fmt.pr "Global Instruction Scheduling for Superscalar Machines@.";
   Fmt.pr "Bernstein & Rodeh, PLDI 1991 — benchmark reproduction@.";
@@ -891,6 +989,11 @@ let () =
   let a7 = bench_two_model () in
   let a8 = bench_duplication () in
   let r1 = bench_regalloc () in
+  (* P2 must run before P1 spawns worker domains: [Gc.allocated_bytes]
+     folds a terminated domain's counters into the survivors at an
+     unpredictable GC point, which would land ~1MB in whichever phase
+     was open when the merge happened and break byte-determinism. *)
+  let p2, history_entry = bench_self_profile ~deterministic () in
   let p1 = bench_parallel_batch ~deterministic () in
   let e4 = bench_figure7 ~deterministic () in
   let report =
@@ -914,6 +1017,7 @@ let () =
         ("A8_duplication", a8);
         ("R1_register_allocation", r1);
         ("P1_parallel_batch", p1);
+        ("P2_self_profile", p2);
         ("metrics", Metrics.to_json ~deterministic ());
       ]
   in
@@ -925,6 +1029,33 @@ let () =
       output_char oc '\n';
       close_out oc;
       Fmt.pr "@.tables written to %s@." path);
+  (* --history: append one trajectory record per run; --trend compares
+     the newest record against the mean of the prior window and warns.
+     Warnings never gate — the hard gate is --baseline --check below;
+     the trajectory catches drift that creeps in under its tolerance. *)
+  (match history_file with
+  | None ->
+      if trend then begin
+        Fmt.epr "--trend needs --history FILE@.";
+        exit 2
+      end
+  | Some path ->
+      History.append ~path history_entry;
+      let entries, skipped = History.load ~path in
+      List.iter (fun m -> Fmt.epr "history: skipped %s@." m) skipped;
+      Fmt.pr "@.history: appended run %d to %s (total cycles %d, %s \
+              allocated)@."
+        (List.length entries) path
+        history_entry.History.total_cycles
+        (Fmt.str "%a" Fmt.byte_size history_entry.History.total_alloc_bytes);
+      if trend then begin
+        match History.trend entries with
+        | [] -> Fmt.pr "trend: no upward drift over the trailing window@."
+        | drifts ->
+            List.iter
+              (fun d -> Fmt.pr "trend WARNING: %a@." History.pp_drift d)
+              drifts
+      end);
   (* --baseline: diff this run's cycle metrics against a committed
      report. Under --check, a regression beyond the 2% tolerance (or a
      metric the baseline had that this run lost) is exit code 1 — the

@@ -143,6 +143,17 @@ let run_batch dir jobs width simulate elements seed deterministic stats_file
   in
   Fmt.pr "batch %s: %d tasks, %d jobs@.%a" dir report.Gis_driver.Driver.pool.Gis_driver.Driver.tasks
     report.Gis_driver.Driver.pool.Gis_driver.Driver.jobs Gis_driver.Driver.pp_table report;
+  (* Fault-isolation post-mortem: each failed task carries its worker's
+     flight-recorder ring — the last events before the failure. *)
+  List.iter
+    (fun (t : Gis_driver.Driver.task_result) ->
+      match t.Gis_driver.Driver.outcome with
+      | Error e when t.Gis_driver.Driver.flight <> [] ->
+          Fmt.epr "@.%s failed (%a); flight recorder, oldest first:@."
+            t.Gis_driver.Driver.task Gis_driver.Driver.pp_error e;
+          List.iter (fun m -> Fmt.epr "  %s@." m) t.Gis_driver.Driver.flight
+      | _ -> ())
+    report.Gis_driver.Driver.results;
   Option.iter
     (fun path ->
       let json =
@@ -194,11 +205,22 @@ let run_gisc source batch jobs level width show_code simulate elements seed
   let sink, sink_events = Sink.memory () in
   let config = with_alloc (config_of_level level) in
   (* A provenance table costs a hashtable insert per instruction and
-     motion, so only attach one when a JSON report will use it. *)
+     motion, so only attach one when a JSON report will use it. Same
+     for the self-profiler: it feeds the stats report and the Chrome
+     trace's profiler process. *)
   let prov =
     if stats_file <> None then Some (Provenance.create ()) else None
   in
-  let config = { config with Config.obs = sink; prov } in
+  let prof =
+    if stats_file <> None || trace_out <> None then Some (Prof.create ())
+    else None
+  in
+  let config = { config with Config.obs = sink; prov; prof } in
+  let prof_root () =
+    match prof with
+    | None -> None
+    | Some p -> ( match Prof.roots p with r :: _ -> Some r | [] -> None)
+  in
   let compile_input () =
     (* Files ending in .s hold pseudo-assembly in the paper's Figure 2
        notation; everything else is Tiny-C. *)
@@ -297,7 +319,7 @@ let run_gisc source batch jobs level width show_code simulate elements seed
             (fun path ->
               write_file path
                 (Chrome_trace.to_string ~process_name:name
-                   os.Simulator.telemetry);
+                   ?profile:(prof_root ()) os.Simulator.telemetry);
               Fmt.pr "@.chrome trace written to %s (load in Perfetto)@." path)
             trace_out;
           Some (ob, os)
@@ -329,6 +351,12 @@ let run_gisc source batch jobs level width show_code simulate elements seed
                  ("elements", Json.Int elements);
                  ("seed", Json.Int seed);
                  ("metrics", Metrics.to_json ~deterministic ());
+                 ( "profile",
+                   match prof_root () with
+                   | None -> Json.Null
+                   | Some r ->
+                       Prof.to_json (if deterministic then Prof.scrub r else r)
+                 );
                  ( "provenance",
                    match prov with
                    | None -> Json.Null
@@ -554,6 +582,90 @@ let run_check source level width regalloc pressure_aware regs json_file
         json_file;
       if errors <> [] then exit Exit.verification_failure
 
+(* `gisc profile`: self-profiling run of one program — wall clock,
+   allocation and GC collections attributed per pipeline phase and per
+   compiled region, under the exact accounting identity of
+   [Gis_obs.Prof] (checked on every run; exit 3 on violation). *)
+let run_profile source level width regalloc pressure_aware regs json_file
+    folded_file folded_alloc trace_file deterministic verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  Metrics.enable ();
+  let name, src = load_source source in
+  let machine =
+    if width = 1 then Machine.rs6k else Machine.superscalar ~width
+  in
+  let config = config_of_level level in
+  let prof = Prof.create () in
+  let config =
+    { config with Config.regalloc; pressure_aware; regs; prof = Some prof }
+  in
+  let compile_input () =
+    if Filename.check_suffix name ".s" then
+      { Codegen.cfg = Asm.parse src; vars = []; arrays = [] }
+    else Codegen.compile_string src
+  in
+  match compile_input () with
+  | exception Parser.Error m
+  | exception Lexer.Error m
+  | exception Codegen.Error m
+  | exception Asm.Error m ->
+      Fmt.epr "%s: %s@." name m;
+      exit Exit.compile_error
+  | compiled -> (
+      let cfg = Cfg.deep_copy compiled.Codegen.cfg in
+      let stats = Pipeline.run machine config cfg in
+      Validate.check_exn cfg;
+      match Prof.roots prof with
+      | [] ->
+          Fmt.epr "INTERNAL ERROR: pipeline recorded no profile tree@.";
+          exit Exit.verification_failure
+      | root :: _ as roots ->
+          Fmt.pr "%s: %d blocks, %d instructions; level %a; %d motions@." name
+            (Cfg.num_blocks cfg) (Cfg.instr_count cfg) Config.pp_level
+            config.Config.level
+            (List.length (Pipeline.moves stats));
+          Fmt.pr "@.%a@." Prof.pp root;
+          if not (List.for_all Prof.identity_ok roots) then begin
+            Fmt.epr
+              "INTERNAL ERROR: profile accounting identity violated (self \
+               values do not sum to the root totals)@.";
+            exit Exit.verification_failure
+          end;
+          Fmt.pr "@.profile: %d nodes, accounting identity holds@."
+            (Prof.node_count root);
+          Prof.export_metrics root;
+          Option.iter
+            (fun path ->
+              let node = if deterministic then Prof.scrub root else root in
+              write_json path
+                (Json.Obj
+                   [
+                     ("program", Json.String name);
+                     ("machine", Json.String (Machine.name machine));
+                     ( "level",
+                       Json.String
+                         (Fmt.str "%a" Config.pp_level config.Config.level) );
+                     ("profile", Prof.to_json node);
+                     ("metrics", Metrics.to_json ~deterministic ());
+                   ]);
+              Fmt.pr "profile written to %s@." path)
+            json_file;
+          Option.iter
+            (fun path ->
+              let metric = if folded_alloc then `Alloc else `Wall in
+              write_file path (String.concat "\n" (Prof.folded ~metric root));
+              Fmt.pr "folded stacks written to %s (flamegraph.pl/speedscope)@."
+                path)
+            folded_file;
+          Option.iter
+            (fun path ->
+              write_file path (Chrome_trace.profile_to_string root);
+              Fmt.pr "profile trace written to %s (load in Perfetto)@." path)
+            trace_file)
+
 let source_arg =
   let file =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Tiny-C source file.")
@@ -734,6 +846,55 @@ let explain_cmd =
       $ seed_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg
       $ explain_json_arg $ trace_out_arg $ verbose_arg)
 
+let profile_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the profile tree (per-phase and per-region wall clock, \
+              allocation, GC collections, self and total) plus the metrics \
+              registry as JSON to $(docv).")
+
+let folded_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "folded" ] ~docv:"FILE"
+        ~doc:"Write folded-stack lines ($(b,pipeline;global-pass1;region-0 \
+              VALUE)) to $(docv) — the input format of flamegraph.pl and \
+              speedscope.")
+
+let folded_alloc_arg =
+  Arg.(
+    value & flag
+    & info [ "alloc" ]
+        ~doc:"With $(b,--folded), weight stacks by self allocated bytes \
+              instead of self wall-clock nanoseconds.")
+
+let profile_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the profile as standalone Chrome trace-event JSON to \
+              $(docv): one slice track of phases and regions plus \
+              allocation and GC counter tracks. Load in Perfetto.")
+
+let profile_cmd =
+  let doc =
+    "profile the compiler itself: attribute wall clock, allocation and GC \
+     collections to every pipeline phase and compiled region, under an \
+     exact accounting identity (self values sum back to the run totals; \
+     exits 3 if they do not)"
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const run_profile $ source_arg $ level_arg $ width_arg $ regalloc_arg
+      $ pressure_aware_arg $ regs_arg $ profile_json_arg $ folded_arg
+      $ folded_alloc_arg $ profile_trace_arg $ deterministic_arg
+      $ verbose_arg)
+
 let check_json_arg =
   Arg.(
     value
@@ -764,6 +925,6 @@ let cmd =
   in
   Cmd.group ~default:main_term
     (Cmd.info "gisc" ~version:"1.0.0" ~doc)
-    [ explain_cmd; check_cmd ]
+    [ explain_cmd; check_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -30,6 +30,7 @@ type t = {
   regs : int option;
   obs : Gis_obs.Sink.t;
   prov : Gis_obs.Provenance.t option;
+  prof : Gis_obs.Prof.t option;
   check :
     (stage:string -> pre:Gis_ir.Cfg.t -> post:Gis_ir.Cfg.t -> unit) option;
 }
@@ -58,6 +59,7 @@ let default =
     regs = None;
     obs = Gis_obs.Sink.null;
     prov = None;
+    prof = None;
     check = None;
   }
 

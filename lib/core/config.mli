@@ -86,6 +86,14 @@ type t = {
           code into it, and the final CFG is indexed on completion
           ([gisc explain] renders it). [None] by default — recording is
           a no-op and schedules are byte-identical (pinned test). *)
+  prof : Gis_obs.Prof.t option;
+      (** self-profiler. When set, the pipeline records one tree per
+          {!Pipeline.run} — a ["pipeline"] root with one child per
+          phase and one grandchild per compiled region — carrying wall
+          clock, allocation, and GC-collection deltas under an exact
+          accounting identity ([gisc profile] renders and verifies it).
+          [None] by default: recording is a single pattern match and
+          schedules are byte-identical (pinned test). *)
   check :
     (stage:string -> pre:Gis_ir.Cfg.t -> post:Gis_ir.Cfg.t -> unit) option;
       (** per-stage verification hook. When set, the pipeline snapshots

@@ -958,5 +958,15 @@ let schedule ?(only = fun _ -> true) ?regions machine config cfg =
           blocked = [];
         }
       end
-      else schedule_region machine config cfg regions region)
+      else
+        (* Per-region attribution: each scheduled region becomes a
+           profile node under the enclosing global pass. The name is
+           only built when a profiler is attached, so the detached path
+           stays allocation-identical. *)
+        match config.Config.prof with
+        | None -> schedule_region machine config cfg regions region
+        | Some _ as prof ->
+            Gis_obs.Prof.record prof
+              (Fmt.str "region-%d" region.Regions.id)
+              (fun () -> schedule_region machine config cfg regions region))
     (Regions.regions regions)

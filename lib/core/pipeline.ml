@@ -18,8 +18,12 @@ let seconds stats = Gis_obs.Span.total stats.phases
 
 let phase_names = [ "unroll"; "global-pass1"; "rotate"; "global-pass2"; "local" ]
 
-let run machine (config : Config.t) cfg =
+(* The body of [run], wrapped below in the profiler's "pipeline" root
+   so phase deltas sum exactly to the whole-run delta (the accounting
+   identity `gisc profile` checks). *)
+let run_phases machine (config : Config.t) cfg =
   let prov = config.Config.prov in
+  let prof = config.Config.prof in
   (* Every original instruction gets an [Unmoved] record in its source
      block before any pass runs; passes overwrite kind/scores as they
      commit decisions, and fresh copies are recorded at creation. *)
@@ -37,7 +41,11 @@ let run machine (config : Config.t) cfg =
         cfg);
   let spans = ref [] in
   let time name f =
-    let v, span = Gis_obs.Span.time name f in
+    (* The profiler nests inside the span so span totals stay what they
+       always were; a detached profiler ([None]) adds one match. *)
+    let v, span =
+      Gis_obs.Span.time name (fun () -> Gis_obs.Prof.record prof name f)
+    in
     spans := span :: !spans;
     config.Config.obs.Gis_obs.Sink.emit
       (Gis_obs.Sink.Phase_finished
@@ -74,7 +82,8 @@ let run machine (config : Config.t) cfg =
            forced the computation. *)
         let r, _span =
           Gis_obs.Span.time "regions" (fun () ->
-              Gis_analysis.Regions.compute cfg)
+              Gis_obs.Prof.record prof "regions" (fun () ->
+                  Gis_analysis.Regions.compute cfg))
         in
         regions_cache := Some r;
         r
@@ -161,3 +170,7 @@ let run machine (config : Config.t) cfg =
   ignore (Cfg.reachable cfg);
   Gis_obs.Provenance.finalize prov cfg;
   { unrolled; rotated; pass1; pass2; regalloc; phases = List.rev !spans }
+
+let run machine (config : Config.t) cfg =
+  Gis_obs.Prof.record config.Config.prof "pipeline" (fun () ->
+      run_phases machine config cfg)

@@ -43,4 +43,8 @@ val seconds : stats -> float
 val run :
   Gis_machine.Machine.t -> Config.t -> Gis_ir.Cfg.t -> stats
 (** Transform the procedure in place. Every phase duration is also
-    emitted as a [Phase_finished] event on [config.obs]. *)
+    emitted as a [Phase_finished] event on [config.obs]. With
+    [config.prof] set, the whole run is recorded as one ["pipeline"]
+    profile tree — phases as children, compiled regions as
+    grandchildren — whose wall/allocation deltas satisfy the exact
+    accounting identity ({!Gis_obs.Prof.identity_ok}). *)

@@ -68,6 +68,7 @@ type task_result = {
   outcome : (summary, error) result;
   seconds : float;
   worker : int;
+  flight : string list;
 }
 
 type pool_stats = {
@@ -121,10 +122,14 @@ let default_input compiled ~elements ~seed =
 
 exception Observable_mismatch of string
 
-(* Process-wide metrics (no-ops until Gis_obs.Metrics.enable). *)
+(* Process-wide metrics (no-ops until Gis_obs.Metrics.enable). The
+   log2 histograms observe microseconds — with seconds everything
+   sub-second lands in bucket 0 and the distribution is invisible. *)
 let m_tasks = Metrics.counter "driver.tasks_total"
 let m_failed = Metrics.counter "driver.tasks_failed_total"
 let m_task_seconds = Metrics.histogram "driver.task_seconds"
+let m_queue_wait_us = Metrics.histogram "driver.queue_wait_us"
+let m_run_us = Metrics.histogram "driver.task_run_us"
 
 let compile_task task =
   match task.source with
@@ -143,14 +148,25 @@ let run_task machine config ~simulate ~elements ~seed task =
   (* Label streams must depend only on the task, not on which worker
      runs it or what ran before — the determinism guarantee. *)
   Label.reset_fresh_counter ();
+  (* Fresh flight-recorder history per task, so a dump after a failure
+     shows only the events that led up to it. *)
+  Flight.clear ();
+  Flight.notef "task %s: start" task.name;
   match compile_task task with
   | exception Parser.Error m | exception Lexer.Error m
   | exception Codegen.Error m | exception Asm.Error m ->
       Error (Compile_error m)
   | exception e -> Error (Crashed (Printexc.to_string e))
   | compiled -> (
+      Flight.notef "task %s: compiled, %d blocks" task.name
+        (Cfg.num_blocks compiled.Codegen.cfg);
       let sink, sink_events = Sink.memory () in
-      let config = { config with Config.obs = sink } in
+      (* The recorder rides along on the task's own sink: every
+         scheduler event lands in the ring too, memory sink first so
+         the events count is unaffected. *)
+      let config =
+        { config with Config.obs = Sink.tee sink (Flight.sink ()) }
+      in
       match
         let baseline = Cfg.deep_copy compiled.Codegen.cfg in
         ignore (Pipeline.run machine Config.base baseline);
@@ -161,6 +177,7 @@ let run_task machine config ~simulate ~elements ~seed task =
         let base_cycles, sched_cycles, observables =
           if not simulate then (-1, -1, "")
           else begin
+            Flight.notef "task %s: scheduled, simulating" task.name;
             let input =
               match task.source with
               | Generated gseed -> Random_prog.random_input ~seed:gseed compiled
@@ -282,8 +299,12 @@ let run ?(jobs = 1) ?timeout ?(simulate = true) ?(elements = 128) ?(seed = 3)
                     outcome = Error (Timed_out elapsed);
                     seconds = 0.0;
                     worker = wid;
+                    flight = [];
                   }
           | Some _ | None ->
+              (* How long the task sat queued before a worker picked it
+                 up — every task was enqueued at batch start. *)
+              Metrics.observe m_queue_wait_us (elapsed *. 1e6);
               let t0 = Span.now () in
               let outcome =
                 try run_task machine config ~simulate ~elements ~seed task
@@ -301,10 +322,17 @@ let run ?(jobs = 1) ?timeout ?(simulate = true) ?(elements = 128) ?(seed = 3)
               Metrics.incr m_tasks;
               if Result.is_error outcome then Metrics.incr m_failed;
               Metrics.observe m_task_seconds seconds;
+              Metrics.observe m_run_us (seconds *. 1e6);
               busy.(wid) <- busy.(wid) +. seconds;
               ran.(wid) <- ran.(wid) + 1;
+              (* The ring is domain-local and run_task ran right here,
+                 so on failure it still holds that task's last events. *)
+              let flight =
+                if Result.is_error outcome then Flight.dump_messages ()
+                else []
+              in
               results.(i) <-
-                Some { task = task.name; outcome; seconds; worker = wid });
+                Some { task = task.name; outcome; seconds; worker = wid; flight });
           loop ()
     in
     loop ()
@@ -364,6 +392,15 @@ let report_to_json ?(deterministic = false) r =
          ("seconds", Json.Float (scrub_f t.seconds));
          ("worker", Json.Int (if deterministic then 0 else t.worker));
        ]
+      @ (* Flight-recorder messages carry wall-clock prose, so they are
+           dropped from deterministic reports (which must stay
+           byte-identical across runs and job counts). *)
+      (if deterministic || t.flight = [] then []
+       else
+         [
+           ( "flight",
+             Json.List (List.map (fun m -> Json.String m) t.flight) );
+         ])
       @
       match t.outcome with
       | Error e -> [ ("outcome", error_to_json e) ]
@@ -442,4 +479,15 @@ let pp_table ppf r =
      queue high water %d@."
     p.jobs p.tasks p.failed p.wall_seconds
     (100.0 *. utilization p)
-    p.queue_high_water
+    p.queue_high_water;
+  (* With metrics on, the per-task latency distributions (µs, so log2
+     buckets actually discriminate between sub-second tasks). *)
+  if Metrics.is_enabled () then begin
+    let line name h =
+      let v = Metrics.histogram_stats h in
+      if v.Metrics.count > 0 then
+        Fmt.pf ppf "  %s: %a@." name Metrics.pp_histogram_view v
+    in
+    line "queue wait (us)" m_queue_wait_us;
+    line "task run (us)" m_run_us
+  end

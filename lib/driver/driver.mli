@@ -107,6 +107,11 @@ type task_result = {
   outcome : (summary, error) result;
   seconds : float;  (** wall-clock time inside the task *)
   worker : int;  (** pool worker (0-based) that ran the task *)
+  flight : string list;
+      (** on [Error] outcomes, the worker's {!Gis_obs.Flight} ring at
+          the moment of failure (oldest first) — the last scheduler and
+          driver events that led up to it. Empty on [Ok] results and on
+          tasks skipped by the batch budget. *)
 }
 
 type pool_stats = {
@@ -153,9 +158,11 @@ val speedup : report -> report -> float
 val report_to_json : ?deterministic:bool -> report -> Gis_obs.Json.t
 (** With [deterministic] (default false) every field that depends on
     timing or on the worker count — task seconds, phase durations,
-    worker assignment, and all pool fields except [tasks]/[failed] —
-    is zeroed or dropped, so reports are byte-identical across runs
-    and job counts. *)
+    worker assignment, flight-recorder dumps, and all pool fields
+    except [tasks]/[failed] — is zeroed or dropped, so reports are
+    byte-identical across runs and job counts. *)
 
 val pp_table : report Fmt.t
-(** Human-readable batch table: one row per task plus a pool summary. *)
+(** Human-readable batch table: one row per task plus a pool summary.
+    When {!Gis_obs.Metrics} collection is enabled, also prints the
+    pool's queue-wait and task-run-time log2 histograms (µs). *)

@@ -77,7 +77,108 @@ let stall_instant (e : Trace.event) =
            ])
   | _ -> None
 
-let to_json ?(process_name = "gisc simulator") (s : Trace.summary) =
+(* ------------------------------------------------------------------ *)
+(* Profiler export: the compiler profiling itself on the same viewer.  *)
+(* ------------------------------------------------------------------ *)
+
+(* A [Prof.node] tree has durations but no absolute timestamps; lay the
+   children out back to back from the parent's start (self time ends up
+   at the tail), one profile nanosecond = one trace microsecond /1000.
+   Each node is an "X" slice on the profiler process, and the GC
+   counters are emitted as "C" counter events at every node boundary,
+   which Perfetto renders as dedicated counter tracks — allocation and
+   collection pressure over the compilation timeline. *)
+let prof_pid = 2
+let prof_tid = 1
+
+let profile_events (root : Prof.node) =
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let us ns = ns / 1000 in
+  let cum_alloc = ref 0 and cum_minor = ref 0 and cum_major = ref 0 in
+  let counters ts =
+    emit
+      (Json.Obj
+         [
+           ("name", str "allocated_bytes");
+           ("ph", str "C");
+           ("ts", int ts);
+           ("pid", int prof_pid);
+           ("args", Json.Obj [ ("bytes", int !cum_alloc) ]);
+         ]);
+    emit
+      (Json.Obj
+         [
+           ("name", str "gc_collections");
+           ("ph", str "C");
+           ("ts", int ts);
+           ("pid", int prof_pid);
+           ( "args",
+             Json.Obj [ ("minor", int !cum_minor); ("major", int !cum_major) ]
+           );
+         ])
+  in
+  let rec go off (n : Prof.node) =
+    emit
+      (Json.Obj
+         [
+           ("name", str n.Prof.name);
+           ("cat", str "profile");
+           ("ph", str "X");
+           ("ts", int (us off));
+           ("dur", int (max 1 (us n.Prof.wall_ns)));
+           ("pid", int prof_pid);
+           ("tid", int prof_tid);
+           ( "args",
+             Json.Obj
+               [
+                 ("wall_ns", int n.Prof.wall_ns);
+                 ("self_wall_ns", int (Prof.self_wall_ns n));
+                 ("alloc_bytes", int n.Prof.alloc_bytes);
+                 ("self_alloc_bytes", int (Prof.self_alloc_bytes n));
+                 ("minor_collections", int n.Prof.minor);
+                 ("major_collections", int n.Prof.major);
+               ] );
+         ]);
+    counters (us off);
+    ignore
+      (List.fold_left
+         (fun o c ->
+           go o c;
+           o + c.Prof.wall_ns)
+         off n.Prof.children);
+    cum_alloc := !cum_alloc + Prof.self_alloc_bytes n;
+    cum_minor := !cum_minor + Prof.self_minor n;
+    cum_major := !cum_major + Prof.self_major n;
+    counters (us (off + n.Prof.wall_ns))
+  in
+  go 0 root;
+  let prof_meta name tid fields =
+    Json.Obj
+      [
+        ("name", str name);
+        ("ph", str "M");
+        ("pid", int prof_pid);
+        ("tid", int tid);
+        ("args", Json.Obj fields);
+      ]
+  in
+  [
+    prof_meta "process_name" 0 [ ("name", str "gisc profiler") ];
+    prof_meta "thread_name" prof_tid [ ("name", str "pipeline phases") ];
+  ]
+  @ List.rev !events
+
+let profile_to_json root =
+  Json.Obj
+    [
+      ("displayTimeUnit", str "ms");
+      ("traceEvents", Json.List (profile_events root));
+    ]
+
+let profile_to_string root = Json.to_string (profile_to_json root)
+
+let to_json ?(process_name = "gisc simulator") ?profile (s : Trace.summary) =
   let unit_tys = [ Instr.Fixed; Instr.Float; Instr.Branch ] in
   let metadata =
     meta ~name:"process_name" ~tid:0 [ ("name", str process_name) ]
@@ -89,10 +190,16 @@ let to_json ?(process_name = "gisc simulator") (s : Trace.summary) =
   in
   let slices = List.map slice s.Trace.events in
   let stalls = List.filter_map stall_instant s.Trace.events in
+  (* The profiler rides along as a second process (its own slice track
+     plus counter tracks); an absent profile leaves the simulator-only
+     trace byte-identical to what it always was. *)
+  let prof_events =
+    match profile with None -> [] | Some root -> profile_events root
+  in
   Json.Obj
     [
       ("displayTimeUnit", str "ms");
-      ("traceEvents", Json.List (metadata @ slices @ stalls));
+      ("traceEvents", Json.List (metadata @ slices @ stalls @ prof_events));
       ( "otherData",
         Json.Obj
           [
@@ -102,4 +209,5 @@ let to_json ?(process_name = "gisc simulator") (s : Trace.summary) =
           ] );
     ]
 
-let to_string ?process_name s = Json.to_string (to_json ?process_name s)
+let to_string ?process_name ?profile s =
+  Json.to_string (to_json ?process_name ?profile s)

@@ -9,5 +9,23 @@
     object carries [displayTimeUnit] and a ["traceEvents"] array, per
     the schema. *)
 
-val to_json : ?process_name:string -> Trace.summary -> Json.t
-val to_string : ?process_name:string -> Trace.summary -> string
+val to_json :
+  ?process_name:string -> ?profile:Prof.node -> Trace.summary -> Json.t
+(** With [profile], the self-profiler's tree rides along as a second
+    trace process: one slice track of pipeline phases/regions plus
+    ["allocated_bytes"] and ["gc_collections"] counter tracks sampled
+    at every phase boundary (one profile nanosecond = one trace
+    microsecond). Without it, the output is exactly the simulator-only
+    trace. *)
+
+val to_string :
+  ?process_name:string -> ?profile:Prof.node -> Trace.summary -> string
+
+val profile_events : Prof.node -> Json.t list
+(** The raw trace events of one profile tree (metadata, slices,
+    counters), for embedding in a larger trace. *)
+
+val profile_to_json : Prof.node -> Json.t
+(** A standalone profiler-only trace ([gisc profile --trace-out]). *)
+
+val profile_to_string : Prof.node -> string

@@ -1,0 +1,54 @@
+(* Per-domain flight recorder: a fixed-size ring of the most recent
+   observability events, kept cheaply at all times and dumped only when
+   something goes wrong (a task crash or timeout in the driver pool).
+   The ring is domain-local, so each worker's recent history survives
+   the failure of its own task without interleaving with the others,
+   and recording is a single array store — no allocation beyond the
+   message the caller already built, no locks. *)
+
+type entry = { at : float; msg : string }
+
+let capacity = 64
+
+type ring = { mutable n : int (* total notes ever *); slots : entry array }
+
+let ring : ring Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { n = 0; slots = Array.make capacity { at = 0.0; msg = "" } })
+
+let note msg =
+  let r = Domain.DLS.get ring in
+  r.slots.(r.n mod capacity) <- { at = Unix.gettimeofday (); msg };
+  r.n <- r.n + 1
+
+let notef fmt = Fmt.kstr note fmt
+
+let clear () =
+  let r = Domain.DLS.get ring in
+  r.n <- 0
+
+let recorded () = (Domain.DLS.get ring).n
+
+let dump () =
+  let r = Domain.DLS.get ring in
+  let kept = min r.n capacity in
+  List.init kept (fun i ->
+      (* Oldest first: the ring's logical start is n - kept. *)
+      r.slots.((r.n - kept + i) mod capacity))
+
+let dump_messages () = List.map (fun e -> e.msg) (dump ())
+
+let pp_dump ppf () =
+  match dump () with
+  | [] -> Fmt.pf ppf "flight recorder: empty@."
+  | entries ->
+      let t0 = (List.hd entries).at in
+      Fmt.pf ppf "flight recorder (last %d of %d event(s)):@."
+        (List.length entries) (recorded ());
+      List.iter
+        (fun e -> Fmt.pf ppf "  [+%8.6fs] %s@." (e.at -. t0) e.msg)
+        entries
+
+(* A sink that mirrors every scheduler decision event into this
+   domain's ring, for wrapping around a real sink with [Sink.tee]. *)
+let sink () = { Sink.emit = (fun e -> notef "%a" Sink.pp_event e) }

@@ -1,0 +1,40 @@
+(** Per-domain flight recorder.
+
+    A fixed-size ring buffer ({!capacity} entries) of the most recent
+    observability events. Recording is always cheap — one array store,
+    no locks — and the ring is domain-local, so the batch driver's
+    workers keep independent histories and a crashing task can dump the
+    last events that led up to the failure without touching the other
+    domains. The driver pool's fault-isolation path dumps it on crash
+    and timeout; everything else just keeps feeding it. *)
+
+type entry = { at : float;  (** wall clock of the note *) msg : string }
+
+val capacity : int
+(** Entries retained per domain (older notes are overwritten). *)
+
+val note : string -> unit
+(** Append to this domain's ring. *)
+
+val notef : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [Fmt]-style formatted {!note}. *)
+
+val clear : unit -> unit
+(** Empty this domain's ring (e.g. between driver tasks, so a dump
+    only shows the failing task's history). *)
+
+val recorded : unit -> int
+(** Total notes ever recorded on this domain since the last {!clear} —
+    may exceed {!capacity}; the excess has been overwritten. *)
+
+val dump : unit -> entry list
+(** The surviving entries of this domain's ring, oldest first. *)
+
+val dump_messages : unit -> string list
+
+val pp_dump : unit Fmt.t
+(** Render the ring with timestamps relative to the oldest entry. *)
+
+val sink : unit -> Sink.t
+(** A sink that mirrors every event into this domain's ring — tee it
+    with the real sink to keep the recorder fed during scheduling. *)

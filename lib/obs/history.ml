@@ -1,0 +1,151 @@
+(* Bench trajectory: one JSONL record per bench run, appended to a
+   history file that outlives any single invocation. Where the
+   [--baseline --check] gate compares one run against one committed
+   snapshot, the history answers the longitudinal question — is the
+   scheduler drifting slower or hungrier over the last K runs? — which
+   is the measurement the ROADMAP's ≥5× flat-IR claim will be made
+   against. *)
+
+type entry = {
+  time : float;  (** wall clock of the run (0.0 in deterministic mode) *)
+  label : string;  (** free-form run label, e.g. "bench" or a git ref *)
+  total_cycles : int;  (** sum of speculative-level cycles across workloads *)
+  wall_seconds : float;  (** harness wall clock for the measured section *)
+  total_alloc_bytes : int;  (** bytes allocated compiling all workloads *)
+  per_program_cycles : (string * int) list;
+}
+
+let to_json e =
+  Json.Obj
+    [
+      ("time", Json.Float e.time);
+      ("label", Json.String e.label);
+      ("total_cycles", Json.Int e.total_cycles);
+      ("wall_seconds", Json.Float e.wall_seconds);
+      ("total_alloc_bytes", Json.Int e.total_alloc_bytes);
+      ( "per_program_cycles",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.per_program_cycles)
+      );
+    ]
+
+let of_json j =
+  let open Json in
+  match j with
+  | Obj fields ->
+      let num name =
+        match List.assoc_opt name fields with
+        | Some (Int n) -> Some (float_of_int n)
+        | Some (Float f) -> Some f
+        | _ -> None
+      in
+      let str name =
+        match List.assoc_opt name fields with
+        | Some (String s) -> Some s
+        | _ -> None
+      in
+      let per_program =
+        match List.assoc_opt "per_program_cycles" fields with
+        | Some (Obj kvs) ->
+            List.filter_map
+              (fun (k, v) ->
+                match v with
+                | Int n -> Some (k, n)
+                | Float f -> Some (k, int_of_float f)
+                | _ -> None)
+              kvs
+        | _ -> []
+      in
+      (match (num "total_cycles", num "total_alloc_bytes") with
+      | Some cycles, Some alloc ->
+          Ok
+            {
+              time = Option.value ~default:0.0 (num "time");
+              label = Option.value ~default:"" (str "label");
+              total_cycles = int_of_float cycles;
+              wall_seconds = Option.value ~default:0.0 (num "wall_seconds");
+              total_alloc_bytes = int_of_float alloc;
+              per_program_cycles = per_program;
+            }
+      | _ -> Error "history entry lacks total_cycles/total_alloc_bytes")
+  | _ -> Error "history entry is not an object"
+
+let append ~path e =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      (* One record = one line: JSONL requires the minified form. *)
+      output_string oc (Json.to_string ~minify:true (to_json e));
+      output_char oc '\n')
+
+(* A malformed line (a truncated append, a hand edit) skips that line
+   only — losing the whole trajectory to one bad record would defeat
+   the point of keeping one. *)
+let load ~path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ([], [])
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go lineno entries bad =
+            match input_line ic with
+            | exception End_of_file -> (List.rev entries, List.rev bad)
+            | "" -> go (lineno + 1) entries bad
+            | line -> (
+                match Json.of_string line with
+                | Error m -> go (lineno + 1) entries (Fmt.str "line %d: %s" lineno m :: bad)
+                | Ok j -> (
+                    match of_json j with
+                    | Ok e -> go (lineno + 1) (e :: entries) bad
+                    | Error m ->
+                        go (lineno + 1) entries
+                          (Fmt.str "line %d: %s" lineno m :: bad)))
+          in
+          go 1 [] [])
+
+type drift = {
+  metric : string;
+  mean : float;  (** over the prior window *)
+  latest : float;
+  change : float;  (** latest/mean - 1 *)
+}
+
+let pp_drift ppf d =
+  Fmt.pf ppf "%s drifted %+.1f%% against the last %s mean (%g -> %g)" d.metric
+    (100.0 *. d.change)
+    (if d.mean = 0.0 then "runs'" else "runs'")
+    d.mean d.latest
+
+(* Compare the newest entry against the mean of up to [window] prior
+   runs. Only upward drift (slower, hungrier) is flagged; the alloc
+   threshold is looser for the same reason the gate's is — byte counts
+   move with the toolchain. *)
+let trend ?(window = 5) ?(cycle_tolerance = 0.02) ?(alloc_tolerance = 0.1)
+    entries =
+  match List.rev entries with
+  | [] | [ _ ] -> []
+  | latest :: prior ->
+      let prior = List.filteri (fun i _ -> i < window) prior in
+      let mean f =
+        List.fold_left (fun acc e -> acc +. f e) 0.0 prior
+        /. float_of_int (List.length prior)
+      in
+      let check metric value mean_v tolerance =
+        if mean_v > 0.0 && value > mean_v *. (1.0 +. tolerance) then
+          [ { metric; mean = mean_v; latest = value; change = (value /. mean_v) -. 1.0 } ]
+        else []
+      in
+      check "total_cycles"
+        (float_of_int latest.total_cycles)
+        (mean (fun e -> float_of_int e.total_cycles))
+        cycle_tolerance
+      @ check "total_alloc_bytes"
+          (float_of_int latest.total_alloc_bytes)
+          (mean (fun e -> float_of_int e.total_alloc_bytes))
+          alloc_tolerance
+      @ check "wall_seconds" latest.wall_seconds
+          (mean (fun e -> e.wall_seconds))
+          (* Wall clock is the noisiest of the three; only flag a run
+             half again slower than the recent mean. *)
+          0.5

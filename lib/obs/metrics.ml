@@ -100,51 +100,95 @@ let observe h v =
     add_float h.sum v
   end
 
-(* A metric whose name ends in "_seconds" (or "_ns") measures wall
-   clock; deterministic dumps zero it the same way [Span.scrub] zeroes
-   phase timings, so reports stay byte-stable across runs. *)
-let time_based name =
+(* A metric whose name ends in "_seconds", "_ns" or "_us" measures wall
+   clock, and one ending in "_bytes" measures allocation (which varies
+   with compiler version even when the program is deterministic);
+   deterministic dumps zero both the same way [Span.scrub] zeroes phase
+   timings, so reports stay byte-stable across runs and toolchains. *)
+let scrubbed_name name =
   let suffix s = Filename.check_suffix name s in
-  suffix "_seconds" || suffix "_ns"
+  suffix "_seconds" || suffix "_ns" || suffix "_us" || suffix "_bytes"
 
-let metric_to_json ~deterministic = function
-  | Counter c ->
-      let v = if deterministic && time_based c.c_name then 0 else Atomic.get c.count in
-      (c.c_name, Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int v) ])
-  | Gauge g ->
-      let v = if deterministic && time_based g.g_name then 0.0 else Atomic.get g.cell in
-      (g.g_name, Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float v) ])
+(* Snapshot: every metric read in one pass under the registry lock, so
+   a report never shows counter A after an increment that counter B's
+   reading missed. The per-histogram fields are still read one atomic
+   at a time, but no registration or reset can interleave. *)
+type histogram_view = { count : int; sum : float; buckets : (int * int) list }
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histogram_view
+
+let read_metric = function
+  | Counter c -> (c.c_name, Counter_v (Atomic.get c.count))
+  | Gauge g -> (g.g_name, Gauge_v (Atomic.get g.cell))
   | Histogram h ->
-      let scrubbed = deterministic && time_based h.h_name in
-      let count = if scrubbed then 0 else Atomic.get h.h_count in
-      let sum = if scrubbed then 0.0 else Atomic.get h.sum in
       let buckets =
-        if scrubbed then []
-        else
-          Array.to_list h.buckets
-          |> List.mapi (fun i c -> (i, Atomic.get c))
-          |> List.filter (fun (_, c) -> c > 0)
+        Array.to_list h.buckets
+        |> List.mapi (fun i c -> (i, Atomic.get c))
+        |> List.filter (fun (_, c) -> c > 0)
       in
       ( h.h_name,
-        Json.Obj
-          [
-            ("type", Json.String "histogram");
-            ("count", Json.Int count);
-            ("sum", Json.Float sum);
-            ( "buckets",
-              Json.Obj
-                (List.map
-                   (fun (i, c) -> (string_of_int i, Json.Int c))
-                   buckets) );
-          ] )
+        Histogram_v
+          { count = Atomic.get h.h_count; sum = Atomic.get h.sum; buckets } )
 
-let to_json ?(deterministic = false) () =
+let snapshot () =
   let all =
     Mutex.protect lock (fun () ->
-        Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+        Hashtbl.fold (fun _ m acc -> read_metric m :: acc) registry [])
   in
-  let fields = List.map (metric_to_json ~deterministic) all in
-  Json.Obj (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let histogram_stats h =
+  match read_metric (Histogram h) with
+  | _, Histogram_v v -> v
+  | _ -> assert false
+
+let pp_histogram_view ppf v =
+  if v.count = 0 then Fmt.string ppf "empty"
+  else begin
+    Fmt.pf ppf "count %d, mean %.1f" v.count (v.sum /. float_of_int v.count);
+    Fmt.pf ppf ", log2 buckets [%a]"
+      Fmt.(list ~sep:sp (fun ppf (i, c) -> pf ppf "%d:%d" i c))
+      v.buckets
+  end
+
+let value_to_json ~deterministic name v =
+  let scrub = deterministic && scrubbed_name name in
+  match v with
+  | Counter_v n ->
+      Json.Obj
+        [
+          ("type", Json.String "counter");
+          ("value", Json.Int (if scrub then 0 else n));
+        ]
+  | Gauge_v x ->
+      Json.Obj
+        [
+          ("type", Json.String "gauge");
+          ("value", Json.Float (if scrub then 0.0 else x));
+        ]
+  | Histogram_v h ->
+      let count = if scrub then 0 else h.count in
+      let sum = if scrub then 0.0 else h.sum in
+      let buckets = if scrub then [] else h.buckets in
+      Json.Obj
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int count);
+          ("sum", Json.Float sum);
+          ( "buckets",
+            Json.Obj
+              (List.map (fun (i, c) -> (string_of_int i, Json.Int c)) buckets)
+          );
+        ]
+
+let to_json ?(deterministic = false) () =
+  Json.Obj
+    (List.map
+       (fun (name, v) -> (name, value_to_json ~deterministic name v))
+       (snapshot ()))
 
 let reset () =
   Mutex.protect lock (fun () ->

@@ -34,10 +34,34 @@ val observe : histogram -> float -> unit
 (** Bucket [i] counts observations in [2^(i-1), 2^i) (bucket 0 holds
     everything below 1.0); count and sum are kept exactly. *)
 
+type histogram_view = { count : int; sum : float; buckets : (int * int) list }
+(** [buckets] holds only the non-empty log2 buckets, as
+    [(bucket index, count)] in ascending index order. *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histogram_view
+
+val snapshot : unit -> (string * value) list
+(** Every registered metric read in one pass under the registry lock,
+    sorted by name — the one way to read multiple metrics without a
+    concurrent registration or {!reset} interleaving between reads.
+    Reports (including the profiler's) are built from this. *)
+
+val histogram_stats : histogram -> histogram_view
+(** Current count, sum, and non-empty buckets of one histogram. *)
+
+val pp_histogram_view : histogram_view Fmt.t
+(** ["count N, mean M, log2 buckets [i:c ...]"] — the driver pool
+    summary's rendering. *)
+
 val to_json : ?deterministic:bool -> unit -> Json.t
 (** Every registered metric, sorted by name. With [deterministic], any
-    metric whose name ends in ["_seconds"] or ["_ns"] is zeroed — the
-    registry's equivalent of [Span.scrub]. *)
+    metric whose name ends in ["_seconds"], ["_ns"], ["_us"] or
+    ["_bytes"] is zeroed — the registry's equivalent of [Span.scrub]
+    (allocation counts are deterministic per binary but vary across
+    compiler versions, so they scrub too). *)
 
 val reset : unit -> unit
 (** Zero every registered metric (the registry keeps its names). Used

@@ -1,15 +1,34 @@
-type finding = { path : string; baseline : float; current : float }
+type kind = Cycles | Alloc
 
+let pp_kind ppf = function
+  | Cycles -> Fmt.string ppf "cycles"
+  | Alloc -> Fmt.string ppf "alloc"
+
+type finding = {
+  path : string;
+  kind : kind;
+  baseline : float;
+  current : float;
+}
+
+(* Guarded against the degenerate baselines that used to poison the
+   ratio: a zero baseline yields [infinity] only when the current value
+   actually grew, and a NaN anywhere yields [nan] (the walk never
+   produces findings from NaN inputs — they land in [invalid]). *)
 let ratio f =
-  if f.baseline <> 0.0 then f.current /. f.baseline
+  if Float.is_nan f.baseline || Float.is_nan f.current then Float.nan
+  else if f.baseline <> 0.0 then f.current /. f.baseline
   else if f.current = 0.0 then 1.0
   else infinity
+
+let delta f = f.current -. f.baseline
 
 type outcome = {
   compared : int;
   regressions : finding list;
   improvements : finding list;
   missing : string list;
+  invalid : string list;
 }
 
 let is_cycle_key k =
@@ -18,20 +37,40 @@ let is_cycle_key k =
   || (String.length k > 7
      && String.equal (String.sub k (String.length k - 7) 7) "_cycles")
 
+(* Allocation metrics ride the same walk: any field named
+   [alloc_bytes]/[allocated_bytes] or ending in [_bytes] opens an
+   allocation subtree, compared with its own (looser) tolerance and an
+   absolute noise floor — byte counts are deterministic for one binary
+   but drift with compiler versions, and tiny phases must not gate on
+   ratio alone. *)
+let is_alloc_key k =
+  String.equal k "alloc_bytes"
+  || String.equal k "allocated_bytes"
+  || (String.length k > 6
+     && String.equal (String.sub k (String.length k - 6) 6) "_bytes")
+
+let key_kind k =
+  if is_cycle_key k then Some Cycles
+  else if is_alloc_key k then Some Alloc
+  else None
+
 let number = function
   | Json.Int n -> Some (float_of_int n)
   | Json.Float f -> Some f
   | Json.Null | Json.Bool _ | Json.String _ | Json.List _ | Json.Obj _ -> None
 
-(* Does this baseline subtree hold any cycle metric? Decides whether a
+(* Does this baseline subtree hold any gated metric? Decides whether a
    key missing from the current report matters to the gate. *)
-let rec bears_cycles in_cycles = function
-  | (Json.Int _ | Json.Float _) as j -> in_cycles && number j <> None
+let rec bears_metric in_metric = function
+  | (Json.Int _ | Json.Float _) as j -> in_metric <> None && number j <> None
   | Json.Obj fields ->
       List.exists
-        (fun (k, v) -> bears_cycles (in_cycles || is_cycle_key k) v)
+        (fun (k, v) ->
+          bears_metric
+            (match in_metric with Some _ as m -> m | None -> key_kind k)
+            v)
         fields
-  | Json.List items -> List.exists (bears_cycles in_cycles) items
+  | Json.List items -> List.exists (bears_metric in_metric) items
   | Json.Null | Json.Bool _ | Json.String _ -> false
 
 type state = {
@@ -39,75 +78,110 @@ type state = {
   mutable regs : finding list;
   mutable imps : finding list;
   mutable miss : string list;
+  mutable inv : string list;
 }
 
-let check ?(tolerance = 0.02) ~baseline ~current () =
-  let st = { n = 0; regs = []; imps = []; miss = [] } in
-  let lost path b in_cycles =
-    if bears_cycles in_cycles b then st.miss <- path :: st.miss
+let check ?(tolerance = 0.02) ?(alloc_tolerance = 0.5)
+    ?(alloc_floor_bytes = 65536.0) ~baseline ~current () =
+  let st = { n = 0; regs = []; imps = []; miss = []; inv = [] } in
+  let lost path b in_metric =
+    if bears_metric in_metric b then st.miss <- path :: st.miss
   in
-  let rec walk path in_cycles b c =
+  let worse kind bv cv =
+    match kind with
+    | Cycles ->
+        if bv = 0.0 then cv > 0.0 (* zero baseline: compare absolutely *)
+        else cv > bv *. (1.0 +. tolerance)
+    | Alloc ->
+        (* Both the ratio and the absolute floor must be exceeded: a
+           4 kB phase doubling is noise, a 40 MB pipeline doubling is a
+           regression. A zero baseline falls back to the floor alone. *)
+        let ratio_worse =
+          if bv = 0.0 then cv > 0.0 else cv > bv *. (1.0 +. alloc_tolerance)
+        in
+        ratio_worse && cv -. bv > alloc_floor_bytes
+  in
+  let rec walk path in_metric b c =
     match (b, c) with
-    | (Json.Int _ | Json.Float _), _ when in_cycles -> (
+    | (Json.Int _ | Json.Float _), _ when in_metric <> None -> (
+        let kind = Option.get in_metric in
         match (number b, number c) with
         | Some bv, Some cv ->
-            st.n <- st.n + 1;
-            let f = { path; baseline = bv; current = cv } in
-            if cv > bv *. (1.0 +. tolerance) then st.regs <- f :: st.regs
-            else if cv < bv then st.imps <- f :: st.imps
+            if Float.is_nan bv || Float.is_nan cv then
+              (* NaN compares false with everything; without this guard
+                 a NaN baseline silently waves every current value
+                 through (and vice versa). *)
+              st.inv <- path :: st.inv
+            else begin
+              st.n <- st.n + 1;
+              let f = { path; kind; baseline = bv; current = cv } in
+              if worse kind bv cv then st.regs <- f :: st.regs
+              else if cv < bv then st.imps <- f :: st.imps
+            end
         | Some _, None -> st.miss <- path :: st.miss
         | None, _ -> ())
     | Json.Obj bf, Json.Obj cf ->
         List.iter
           (fun (k, bv) ->
             let kpath = if path = "" then k else path ^ "." ^ k in
-            let inc = in_cycles || is_cycle_key k in
+            let inm =
+              match in_metric with Some _ as m -> m | None -> key_kind k
+            in
             match List.assoc_opt k cf with
-            | Some cv -> walk kpath inc bv cv
-            | None -> lost kpath bv inc)
+            | Some cv -> walk kpath inm bv cv
+            | None -> lost kpath bv inm)
           bf
     | Json.List bl, Json.List cl ->
         List.iteri
           (fun i bv ->
             let ipath = Fmt.str "%s[%d]" path i in
             match List.nth_opt cl i with
-            | Some cv -> walk ipath in_cycles bv cv
-            | None -> lost ipath bv in_cycles)
+            | Some cv -> walk ipath in_metric bv cv
+            | None -> lost ipath bv in_metric)
           bl
-    | b, _ -> lost path b in_cycles
+    | b, _ -> lost path b in_metric
   in
-  walk "" false baseline current;
+  walk "" None baseline current;
   {
     compared = st.n;
     regressions = List.rev st.regs;
     improvements = List.rev st.imps;
     missing = List.rev st.miss;
+    invalid = List.rev st.inv;
   }
 
-let ok o = o.regressions = [] && o.missing = []
+let ok o = o.regressions = [] && o.missing = [] && o.invalid = []
 
+(* A zero or degenerate baseline has no meaningful ratio; print the
+   absolute delta instead so the failure message stays informative. *)
 let pp_pct ppf f =
-  if ratio f = infinity then Fmt.string ppf "from 0"
-  else Fmt.pf ppf "%+.1f%%" (100.0 *. (ratio f -. 1.0))
+  let r = ratio f in
+  if Float.is_nan r then Fmt.string ppf "NaN"
+  else if r = infinity then Fmt.pf ppf "%+g absolute (baseline 0)" (delta f)
+  else Fmt.pf ppf "%+.1f%% (%+g)" (100.0 *. (r -. 1.0)) (delta f)
 
 let pp ppf o =
   Fmt.pf ppf
-    "regression check: %d cycle metric(s) compared, %d regression(s), %d \
-     improvement(s), %d missing@."
+    "regression check: %d metric(s) compared, %d regression(s), %d \
+     improvement(s), %d missing, %d invalid@."
     o.compared
     (List.length o.regressions)
     (List.length o.improvements)
-    (List.length o.missing);
+    (List.length o.missing)
+    (List.length o.invalid);
   List.iter
     (fun f ->
-      Fmt.pf ppf "  REGRESSION %s: %g -> %g (%a)@." f.path f.baseline f.current
-        pp_pct f)
+      Fmt.pf ppf "  REGRESSION [%a] %s: %g -> %g (%a)@." pp_kind f.kind f.path
+        f.baseline f.current pp_pct f)
     o.regressions;
   List.iter
     (fun p -> Fmt.pf ppf "  MISSING %s (in baseline, not in current)@." p)
     o.missing;
   List.iter
+    (fun p -> Fmt.pf ppf "  INVALID %s (NaN baseline or current)@." p)
+    o.invalid;
+  List.iter
     (fun f ->
-      Fmt.pf ppf "  improved %s: %g -> %g (%a)@." f.path f.baseline f.current
-        pp_pct f)
+      Fmt.pf ppf "  improved [%a] %s: %g -> %g (%a)@." pp_kind f.kind f.path
+        f.baseline f.current pp_pct f)
     o.improvements
