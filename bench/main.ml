@@ -437,6 +437,54 @@ let variant_json (cycles, moves, renames) =
       ("renames", Json.Int renames);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* M1: machine-model sweep                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's closing remark anticipates "even bigger payoffs in
+   machines with a larger number of computational units": absolute
+   cycles per workload at every level and issue width (the promoted
+   examples/machine_sweep table). Unlike A1's relative-improvement
+   percentages, these are absolute [_cycles] metrics, so the
+   --baseline --check regression gate covers every cell. *)
+let bench_machine_sweep () =
+  hr "M1: machine sweep (absolute cycles by issue width, all levels)";
+  let widths = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun (name, (cfg0, input)) ->
+        Fmt.pr "  %s:@." name;
+        Fmt.pr "    width |    base |  useful |    spec | spec RTI@.";
+        let cells =
+          List.map
+            (fun width ->
+              let machine = Machine.superscalar ~width in
+              let cycles config =
+                let cfg = Cfg.deep_copy cfg0 in
+                ignore (Pipeline.run machine config cfg);
+                (Simulator.run machine cfg input).Simulator.cycles
+              in
+              let base = cycles Config.base in
+              let useful = cycles Config.useful_only in
+              let spec = cycles Config.speculative in
+              Fmt.pr "    %5d | %7d | %7d | %7d | %7.1f%%@." width base
+                useful spec
+                (100.0 *. (1.0 -. (float_of_int spec /. float_of_int base)));
+              ( string_of_int width,
+                Json.Obj
+                  [
+                    ("base_cycles", Json.Int base);
+                    ("useful_cycles", Json.Int useful);
+                    ("speculative_cycles", Json.Int spec);
+                  ] ))
+            widths
+        in
+        Json.Obj
+          [ ("program", Json.String name); ("by_width", Json.Obj cells) ])
+      (proxy_programs ())
+  in
+  Json.List rows
+
 let bench_webs () =
   hr "A4: register-web splitting (Section 4.2 renaming pre-pass)";
   Fmt.pr "  %-10s | webs off: cyc/moves/renames | webs on: cyc/moves/renames@."
@@ -988,6 +1036,7 @@ let () =
   let a6 = bench_profile_guided () in
   let a7 = bench_two_model () in
   let a8 = bench_duplication () in
+  let m1 = bench_machine_sweep () in
   let r1 = bench_regalloc () in
   (* P2 must run before P1 spawns worker domains: [Gc.allocated_bytes]
      folds a terminated domain's counters into the survivors at an
@@ -1015,6 +1064,7 @@ let () =
         ("A6_profile_guided", a6);
         ("A7_two_model", a7);
         ("A8_duplication", a8);
+        ("M1_cycles_vs_width", m1);
         ("R1_register_allocation", r1);
         ("P1_parallel_batch", p1);
         ("P2_self_profile", p2);

@@ -825,6 +825,43 @@ let explain_json_arg =
               motion-kind counts, per-block cycle attribution) as JSON to \
               $(docv).")
 
+(* `gisc fuzz`: the differential fuzzing campaign. Each seed in the
+   window denotes one random Tiny-C program + input; its observable
+   trace must survive every (level x regalloc x machine) cell of the
+   matrix, with the static legality checker hooked into every pipeline
+   run. Findings are shrunk to minimal reproducers and written to the
+   corpus directory. Exit 6 when the campaign found anything. *)
+let run_fuzz seeds start corpus max_findings shrink_fuel jobs json_file
+    verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  if seeds <= 0 then begin
+    Fmt.epr "gisc fuzz: --seeds must be positive@.";
+    exit Exit.usage_error
+  end;
+  let report =
+    Gis_fuzz.Fuzz.campaign ~max_findings ~shrink_fuel ~jobs
+      ~log:(fun line -> Fmt.pr "FINDING %s@." line)
+      ~start ~seeds ()
+  in
+  Option.iter
+    (fun path -> write_json path (Gis_fuzz.Fuzz.report_to_json report))
+    json_file;
+  match report.Gis_fuzz.Fuzz.findings with
+  | [] ->
+      Fmt.pr "fuzz: %d seeds x %d cells, no findings@."
+        report.Gis_fuzz.Fuzz.seeds_run report.Gis_fuzz.Fuzz.cells_per_seed
+  | findings ->
+      let paths = Gis_fuzz.Corpus.write_all ~dir:corpus findings in
+      List.iter (fun p -> Fmt.pr "reproducer written to %s@." p) paths;
+      Fmt.pr "fuzz: %d seeds x %d cells, %d finding%s@."
+        report.Gis_fuzz.Fuzz.seeds_run report.Gis_fuzz.Fuzz.cells_per_seed
+        (List.length findings)
+        (if List.length findings = 1 then "" else "s");
+      exit Exit.fuzz_finding
+
 let main_term =
   Term.(
     const run_gisc $ source_arg $ batch_arg $ jobs_arg $ level_arg
@@ -918,6 +955,69 @@ let check_cmd =
       $ pressure_aware_arg $ regs_arg $ check_json_arg $ deterministic_arg
       $ verbose_arg)
 
+let fuzz_seeds_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"Number of consecutive seeds to fuzz.")
+
+let fuzz_start_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "start" ] ~docv:"N"
+        ~doc:"First seed of the window (campaigns are deterministic in \
+              the window, so disjoint windows explore disjoint programs).")
+
+let fuzz_corpus_arg =
+  Arg.(
+    value & opt string "fuzz-corpus"
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"Directory shrunk reproducers are written to (created if \
+              missing). Each finding becomes one runnable Tiny-C file \
+              with its provenance in a comment header.")
+
+let fuzz_max_findings_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "max-findings" ] ~docv:"N"
+        ~doc:"Stop the campaign after $(docv) findings.")
+
+let fuzz_shrink_fuel_arg =
+  Arg.(
+    value & opt int Gis_fuzz.Shrink.default_fuel
+    & info [ "shrink-fuel" ] ~docv:"N"
+        ~doc:"Budget of candidate evaluations per shrink.")
+
+let fuzz_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Detect $(docv) seeds concurrently on separate domains. \
+              Findings are identical at any job count.")
+
+let fuzz_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the campaign report (seeds run, matrix size, every \
+              finding with its shrunk program) as JSON to $(docv).")
+
+let fuzz_cmd =
+  let doc =
+    "differential fuzzing: random Tiny-C programs through every \
+     level/regalloc/machine cell of a parametric matrix, each schedule \
+     statically checked and its observable trace compared against the \
+     unscheduled reference; findings are delta-debugged to minimal \
+     reproducers in the corpus directory (exit 6 if any)"
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run_fuzz $ fuzz_seeds_arg $ fuzz_start_arg $ fuzz_corpus_arg
+      $ fuzz_max_findings_arg $ fuzz_shrink_fuel_arg $ fuzz_jobs_arg
+      $ fuzz_json_arg $ verbose_arg)
+
 let cmd =
   let doc =
     "global instruction scheduling for superscalar machines (Bernstein & \
@@ -925,6 +1025,6 @@ let cmd =
   in
   Cmd.group ~default:main_term
     (Cmd.info "gisc" ~version:"1.0.0" ~doc)
-    [ explain_cmd; check_cmd; profile_cmd ]
+    [ explain_cmd; check_cmd; profile_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -129,10 +129,18 @@ let finalize ~nodes ~mem_access ~exec ~by_view_node edges =
   Array.iter (fun nd -> Hashtbl.replace of_uid nd.uid nd.idx) nodes;
   { nodes; succs; preds; exec; of_uid; by_view_node; mem_access }
 
+(* Fault-injection hook for the differential fuzzer's self-test: when
+   set, every memory dependence edge is silently dropped, so stores and
+   loads reorder freely — the classic alias-analysis bug class. All
+   edges funnel through [make_edge_table]'s [add_edge], so gating here
+   covers both the region builder and the single-block builder. Never
+   set outside tests. *)
+let drop_mem_edges_for_testing = ref false
+
 let make_edge_table () =
   let edges = Hashtbl.create 256 in
   let add_edge src dst kind reg delay =
-    if src = dst then ()
+    if src = dst || (!drop_mem_edges_for_testing && kind = Mem) then ()
     else
       match Hashtbl.find_opt edges (src, dst) with
       | Some (e : edge) when e.delay >= delay -> ()

@@ -75,4 +75,10 @@ val is_acyclic : t -> bool
 
 val iter_edges : (edge -> unit) -> t -> unit
 
+val drop_mem_edges_for_testing : bool ref
+(** Fault injection for the fuzzer's self-test ONLY: while [true], the
+    builders omit every memory dependence edge, letting the scheduler
+    reorder conflicting stores and loads. [false] by default; tests that
+    set it must restore it ([Fun.protect]). *)
+
 val pp : t Fmt.t

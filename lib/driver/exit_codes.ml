@@ -7,6 +7,7 @@ let usage_error = 2
 let verification_failure = 3
 let batch_partial_failure = 4
 let batch_timeout_only = 5
+let fuzz_finding = 6
 
 let describe = function
   | 0 -> "success"
@@ -15,6 +16,7 @@ let describe = function
   | 3 -> "verification or schedule-legality failure"
   | 4 -> "batch run with at least one failing program"
   | 5 -> "batch run whose only failures were timeouts"
+  | 6 -> "fuzzing campaign produced at least one finding"
   | _ -> "unknown"
 
 let all =
@@ -25,4 +27,5 @@ let all =
     verification_failure;
     batch_partial_failure;
     batch_timeout_only;
+    fuzz_finding;
   ]

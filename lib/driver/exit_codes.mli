@@ -17,6 +17,10 @@ val batch_partial_failure : int  (** 4 — batch run, ≥1 program failed *)
 
 val batch_timeout_only : int  (** 5 — batch run, only timeouts failed *)
 
+val fuzz_finding : int
+(** 6 — [gisc fuzz] found at least one divergence, checker error, or
+    crash; reproducers are in the corpus directory *)
+
 val describe : int -> string
 (** Human-readable meaning of a code; ["unknown"] otherwise. *)
 

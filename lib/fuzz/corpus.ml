@@ -1,0 +1,51 @@
+(* Reproducer files: each finding becomes one runnable Tiny-C source in
+   the corpus directory, with the provenance (seed, cell, failure class,
+   divergence summary, shrink ratio) in a `//` comment header the lexer
+   skips — so `gisc <file> --simulate` or `gisc check <file>` replays it
+   directly. *)
+
+let comment_lines tag text =
+  match String.split_on_char '\n' text with
+  | [] -> []
+  | first :: rest ->
+      Fmt.str "// %s: %s" tag first
+      :: List.map (fun l -> Fmt.str "//   %s" l) rest
+
+let header (f : Fuzz.finding) =
+  let kind_detail =
+    match f.kind with
+    | Fuzz.Divergence { expected; got } ->
+        comment_lines "expected" expected @ comment_lines "got" got
+    | Fuzz.Check_failure msgs ->
+        List.concat_map (comment_lines "check") msgs
+    | Fuzz.Crash msg -> comment_lines "crash" msg
+  in
+  [
+    "// gisc fuzz reproducer";
+    Fmt.str "// seed: %d" f.seed;
+    Fmt.str "// cell: %a" Fuzz.pp_cell f.cell;
+    Fmt.str "// failure: %s" (Fuzz.kind_label f.kind);
+    Fmt.str "// statements: %d generated, %d after shrinking"
+      (Shrink.stmt_count f.program)
+      (Shrink.stmt_count f.shrunk);
+  ]
+  @ kind_detail
+
+let file_name (f : Fuzz.finding) =
+  Fmt.str "seed%d_%s.tc" f.seed (Fuzz.cell_name f.cell)
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let write ~dir (f : Fuzz.finding) =
+  ensure_dir dir;
+  let path = Filename.concat dir (file_name f) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun l -> output_string oc (l ^ "\n")) (header f);
+      output_string oc
+        (Fmt.str "%a@." Gis_frontend.Ast.pp_program f.shrunk));
+  path
+
+let write_all ~dir findings = List.map (fun f -> write ~dir f) findings

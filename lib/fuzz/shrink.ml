@@ -1,0 +1,190 @@
+open Gis_frontend.Ast
+
+(* Delta debugging over the Tiny-C AST. [candidates] proposes one-step
+   reductions in a fixed order; [shrink] greedily takes the first
+   candidate that still satisfies the predicate and restarts. Everything
+   is pure and draws no randomness, so shrinking is deterministic in
+   (program, predicate).
+
+   Termination: every candidate strictly decreases the measure
+   (node count, then total literal magnitude) — statement and expression
+   replacements shed at least one node, and literal halving keeps the
+   node count while shrinking the magnitude. [shrink] also carries a
+   fuel bound as a backstop. *)
+
+let rec expr_size = function
+  | Int _ | Var _ -> 1
+  | Index (_, e) | Neg e -> 1 + expr_size e
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+
+let rec cond_size = function
+  | Rel (_, a, b) -> 1 + expr_size a + expr_size b
+  | Not c -> 1 + cond_size c
+  | And_also (a, b) | Or_else (a, b) -> 1 + cond_size a + cond_size b
+
+let rec stmt_size = function
+  | Assign (_, e) | Print e -> 1 + expr_size e
+  | Store (_, i, e) -> 1 + expr_size i + expr_size e
+  | If (c, t, e) -> 1 + cond_size c + stmts_size t + stmts_size e
+  | While (c, b) | Do_while (b, c) -> 1 + cond_size c + stmts_size b
+  | For (i, c, s, b) ->
+      1
+      + (match i with Some s -> stmt_size s | None -> 0)
+      + (match c with Some c -> cond_size c | None -> 0)
+      + (match s with Some s -> stmt_size s | None -> 0)
+      + stmts_size b
+  | Block b -> 1 + stmts_size b
+
+and stmts_size b = List.fold_left (fun acc s -> acc + stmt_size s) 0 b
+
+let size p = stmts_size p.body + List.length p.decls
+
+let rec count_stmts_in = function
+  | Assign _ | Store _ | Print _ -> 1
+  | If (_, t, e) -> 1 + count_stmts t + count_stmts e
+  | While (_, b) | Do_while (b, _) -> 1 + count_stmts b
+  | For (i, _, s, b) ->
+      1
+      + (match i with Some s -> count_stmts_in s | None -> 0)
+      + (match s with Some s -> count_stmts_in s | None -> 0)
+      + count_stmts b
+  | Block b -> 1 + count_stmts b
+
+and count_stmts b = List.fold_left (fun acc s -> acc + count_stmts_in s) 0 b
+
+let stmt_count p = count_stmts p.body
+
+(* [at_each xs f] rebuilds [xs] once per element with that element
+   replaced by each of [f x]'s proposals (element-local edits, list
+   structure kept). *)
+let at_each xs f =
+  let rec go before = function
+    | [] -> []
+    | x :: after ->
+        List.map (fun x' -> List.rev_append before (x' :: after)) (f x)
+        @ go (x :: before) after
+  in
+  go [] xs
+
+(* Remove one element at a time. *)
+let drop_each xs =
+  let rec go before = function
+    | [] -> []
+    | x :: after -> List.rev_append before after :: go (x :: before) after
+  in
+  go [] xs
+
+let rec expr_candidates e =
+  let atoms =
+    match e with
+    | Int 0 -> []
+    | Int 1 -> [ Int 0 ]
+    | _ -> [ Int 0; Int 1 ]
+  in
+  let structural =
+    match e with
+    | Int n when n > 16 || n < -16 -> [ Int (n / 2) ]
+    | Int _ | Var _ -> []
+    | Neg e -> e :: List.map (fun e' -> Neg e') (expr_candidates e)
+    | Index (a, i) -> i :: List.map (fun i' -> Index (a, i')) (expr_candidates i)
+    | Binop (op, a, b) ->
+        [ a; b ]
+        @ List.map (fun a' -> Binop (op, a', b)) (expr_candidates a)
+        @ List.map (fun b' -> Binop (op, a, b')) (expr_candidates b)
+  in
+  atoms @ structural
+
+let rec cond_candidates c =
+  match c with
+  | Rel (op, a, b) ->
+      List.map (fun a' -> Rel (op, a', b)) (expr_candidates a)
+      @ List.map (fun b' -> Rel (op, a, b')) (expr_candidates b)
+  | Not c -> c :: List.map (fun c' -> Not c') (cond_candidates c)
+  | And_also (a, b) | Or_else (a, b) ->
+      [ a; b ]
+      @ List.map
+          (fun a' ->
+            match c with
+            | And_also _ -> And_also (a', b)
+            | _ -> Or_else (a', b))
+          (cond_candidates a)
+      @ List.map
+          (fun b' ->
+            match c with
+            | And_also _ -> And_also (a, b')
+            | _ -> Or_else (a, b'))
+          (cond_candidates b)
+
+(* One-step reductions of a single statement, coarsest first: replacing
+   a compound with (a block of) its body sheds the most nodes, so the
+   greedy loop tries it before fine-grained expression edits. *)
+let rec stmt_candidates s =
+  match s with
+  | Assign (v, e) -> List.map (fun e' -> Assign (v, e')) (expr_candidates e)
+  | Print e -> List.map (fun e' -> Print e') (expr_candidates e)
+  | Store (a, i, e) ->
+      List.map (fun i' -> Store (a, i', e)) (expr_candidates i)
+      @ List.map (fun e' -> Store (a, i, e')) (expr_candidates e)
+  | If (c, t, e) ->
+      [ Block t ]
+      @ (if e <> [] then [ Block e; If (c, t, []) ] else [])
+      @ List.map (fun t' -> If (c, t', e)) (stmts_candidates t)
+      @ List.map (fun e' -> If (c, t, e')) (stmts_candidates e)
+      @ List.map (fun c' -> If (c', t, e)) (cond_candidates c)
+  | While (c, b) ->
+      [ Block b ]
+      @ List.map (fun b' -> While (c, b')) (stmts_candidates b)
+      @ List.map (fun c' -> While (c', b)) (cond_candidates c)
+  | Do_while (b, c) ->
+      [ Block b ]
+      @ List.map (fun b' -> Do_while (b', c)) (stmts_candidates b)
+      @ List.map (fun c' -> Do_while (b, c')) (cond_candidates c)
+  | For (i, c, st, b) ->
+      [ Block (Option.to_list i @ b @ Option.to_list st) ]
+      @ (if i <> None then [ For (None, c, st, b) ] else [])
+      @ (if c <> None then [ For (i, None, st, b) ] else [])
+      @ (if st <> None then [ For (i, c, None, b) ] else [])
+      @ List.map (fun b' -> For (i, c, st, b')) (stmts_candidates b)
+  | Block [ s ] -> [ s ]
+  | Block b -> List.map (fun b' -> Block b') (stmts_candidates b)
+
+(* Reductions of a statement list: drop one statement, unwrap a block
+   into its parent, or edit one statement in place. *)
+and stmts_candidates b =
+  drop_each b
+  @ List.concat_map
+      (fun (i, s) ->
+        match s with
+        | Block inner ->
+            let before = List.filteri (fun j _ -> j < i) b in
+            let after = List.filteri (fun j _ -> j > i) b in
+            [ before @ inner @ after ]
+        | _ -> [])
+      (List.mapi (fun i s -> (i, s)) b)
+  @ at_each b stmt_candidates
+
+let candidates p =
+  List.map (fun body -> { p with body }) (stmts_candidates p.body)
+  @ List.map (fun decls -> { p with decls }) (drop_each p.decls)
+
+let default_fuel = 10_000
+
+let shrink ?(fuel = default_fuel) ?(on_step = fun _ -> ()) ~pred p =
+  let fuel = ref fuel in
+  let rec go p =
+    let rec first = function
+      | [] -> p
+      | c :: rest ->
+          if !fuel <= 0 then p
+          else begin
+            decr fuel;
+            if pred c then begin
+              on_step c;
+              go c
+            end
+            else first rest
+          end
+    in
+    first (candidates p)
+  in
+  go p

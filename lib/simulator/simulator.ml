@@ -206,6 +206,16 @@ let issue st i =
   if Instr.is_call i then st.last_call <- Some (i, fin);
   st.executed <- st.executed + 1
 
+(* Fault-injection hook for the differential fuzzer's self-test: while
+   set, additions executed on a machine with more than two fixed-point
+   units are off by one. The corruption is machine-dependent on purpose
+   — the fuzzer compares one seed's observable trace across a machine
+   matrix against a narrow reference machine, and only a
+   machine-dependent bug distinguishes those cells (a uniform semantic
+   bug would corrupt the reference identically and cancel out). Never
+   set outside tests. *)
+let corrupt_wide_add_for_testing = ref false
+
 (* Execute the instruction's semantics; returns the label to jump to
    when it is a taken branch terminator. *)
 let execute st i =
@@ -237,7 +247,16 @@ let execute st i =
       | Reg.Gpr | Reg.Cr -> write_int st dst (read_int st src));
       None
   | Instr.Binop { op; dst; lhs; rhs } ->
-      write_int st dst (binop_value op (read_int st lhs) (operand_value st rhs));
+      let v = binop_value op (read_int st lhs) (operand_value st rhs) in
+      let v =
+        if
+          !corrupt_wide_add_for_testing
+          && op = Instr.Add
+          && Machine.units st.machine Instr.Fixed > 2
+        then v + 1
+        else v
+      in
+      write_int st dst v;
       None
   | Instr.Fbinop { op; dst; lhs; rhs } ->
       write_float st dst (fbinop_value op (read_float st lhs) (read_float st rhs));

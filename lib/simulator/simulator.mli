@@ -75,6 +75,13 @@ val observables : outcome -> string
     stop reason, output trace and final memories (registers excluded —
     renaming may legitimately change them). *)
 
+val corrupt_wide_add_for_testing : bool ref
+(** Fault injection for the fuzzer's self-test ONLY: while [true],
+    integer additions come out off by one on machines with more than
+    two fixed-point units (machine-dependent on purpose, so the
+    fuzzer's cross-machine trace comparison is what catches it).
+    [false] by default; tests that set it must restore it. *)
+
 val cycles_per_iteration :
   ?fuel:int ->
   Gis_machine.Machine.t ->

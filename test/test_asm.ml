@@ -1,9 +1,9 @@
 open Gis_ir
-open Gis_machine
 open Gis_sim
 open Gis_workloads
 
-let machine = Machine.rs6k
+let machine = Test_support.machine
+let observe = Test_support.observe
 
 let test_roundtrip_minmax () =
   let t = Minmax.build () in
@@ -14,8 +14,8 @@ let test_roundtrip_minmax () =
   (* Registers keep their ids, so the same simulator input applies. *)
   let input = Minmax.input t [ 8; 2; 9; 4; 6; 1 ] in
   Alcotest.(check string) "same behaviour"
-    (Simulator.observables (Simulator.run machine t.Minmax.cfg input))
-    (Simulator.observables (Simulator.run machine reparsed input))
+    (observe t.Minmax.cfg input)
+    (observe reparsed input)
 
 let test_roundtrip_random () =
   List.iter
@@ -30,8 +30,8 @@ let test_roundtrip_random () =
       let input = Random_prog.random_input ~seed compiled in
       Alcotest.(check string)
         (Fmt.str "behaviour seed %d" seed)
-        (Simulator.observables (Simulator.run machine cfg input))
-        (Simulator.observables (Simulator.run machine reparsed input)))
+        (observe cfg input)
+        (observe reparsed input))
     [ 2; 44; 171; 508; 999 ]
 
 (* A scheduled, rotated graph exercises the explicit-fallthrough
@@ -45,8 +45,8 @@ let test_roundtrip_scheduled () =
   Alcotest.(check string) "fixpoint" printed (Asm.print reparsed);
   let input = Minmax.input t [ 5; 4; 3; 2; 1; 0 ] in
   Alcotest.(check string) "behaviour"
-    (Simulator.observables (Simulator.run machine cfg input))
-    (Simulator.observables (Simulator.run machine reparsed input))
+    (observe cfg input)
+    (observe reparsed input)
 
 (* Hand-written text in the paper's Figure 2 notation. *)
 let test_parse_handwritten () =

@@ -234,13 +234,14 @@ let test_lint_detached_target () =
 
 let test_exit_codes () =
   let module E = Gis_driver.Exit_codes in
-  Alcotest.(check (list int)) "table" [ 0; 1; 2; 3; 4; 5 ] E.all;
+  Alcotest.(check (list int)) "table" [ 0; 1; 2; 3; 4; 5; 6 ] E.all;
   Alcotest.(check int) "ok" 0 E.ok;
   Alcotest.(check int) "compile" 1 E.compile_error;
   Alcotest.(check int) "usage" 2 E.usage_error;
   Alcotest.(check int) "verification" 3 E.verification_failure;
   Alcotest.(check int) "batch partial" 4 E.batch_partial_failure;
   Alcotest.(check int) "batch timeout" 5 E.batch_timeout_only;
+  Alcotest.(check int) "fuzz finding" 6 E.fuzz_finding;
   List.iter
     (fun c ->
       Alcotest.(check bool)

@@ -12,7 +12,6 @@
      must be enforced. *)
 
 open Gis_ir
-open Gis_machine
 open Gis_core
 open Gis_sim
 open Gis_frontend
@@ -20,7 +19,7 @@ open Gis_workloads
 open Gis_driver
 open Gis_driver.Driver
 
-let machine = Machine.rs6k
+let machine = Test_support.machine
 
 let parallel_jobs =
   (* CI runs the suite with GIS_TEST_JOBS=4; default stays multi-domain
@@ -55,29 +54,9 @@ let golden =
     ("gcc", `Speculative, 11639, 12012, 4, 3, 0);
   ]
 
-let config_of_level = function
-  | `Local -> Config.base
-  | `Useful -> Config.useful_only
-  | `Speculative -> Config.speculative
-
-let level_name = function
-  | `Local -> "local"
-  | `Useful -> "useful"
-  | `Speculative -> "speculative"
-
-let minmax_elements =
-  let rng = Prng.create ~seed:5 in
-  List.init 64 (fun _ -> Prng.int rng 1000)
-
-let standard_programs () =
-  ("minmax",
-   (let t = Minmax.build () in
-    (t.Minmax.cfg, Minmax.input t minmax_elements)))
-  :: List.map
-       (fun (p : Spec_proxy.t) ->
-         let compiled = Spec_proxy.compile p in
-         (p.Spec_proxy.name, (compiled.Codegen.cfg, p.Spec_proxy.setup compiled)))
-       Spec_proxy.all
+let config_of_level = Test_support.config_of_level
+let level_name = Test_support.level_name
+let standard_programs = Test_support.standard_programs
 
 let test_golden_schedules () =
   let programs = standard_programs () in

@@ -1,0 +1,204 @@
+(* The differential fuzzer, tested from both ends:
+
+   - the generator's retry loop is deterministic and advances by the
+     documented stride when a candidate fails to compile;
+   - every *accepted* shrink step is a valid Tiny-C program that still
+     satisfies the predicate, and shrinking is a pure function of
+     (program, predicate);
+   - an injected compiler bug (dropped memory DDG edges) and an
+     injected simulator bug (wide-machine add corruption) are each
+     caught by a campaign within a small seed window and shrunk to a
+     compact reproducer — the end-to-end proof that the oracle has
+     teeth;
+   - a small honest window produces no findings. *)
+
+open Gis_ir
+open Gis_frontend
+open Gis_workloads
+open Gis_fuzz
+
+(* ------------------------------------------------------------------ *)
+(* Generator retry loop                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pp_prog p = Fmt.str "%a" Ast.pp_program p
+
+let test_retry_stride () =
+  let params = Random_prog.default in
+  let seed = 42 in
+  let calls = ref 0 in
+  (* Reject the first candidate; accept (as-is) every later one. *)
+  let compile prog =
+    incr calls;
+    if !calls = 1 then Error "injected failure" else Ok prog
+  in
+  let got = Random_prog.generate_compiled_via ~compile params ~seed in
+  let expected =
+    Random_prog.generate_with params
+      ~seed:(seed + Random_prog.retry_stride)
+  in
+  Alcotest.(check int) "exactly two attempts" 2 !calls;
+  Alcotest.(check string) "retry advances by the documented stride"
+    (pp_prog expected) (pp_prog got)
+
+let test_retry_deterministic () =
+  let params = Random_prog.hardened in
+  let gen () =
+    let calls = ref 0 in
+    let compile prog =
+      incr calls;
+      if !calls <= 2 then Error "injected" else Ok prog
+    in
+    pp_prog (Random_prog.generate_compiled_via ~compile params ~seed:7)
+  in
+  Alcotest.(check string) "same program on re-run" (gen ()) (gen ())
+
+let test_retry_gives_up () =
+  Alcotest.(check bool) "persistent failure raises" true
+    (match
+       Random_prog.generate_compiled_via
+         ~compile:(fun _ -> Error "never")
+         Random_prog.default ~seed:1
+     with
+    | _ -> false
+    | exception Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker invariants                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let compile_opt prog =
+  Label.reset_fresh_counter ();
+  match Codegen.compile prog with
+  | compiled -> Some compiled
+  | exception Codegen.Error _ -> None
+
+let compiles prog = Option.is_some (compile_opt prog)
+
+(* A hardened-grammar program that compiles, following the same stride
+   the retry loop uses. *)
+let rec compiling_prog ~attempts seed =
+  if attempts = 0 then None
+  else
+    let prog = Random_prog.generate_with Random_prog.hardened ~seed in
+    if compiles prog then Some prog
+    else compiling_prog ~attempts:(attempts - 1) (seed + Random_prog.retry_stride)
+
+let prop_shrink_steps_valid seed =
+  match compiling_prog ~attempts:5 seed with
+  | None -> true (* astronomically unlikely; not this property's concern *)
+  | Some prog ->
+      let valid = ref true in
+      let last_size = ref (Shrink.size prog) in
+      let check p =
+        (match compile_opt p with
+        | Some compiled -> (
+            try Validate.check_exn compiled.Codegen.cfg
+            with _ -> valid := false)
+        | None -> valid := false);
+        if Shrink.size p > !last_size then valid := false;
+        last_size := Shrink.size p
+      in
+      let shrunk = Shrink.shrink ~fuel:400 ~on_step:check ~pred:compiles prog in
+      !valid && compiles shrunk
+
+let prop_shrink_deterministic seed =
+  match compiling_prog ~attempts:5 seed with
+  | None -> true
+  | Some prog ->
+      let run () = pp_prog (Shrink.shrink ~fuel:400 ~pred:compiles prog) in
+      String.equal (run ()) (run ())
+
+let qtest name count prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count QCheck.(int_range 1 1_000_000) prop)
+
+(* ------------------------------------------------------------------ *)
+(* Injected mutants                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_flag flag f =
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := false) f
+
+(* A campaign over a small seed window must catch the mutant and shrink
+   the reproducer well under the corpus budget. Detection aborts at the
+   first failing cell and shrinking is fuel-bounded, so this stays
+   test-suite fast. *)
+let assert_mutant_caught ~what ~seeds flag =
+  with_flag flag (fun () ->
+      let report =
+        Fuzz.campaign ~max_findings:1 ~shrink_fuel:600 ~start:0 ~seeds ()
+      in
+      match report.Fuzz.findings with
+      | [] ->
+          Alcotest.fail
+            (Fmt.str "%s: not caught within %d seeds" what seeds)
+      | f :: _ ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: shrunk to <= 25 statements (got %d)" what
+               (Shrink.stmt_count f.Fuzz.shrunk))
+            true
+            (Shrink.stmt_count f.Fuzz.shrunk <= 25);
+          Alcotest.(check bool)
+            (Fmt.str "%s: shrunk reproducer compiles" what)
+            true (compiles f.Fuzz.shrunk);
+          (* The predicate's termination guard: shrinking a loop
+             condition must not walk off to an infinite loop. *)
+          let compiled = Option.get (compile_opt f.Fuzz.shrunk) in
+          let input =
+            Random_prog.random_input ~seed:f.Fuzz.seed compiled
+          in
+          let outcome =
+            Gis_sim.Simulator.run Fuzz.reference_machine
+              compiled.Codegen.cfg input
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s: shrunk reproducer halts" what)
+            true
+            (outcome.Gis_sim.Simulator.stop = Gis_sim.Simulator.Halted))
+
+let test_catches_dropped_mem_edge () =
+  assert_mutant_caught ~what:"dropped mem edges" ~seeds:5
+    Gis_ddg.Ddg.drop_mem_edges_for_testing
+
+let test_catches_corrupt_wide_add () =
+  assert_mutant_caught ~what:"wide-add corruption" ~seeds:5
+    Gis_sim.Simulator.corrupt_wide_add_for_testing
+
+(* ------------------------------------------------------------------ *)
+(* Honest compiler                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_honest_window_clean () =
+  let report = Fuzz.campaign ~start:0 ~seeds:2 () in
+  Alcotest.(check int) "cells per seed" (List.length Fuzz.cells)
+    report.Fuzz.cells_per_seed;
+  Alcotest.(check int) "no findings" 0 (List.length report.Fuzz.findings)
+
+let () =
+  Alcotest.run "gis_fuzz"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "retry stride" `Quick test_retry_stride;
+          Alcotest.test_case "retry deterministic" `Quick
+            test_retry_deterministic;
+          Alcotest.test_case "retry gives up" `Quick test_retry_gives_up;
+        ] );
+      ( "shrinker",
+        [
+          qtest "accepted steps stay valid and monotone" 15
+            prop_shrink_steps_valid;
+          qtest "shrinking is deterministic" 10 prop_shrink_deterministic;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "catches dropped mem edges" `Quick
+            test_catches_dropped_mem_edge;
+          Alcotest.test_case "catches wide-add corruption" `Quick
+            test_catches_corrupt_wide_add;
+          Alcotest.test_case "honest window is clean" `Quick
+            test_honest_window_clean;
+        ] );
+    ]

@@ -1,0 +1,50 @@
+(* Helpers shared across the differential test suites (props, driver,
+   asm, fuzz). One definition of the reference machine, the observable
+   projection, the random-program baselines and the standard workload
+   corpus — previously duplicated per file. *)
+
+open Gis_machine
+open Gis_core
+open Gis_sim
+open Gis_frontend
+open Gis_workloads
+
+let machine = Machine.rs6k
+
+let observe cfg input = Simulator.observables (Simulator.run machine cfg input)
+
+(* Random-program baseline: the compiled program plus its standard
+   input, both functions of the seed alone. *)
+let baseline_compiled seed =
+  let compiled = Random_prog.generate_compiled ~seed in
+  let input = Random_prog.random_input ~seed compiled in
+  (compiled, input)
+
+let baseline_and_input seed =
+  let compiled, input = baseline_compiled seed in
+  (compiled.Codegen.cfg, input)
+
+let config_of_level = function
+  | `Local -> Config.base
+  | `Useful -> Config.useful_only
+  | `Speculative -> Config.speculative
+
+let level_name = function
+  | `Local -> "local"
+  | `Useful -> "useful"
+  | `Speculative -> "speculative"
+
+let minmax_elements =
+  let rng = Prng.create ~seed:5 in
+  List.init 64 (fun _ -> Prng.int rng 1000)
+
+(* The paper's workloads, each with its standard simulator input. *)
+let standard_programs () =
+  ("minmax",
+   (let t = Minmax.build () in
+    (t.Minmax.cfg, Minmax.input t minmax_elements)))
+  :: List.map
+       (fun (p : Spec_proxy.t) ->
+         let compiled = Spec_proxy.compile p in
+         (p.Spec_proxy.name, (compiled.Codegen.cfg, p.Spec_proxy.setup compiled)))
+       Spec_proxy.all
