@@ -783,7 +783,8 @@ let bench_regalloc () =
               ((Simulator.run rs6k cfg input).Simulator.cycles, 0, None)
           | Some alloc ->
               let cycles =
-                (Simulator.run rs6k cfg (Regalloc.remap_input alloc input))
+                (Simulator.run ?frame:alloc.Regalloc.frame rs6k cfg
+                   (Regalloc.remap_input alloc input))
                   .Simulator.cycles
               in
               let ok =

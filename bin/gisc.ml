@@ -239,7 +239,12 @@ let run_gisc source batch jobs level width show_code simulate elements seed
       let baseline = Cfg.deep_copy compiled.Codegen.cfg in
       ignore (Pipeline.run machine Config.base baseline);
       let cfg = Cfg.deep_copy compiled.Codegen.cfg in
-      let stats = Pipeline.run machine config cfg in
+      let stats =
+        try Pipeline.run machine config cfg
+        with Gis_regalloc.Regalloc.Infeasible m ->
+          Fmt.epr "%s: regalloc infeasible: %s@." name m;
+          exit Exit.regalloc_infeasible
+      in
       Validate.check_exn cfg;
       Fmt.pr "%s: %d blocks, %d instructions; machine %a; level %a@." name
         (Cfg.num_blocks cfg) (Cfg.instr_count cfg) Machine.pp machine
@@ -267,14 +272,16 @@ let run_gisc source batch jobs level width show_code simulate elements seed
         else begin
           let input = default_input compiled ~elements ~seed in
           (* With --regalloc the scheduled code runs on physical names:
-             feed it the remapped input, compare modulo spill slots,
-             and run the full post-allocation verifier. *)
-          let sched_input, obs_of =
+             feed it the remapped input, route spill traffic through the
+             frame register's spill segment, and run the full
+             post-allocation verifier. Observables compare exactly —
+             spill storage is disjoint by construction. *)
+          let sched_input, frame =
             match stats.Pipeline.regalloc with
             | Some alloc ->
                 ( Gis_regalloc.Regalloc.remap_input alloc input,
-                  Gis_regalloc.Regalloc.observables_ignoring_spills )
-            | None -> (input, Simulator.observables)
+                  alloc.Gis_regalloc.Regalloc.frame )
+            | None -> (input, None)
           in
           Option.iter
             (fun alloc ->
@@ -288,11 +295,15 @@ let run_gisc source batch jobs level width show_code simulate elements seed
                   exit Exit.verification_failure)
             stats.Pipeline.regalloc;
           let ob = Simulator.run machine baseline input in
-          let os = Simulator.run ~trace:want_trace machine cfg sched_input in
-          if not (String.equal (obs_of ob) (obs_of os)) then begin
+          let os =
+            Simulator.run ~trace:want_trace ?frame machine cfg sched_input
+          in
+          let base_obs = Simulator.observables ob in
+          let sched_obs = Simulator.observables os in
+          if not (String.equal base_obs sched_obs) then begin
             Fmt.epr "INTERNAL ERROR: scheduling changed observable behaviour@.";
-            Fmt.epr "--- base observables ---@.%s@." (obs_of ob);
-            Fmt.epr "--- scheduled observables ---@.%s@." (obs_of os);
+            Fmt.epr "--- base observables ---@.%s@." base_obs;
+            Fmt.epr "--- scheduled observables ---@.%s@." sched_obs;
             exit Exit.verification_failure
           end;
           Fmt.pr "@.simulation (%d array elements):@." elements;
@@ -459,6 +470,9 @@ let run_explain source level width elements seed regalloc pressure_aware regs
   match
     Gis_driver.Explain.explain ~elements ~seed ~trace machine config task
   with
+  | Error (Gis_driver.Driver.Infeasible _ as e) ->
+      Fmt.epr "%s: %a@." name Gis_driver.Driver.pp_error e;
+      exit Exit.regalloc_infeasible
   | Error e ->
       Fmt.epr "%s: %a@." name Gis_driver.Driver.pp_error e;
       exit Exit.compile_error
@@ -531,7 +545,12 @@ let run_check source level width regalloc pressure_aware regs json_file
   | compiled ->
       let cfg = compiled.Codegen.cfg in
       let input_lint = Gis_check.Lint.run ~stage:"input" cfg in
-      let pstats = Pipeline.run machine config cfg in
+      let pstats =
+        try Pipeline.run machine config cfg
+        with Gis_regalloc.Regalloc.Infeasible m ->
+          Fmt.epr "%s: regalloc infeasible: %s@." name m;
+          exit Exit.regalloc_infeasible
+      in
       let staged_slots =
         match pstats.Pipeline.regalloc with
         | Some alloc -> Gis_regalloc.Regalloc.staged_slots alloc
@@ -616,7 +635,12 @@ let run_profile source level width regalloc pressure_aware regs json_file
       exit Exit.compile_error
   | compiled -> (
       let cfg = Cfg.deep_copy compiled.Codegen.cfg in
-      let stats = Pipeline.run machine config cfg in
+      let stats =
+        try Pipeline.run machine config cfg
+        with Gis_regalloc.Regalloc.Infeasible m ->
+          Fmt.epr "%s: regalloc infeasible: %s@." name m;
+          exit Exit.regalloc_infeasible
+      in
       Validate.check_exn cfg;
       match Prof.roots prof with
       | [] ->
@@ -831,8 +855,8 @@ let explain_json_arg =
    matrix, with the static legality checker hooked into every pipeline
    run. Findings are shrunk to minimal reproducers and written to the
    corpus directory. Exit 6 when the campaign found anything. *)
-let run_fuzz seeds start corpus max_findings shrink_fuel jobs json_file
-    verbose =
+let run_fuzz seeds start corpus max_findings shrink_fuel jobs grammar
+    json_file verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -841,8 +865,16 @@ let run_fuzz seeds start corpus max_findings shrink_fuel jobs json_file
     Fmt.epr "gisc fuzz: --seeds must be positive@.";
     exit Exit.usage_error
   end;
+  let params =
+    match grammar with
+    | "default" -> Gis_workloads.Random_prog.default
+    | "hardened" -> Gis_workloads.Random_prog.hardened
+    | g ->
+        Fmt.epr "gisc fuzz: unknown grammar %S (default|hardened)@." g;
+        exit Exit.usage_error
+  in
   let report =
-    Gis_fuzz.Fuzz.campaign ~max_findings ~shrink_fuel ~jobs
+    Gis_fuzz.Fuzz.campaign ~params ~max_findings ~shrink_fuel ~jobs
       ~log:(fun line -> Fmt.pr "FINDING %s@." line)
       ~start ~seeds ()
   in
@@ -995,6 +1027,17 @@ let fuzz_jobs_arg =
         ~doc:"Detect $(docv) seeds concurrently on separate domains. \
               Findings are identical at any job count.")
 
+let fuzz_grammar_arg =
+  Arg.(
+    value & opt string "hardened"
+    & info [ "grammar" ] ~docv:"NAME"
+        ~doc:"Program-generator grammar: $(b,hardened) (the campaign \
+              default: calls with argument expressions, do/while, \
+              masked wild array indices, extra pressure) or \
+              $(b,default) (the plain generator — wild indices \
+              unmasked, so out-of-bounds loads stress the spill \
+              segment isolation).")
+
 let fuzz_json_arg =
   Arg.(
     value
@@ -1016,7 +1059,7 @@ let fuzz_cmd =
     Term.(
       const run_fuzz $ fuzz_seeds_arg $ fuzz_start_arg $ fuzz_corpus_arg
       $ fuzz_max_findings_arg $ fuzz_shrink_fuel_arg $ fuzz_jobs_arg
-      $ fuzz_json_arg $ verbose_arg)
+      $ fuzz_grammar_arg $ fuzz_json_arg $ verbose_arg)
 
 let cmd =
   let doc =

@@ -239,16 +239,20 @@ let run_stage ?prov ?(max_speculation_degree = 1) ~stage ~pre ~post () =
           | Regalloc -> (
               (match Deps.instr ppost uid with
               (* Loads and stores are spill code; a [Load_imm] is the
-                 allocator's frame-base setup. *)
+                 allocator's frame-base setup; a cross-class move is the
+                 mfcr/mtcr transfer of a condition-register spill. *)
               | Some i
                 when Instr.is_load i || Instr.is_store i
                      || (match Instr.kind i with
                         | Instr.Load_imm _ -> true
+                        | Instr.Move { dst; src } ->
+                            dst.Reg.cls <> src.Reg.cls
                         | _ -> false) ->
                   ()
               | Some _ ->
                   err ~rule:"conservation.created" ~uid ?blocks
-                    "allocation may only insert spill loads and stores"
+                    "allocation may only insert spill loads, stores and \
+                     cr transfer moves"
               | None -> ());
               match prov, record with
               | None, _ -> ()
@@ -573,11 +577,39 @@ let run_stage ?prov ?(max_speculation_degree = 1) ~stage ~pre ~post () =
                                 (* Off-path clobber: no register defined by
                                    the moved instruction may be live into a
                                    successor of the target that avoids the
-                                   source block. *)
+                                   source block. Only definitions that
+                                   actually reach the target block's exit
+                                   count: when several hoisted definitions of
+                                   one register stack up in the target (fuzz
+                                   seed 1741), the killed earlier ones never
+                                   escape the block, so they cannot clobber
+                                   an off-path value. *)
                                 (match post_instr with
                                 | None -> ()
                                 | Some i ->
-                                    let defs = Instr.defs i in
+                                    let reaches_exit r =
+                                      match Cfg.find_label post to_label with
+                                      | None -> true
+                                      | Some tpost ->
+                                          let tblk = Cfg.block post tpost in
+                                          (match
+                                             Block.find_body_index tblk ~uid
+                                           with
+                                          | None -> true
+                                          | Some idx ->
+                                              not
+                                                (List.exists
+                                                   (fun j ->
+                                                     List.exists
+                                                       (Reg.equal r)
+                                                       (Instr.defs j))
+                                                   (List.filteri
+                                                      (fun k _ -> k > idx)
+                                                      (Block.instrs tblk))))
+                                    in
+                                    let defs =
+                                      List.filter reaches_exit (Instr.defs i)
+                                    in
                                     if defs <> [] then
                                       List.iter
                                         (fun (s, _) ->

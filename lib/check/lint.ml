@@ -9,7 +9,9 @@ open Gis_obs
      cfg.irreducible        (W) back edge whose target does not dominate
      lint.maybe-uninit      (W) a use reached by External *and* a real def
      lint.dead-def          (W) a definition no instruction ever reads
-     spill.not-mem          (E) Spill_inserted provenance on a non-load/store
+     spill.not-mem          (E) Spill_inserted provenance on something other
+                                than a load, store, frame setup or
+                                cr<->gpr transfer move
      spill.orphan-reload    (W) spill load from a slot nothing spilled to *)
 
 let structural ~stage cfg acc =
@@ -143,9 +145,12 @@ let spill_discipline ~stage ~prov ~staged_slots cfg acc =
     (fun (label, i) ->
       match Instr.kind i with
       | Instr.Store _ -> ()
-      (* The allocator's frame-base setup ([li base,0]) is spill code
-         that is neither a load nor a store — the one exception. *)
+      (* The allocator's frame-base setup ([li base,0]) and the
+         cr<->gpr transfer halves of a condition-register spill
+         (mfcr/mtcr modeling) are spill code that is neither a load
+         nor a store — the two exceptions. *)
       | Instr.Load_imm _ -> ()
+      | Instr.Move { dst; src } when dst.Reg.cls <> src.Reg.cls -> ()
       | Instr.Load { offset; _ } ->
           if
             (not (Hashtbl.mem spill_stores offset))
@@ -163,8 +168,8 @@ let spill_discipline ~stage ~prov ~staged_slots cfg acc =
           acc :=
             Diagnostic.error ~rule:"spill.not-mem" ~stage ~uid:(Instr.uid i)
               ~blocks:[ label ]
-              "Spill_inserted provenance on an instruction that is neither a \
-               load nor a store"
+              "Spill_inserted provenance on an instruction that is not a \
+               load, store, frame setup or cr transfer move"
             :: !acc)
     !spill_instrs
 

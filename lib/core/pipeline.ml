@@ -164,7 +164,10 @@ let run_phases machine (config : Config.t) cfg =
           | Ok alloc ->
               fire "regalloc" pre;
               Some alloc
-          | Error msg -> failwith ("regalloc: " ^ msg))
+          | Error msg ->
+              (* A typed, deterministic outcome — drivers classify it
+                 as infeasibility, not a crash. *)
+              raise (Gis_regalloc.Regalloc.Infeasible msg))
     else None
   in
   ignore (Cfg.reachable cfg);

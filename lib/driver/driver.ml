@@ -56,12 +56,14 @@ type error =
   | Crashed of string
   | Timed_out of float
   | Mismatch of string
+  | Infeasible of string
 
 let pp_error ppf = function
   | Compile_error m -> Fmt.pf ppf "compile error: %s" m
   | Crashed m -> Fmt.pf ppf "crashed: %s" m
   | Timed_out s -> Fmt.pf ppf "timed out after %.3fs" s
   | Mismatch m -> Fmt.pf ppf "observable mismatch: %s" m
+  | Infeasible m -> Fmt.pf ppf "regalloc infeasible: %s" m
 
 type task_result = {
   task : string;
@@ -184,20 +186,21 @@ let run_task machine config ~simulate ~elements ~seed task =
               | Tiny_c _ | Asm _ | File _ -> default_input compiled ~elements ~seed
             in
             (* With allocation on, the scheduled code runs on physical
-               names: its input moves through the assignment and the
-               comparison ignores spill-slot addresses (the base run has
-               none, so stripping is the identity there). *)
-            let sched_input, obs_of =
+               names: its input moves through the assignment, and spill
+               traffic is routed through the frame register to the
+               simulator's dedicated spill segment — so observables
+               compare exactly, no filtering. *)
+            let sched_input, frame =
               match stats.Pipeline.regalloc with
               | Some alloc ->
                   ( Gis_regalloc.Regalloc.remap_input alloc input,
-                    Gis_regalloc.Regalloc.observables_ignoring_spills )
-              | None -> (input, Simulator.observables)
+                    alloc.Gis_regalloc.Regalloc.frame )
+              | None -> (input, None)
             in
             let ob = Simulator.run machine baseline input in
-            let os = Simulator.run machine cfg sched_input in
-            let base_obs = obs_of ob in
-            let sched_obs = obs_of os in
+            let os = Simulator.run ?frame machine cfg sched_input in
+            let base_obs = Simulator.observables ob in
+            let sched_obs = Simulator.observables os in
             if not (String.equal base_obs sched_obs) then
               raise
                 (Observable_mismatch
@@ -248,6 +251,7 @@ let run_task machine config ~simulate ~elements ~seed task =
       with
       | summary -> Ok summary
       | exception Observable_mismatch m -> Error (Mismatch m)
+      | exception Gis_regalloc.Regalloc.Infeasible m -> Error (Infeasible m)
       | exception e -> Error (Crashed (Printexc.to_string e)))
 
 (* ------------------------------------------------------------------ *)
@@ -380,6 +384,7 @@ let error_to_json e =
     | Crashed m -> ("crashed", Json.String m)
     | Timed_out s -> ("timed_out", Json.Float s)
     | Mismatch m -> ("mismatch", Json.String m)
+    | Infeasible m -> ("infeasible", Json.String m)
   in
   Json.Obj [ ("error", Json.String tag); ("detail", detail) ]
 

@@ -85,6 +85,11 @@ type error =
   | Mismatch of string
       (** scheduling changed observable behaviour; payload is the
           base/scheduled trace pair, printed *)
+  | Infeasible of string
+      (** register allocation reported {!Gis_regalloc.Regalloc.Infeasible}:
+          the procedure does not fit the register file even with the
+          spill reservation — a deterministic, well-defined outcome,
+          not a crash *)
 
 val pp_error : error Fmt.t
 

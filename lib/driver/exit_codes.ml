@@ -8,6 +8,7 @@ let verification_failure = 3
 let batch_partial_failure = 4
 let batch_timeout_only = 5
 let fuzz_finding = 6
+let regalloc_infeasible = 7
 
 let describe = function
   | 0 -> "success"
@@ -17,6 +18,7 @@ let describe = function
   | 4 -> "batch run with at least one failing program"
   | 5 -> "batch run whose only failures were timeouts"
   | 6 -> "fuzzing campaign produced at least one finding"
+  | 7 -> "register allocation infeasible for the requested register file"
   | _ -> "unknown"
 
 let all =
@@ -28,4 +30,5 @@ let all =
     batch_partial_failure;
     batch_timeout_only;
     fuzz_finding;
+    regalloc_infeasible;
   ]

@@ -21,6 +21,10 @@ val fuzz_finding : int
 (** 6 — [gisc fuzz] found at least one divergence, checker error, or
     crash; reproducers are in the corpus directory *)
 
+val regalloc_infeasible : int
+(** 7 — register allocation reported the procedure infeasible for the
+    requested register file (deterministic, not a crash) *)
+
 val describe : int -> string
 (** Human-readable meaning of a code; ["unknown"] otherwise. *)
 

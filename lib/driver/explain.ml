@@ -58,13 +58,15 @@ let explain ?(elements = 128) ?(seed = 3) ?(trace = false) machine
           | Driver.Tiny_c _ | Driver.Asm _ | Driver.File _ ->
               Driver.default_input compiled ~elements ~seed
         in
-        let sched_input =
+        let sched_input, frame =
           match stats.Pipeline.regalloc with
-          | Some alloc -> Gis_regalloc.Regalloc.remap_input alloc input
-          | None -> input
+          | Some alloc ->
+              ( Gis_regalloc.Regalloc.remap_input alloc input,
+                alloc.Gis_regalloc.Regalloc.frame )
+          | None -> (input, None)
         in
         let ob = Simulator.run ~trace machine baseline input in
-        let os = Simulator.run ~trace machine cfg sched_input in
+        let os = Simulator.run ~trace ?frame machine cfg sched_input in
         let attribution =
           Provenance.attribute prov ~base:ob.Simulator.telemetry
             ~sched:os.Simulator.telemetry
@@ -83,6 +85,8 @@ let explain ?(elements = 128) ?(seed = 3) ?(trace = false) machine
         }
       with
       | e -> Ok e
+      | exception Gis_regalloc.Regalloc.Infeasible m ->
+          Error (Driver.Infeasible m)
       | exception exn -> Error (Driver.Crashed (Printexc.to_string exn)))
 
 (* ---- rendering ---- *)

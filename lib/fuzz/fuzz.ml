@@ -153,8 +153,10 @@ let run_cell cell compiled input ~reference =
               Error (Check_failure [ Fmt.str "regalloc verifier: %s" msg ])
           | Ok () ->
               let obs =
-                Gis_regalloc.Regalloc.observables_ignoring_spills
-                  (Gis_sim.Simulator.run cell.machine cfg input')
+                Gis_sim.Simulator.observables
+                  (Gis_sim.Simulator.run
+                     ?frame:alloc.Gis_regalloc.Regalloc.frame cell.machine cfg
+                     input')
               in
               if String.equal obs reference then Ok ()
               else Error (Divergence { expected = reference; got = obs }))
@@ -167,6 +169,10 @@ let run_cell cell compiled input ~reference =
           else Error (Divergence { expected = reference; got = obs })
   with
   | r -> r
+  (* Infeasibility is a typed, deterministic outcome of the allocator
+     (the register file is too small for the program), not a bug in the
+     scheduler — the well-defined answer, so not a finding. *)
+  | exception Gis_regalloc.Regalloc.Infeasible _ -> Ok ()
   | exception e -> Error (Crash (Printexc.to_string e))
 
 (* Generate-and-compile with the deterministic retry chain, keeping the

@@ -19,10 +19,18 @@ let check_kind ~err ~where kind =
       expect "store source must be gpr or fpr" (not (reg_is Reg.Cr src));
       expect "store base must be gpr" (reg_is Reg.Gpr base)
   | Instr.Load_imm { dst; _ } -> expect "li destination must be gpr" (reg_is Reg.Gpr dst)
-  | Instr.Move { dst; src } ->
-      expect "move operands must share a class" (dst.Reg.cls = src.Reg.cls);
-      expect "move of condition registers is not a machine instruction"
-        (not (reg_is Reg.Cr dst))
+  | Instr.Move { dst; src } -> (
+      (* Same-class moves between GPRs or FPRs, plus the two
+         condition-register transfer forms (mfcr/mtcr): cr -> gpr and
+         gpr -> cr, which the allocator uses to spill CRs through an
+         integer scratch. cr -> cr stays ill-formed. *)
+      match dst.Reg.cls, src.Reg.cls with
+      | Reg.Gpr, Reg.Gpr | Reg.Fpr, Reg.Fpr -> ()
+      | Reg.Gpr, Reg.Cr | Reg.Cr, Reg.Gpr -> ()
+      | Reg.Cr, Reg.Cr ->
+          expect "move of condition registers is not a machine instruction"
+            false
+      | _ -> expect "move operands must share a class or transfer cr<->gpr" false)
   | Instr.Binop { dst; lhs; rhs; _ } ->
       expect "binop registers must be gpr"
         (reg_is Reg.Gpr dst && reg_is Reg.Gpr lhs

@@ -11,21 +11,33 @@ type t = {
   spilled : (Reg.t * int) list;
   intervals : interval list;
   entry_live : Reg.t list;
+  frame : Reg.t option;
   spill_loads : int;
   spill_stores : int;
+  cr_spill_moves : int;
   slots : int;
   per_class : cls_stat list;
 }
 
 exception Alloc_error of string
 
-(* Spill slots sit below address 0: Tiny-C arrays start at 1024 and
-   nothing the frontends emit addresses negative memory, so slots can
-   never alias program data. Word slots for GPRs; the float memory is
-   its own address space, but doubles get 8-byte strides anyway so the
-   printed addresses stay plausible. *)
+exception Infeasible of string
+
+let () =
+  Printexc.register_printer (function
+    | Infeasible m -> Some (Fmt.str "Regalloc.Infeasible(%S)" m)
+    | _ -> None)
+
+(* Spill slots live in a dedicated spill segment, not in program
+   memory: the simulator routes every load/store whose base register
+   is the reserved frame register ({!field-frame}) to a separate
+   address space. Slot offsets can therefore start at 0 — no numeric
+   range is "unreachable" from program arithmetic (a shifted or
+   multiplied index can produce any integer), so isolation is by base
+   register identity, never by address. Word slots for GPRs and CRs;
+   doubles get 8-byte strides so printed addresses stay plausible. *)
 let slot_offset (cls : Reg.cls) k =
-  match cls with Reg.Fpr -> -8 * (k + 1) | Reg.Gpr | Reg.Cr -> -4 * (k + 1)
+  match cls with Reg.Fpr -> 8 * k | Reg.Gpr | Reg.Cr -> 4 * k
 
 (* ---- live intervals ---- *)
 
@@ -115,10 +127,8 @@ let scan ~pool_size ~phys intervals =
         l
   in
   let spill iv =
-    if iv.reg.Reg.cls = Reg.Cr then
-      raise
-        (Alloc_error
-           (Fmt.str "cannot spill condition register %a" Reg.pp iv.reg));
+    (* Condition registers spill like everything else: through memory,
+       via an integer transfer scratch (see [rewrite]). *)
     Hashtbl.replace spilled (Reg.hash iv.reg) (iv.reg, !slots);
     incr slots
   in
@@ -166,7 +176,7 @@ let scan ~pool_size ~phys intervals =
 (* ---- rewriting onto physical names ---- *)
 
 let rewrite ?prov cfg ~assignment ~spilled ~base ~scratch =
-  let loads = ref 0 and stores = ref 0 in
+  let loads = ref 0 and stores = ref 0 and cr_moves = ref 0 in
   let phys_of r =
     match Hashtbl.find_opt assignment (Reg.hash r) with
     | Some (_, p) -> p
@@ -178,6 +188,37 @@ let rewrite ?prov cfg ~assignment ~spilled ~base ~scratch =
     (fun b ->
       let out = ref [] in
       let emit i = out := i :: !out in
+      let record i =
+        Gis_obs.Provenance.spill prov ~uid:(Instr.uid i) ~block:b.Block.label
+      in
+      let base_reg () = match base with Some r -> r | None -> assert false in
+      (* A spilled condition register cannot be loaded or stored
+         directly (ill-formed, see [Validate]): it moves through memory
+         via an integer transfer scratch — mfcr/mtcr modeling. [gpr_tmp]
+         picks the transfer register; it must not collide with the GPR
+         scratches already handed to this instruction's spilled GPR
+         operands, so it takes the next free one. *)
+      let reload_cr ~gpr_tmp ~cr_scratch r =
+        incr loads;
+        incr cr_moves;
+        let load =
+          Cfg.make_instr cfg
+            (Instr.Load
+               {
+                 dst = gpr_tmp;
+                 base = base_reg ();
+                 offset = slot_offset r.Reg.cls (slot_of r);
+                 update = false;
+               })
+        in
+        let transfer =
+          Cfg.make_instr cfg (Instr.Move { dst = cr_scratch; src = gpr_tmp })
+        in
+        record load;
+        record transfer;
+        emit load;
+        emit transfer
+      in
       Gis_util.Vec.iter
         (fun i ->
           let sp =
@@ -186,33 +227,49 @@ let rewrite ?prov cfg ~assignment ~spilled ~base ~scratch =
           in
           if sp = [] then emit (Instr.map_regs ~f:phys_of i)
           else begin
-            let base_reg =
-              match base with Some r -> r | None -> assert false
-            in
             (* Hand each distinct spilled operand a scratch register of
                its class; reload uses before, store defs after. A
                register that is both read and written (binop dst = lhs,
                an update-form base) shares one scratch for both. *)
             let scratch_map = Hashtbl.create 4 in
             let counters = Hashtbl.create 2 in
+            let take cls ~what =
+              let k =
+                Option.value ~default:0 (Hashtbl.find_opt counters cls)
+              in
+              let avail = scratch cls in
+              if k >= List.length avail then
+                raise
+                  (Alloc_error
+                     (Fmt.str
+                        "instruction %d needs %d %a scratch registers (%s) \
+                         but only %d are reserved"
+                        (Instr.uid i) (k + 1) Reg.pp_cls cls what
+                        (List.length avail)));
+              Hashtbl.replace counters cls (k + 1);
+              List.nth avail k
+            in
             List.iter
               (fun r ->
-                let cls = r.Reg.cls in
-                let k =
-                  Option.value ~default:0 (Hashtbl.find_opt counters cls)
-                in
-                let avail = scratch cls in
-                if k >= List.length avail then
-                  raise
-                    (Alloc_error
-                       (Fmt.str
-                          "instruction %d touches %d spilled %a registers \
-                           but only %d scratch registers are reserved"
-                          (Instr.uid i) (k + 1) Reg.pp_cls cls
-                          (List.length avail)));
-                Hashtbl.replace scratch_map (Reg.hash r) (List.nth avail k);
-                Hashtbl.replace counters cls (k + 1))
+                Hashtbl.replace scratch_map (Reg.hash r)
+                  (take r.Reg.cls ~what:"spilled operands"))
               sp;
+            (* One GPR transfer temp per instruction, shared by the CR
+               reload and store-back (its value is dead across the
+               instruction itself). At most one CR operand can appear —
+               compares define one, branches read one, and cr<->cr
+               moves do not exist — and any instruction with a CR
+               operand touches at most two GPRs, so the three-GPR
+               scratch pool always has a register left for it. *)
+            let cr_tmp = ref None in
+            let gpr_tmp () =
+              match !cr_tmp with
+              | Some g -> g
+              | None ->
+                  let g = take Reg.Gpr ~what:"condition-register transfer" in
+                  cr_tmp := Some g;
+                  g
+            in
             let lookup r =
               match Hashtbl.find_opt scratch_map (Reg.hash r) with
               | Some s -> s
@@ -220,59 +277,108 @@ let rewrite ?prov cfg ~assignment ~spilled ~base ~scratch =
             in
             List.iter
               (fun r ->
-                if List.exists (Reg.equal r) (Instr.uses i) then begin
-                  incr loads;
-                  let reload =
-                    Cfg.make_instr cfg
-                      (Instr.Load
-                         {
-                           dst = Hashtbl.find scratch_map (Reg.hash r);
-                           base = base_reg;
-                           offset = slot_offset r.Reg.cls (slot_of r);
-                           update = false;
-                         })
-                  in
-                  Gis_obs.Provenance.spill prov ~uid:(Instr.uid reload)
-                    ~block:b.Block.label;
-                  emit reload
-                end)
+                if List.exists (Reg.equal r) (Instr.uses i) then
+                  let s = Hashtbl.find scratch_map (Reg.hash r) in
+                  if r.Reg.cls = Reg.Cr then
+                    reload_cr ~gpr_tmp:(gpr_tmp ()) ~cr_scratch:s r
+                  else begin
+                    incr loads;
+                    let reload =
+                      Cfg.make_instr cfg
+                        (Instr.Load
+                           {
+                             dst = s;
+                             base = base_reg ();
+                             offset = slot_offset r.Reg.cls (slot_of r);
+                             update = false;
+                           })
+                    in
+                    record reload;
+                    emit reload
+                  end)
               sp;
             emit (Instr.map_regs ~f:lookup i);
             List.iter
               (fun r ->
                 if List.exists (Reg.equal r) (Instr.defs i) then begin
                   incr stores;
+                  let src =
+                    let s = Hashtbl.find scratch_map (Reg.hash r) in
+                    if r.Reg.cls = Reg.Cr then begin
+                      (* mfcr: move the scratch CR down to the integer
+                         transfer register, then store that. *)
+                      incr cr_moves;
+                      let g = gpr_tmp () in
+                      let transfer =
+                        Cfg.make_instr cfg (Instr.Move { dst = g; src = s })
+                      in
+                      record transfer;
+                      emit transfer;
+                      g
+                    end
+                    else s
+                  in
                   let store =
                     Cfg.make_instr cfg
                       (Instr.Store
                          {
-                           src = Hashtbl.find scratch_map (Reg.hash r);
-                           base = base_reg;
+                           src;
+                           base = base_reg ();
                            offset = slot_offset r.Reg.cls (slot_of r);
                            update = false;
                          })
                   in
-                  Gis_obs.Provenance.spill prov ~uid:(Instr.uid store)
-                    ~block:b.Block.label;
+                  record store;
                   emit store
                 end)
               sp
           end)
         b.Block.body;
-      (match List.filter is_spilled (Instr.uses b.Block.term) with
-      | [] -> ()
-      | r :: _ ->
-          (* Terminators read only condition registers, which never
-             spill; defensive, not reachable. *)
-          raise
-            (Alloc_error
-               (Fmt.str "terminator of %a reads spilled register %a" Label.pp
-                  b.Block.label Reg.pp r)));
-      b.Block.term <- Instr.map_regs ~f:phys_of b.Block.term;
+      (* Terminators read exactly their condition register
+         ([Branch_cond]) or nothing ([Jump]/[Halt]). A spilled branch
+         CR is reloaded at the end of the block body — through the
+         first GPR scratch, which is free here since no other
+         instruction is mid-rewrite — and the branch tests the CR
+         scratch instead. *)
+      let term_map = Hashtbl.create 1 in
+      List.iter
+        (fun r ->
+          if r.Reg.cls <> Reg.Cr then
+            raise
+              (Alloc_error
+                 (Fmt.str
+                    "terminator of %a reads spilled non-condition register %a"
+                    Label.pp b.Block.label Reg.pp r));
+          let cr_scratch =
+            match scratch Reg.Cr with
+            | s :: _ -> s
+            | [] ->
+                raise
+                  (Alloc_error
+                     (Fmt.str
+                        "terminator of %a reads spilled %a but no \
+                         condition-register scratch is reserved"
+                        Label.pp b.Block.label Reg.pp r))
+          in
+          let gpr_tmp =
+            match scratch Reg.Gpr with
+            | s :: _ -> s
+            | [] -> assert false (* spilling always reserves GPR scratch *)
+          in
+          reload_cr ~gpr_tmp ~cr_scratch r;
+          Hashtbl.replace term_map (Reg.hash r) cr_scratch)
+        (List.filter is_spilled (Instr.uses b.Block.term));
+      b.Block.term <-
+        Instr.map_regs
+          ~f:(fun r ->
+            match Hashtbl.find_opt term_map (Reg.hash r) with
+            | Some s -> s
+            | None -> phys_of r)
+          b.Block.term;
       Gis_util.Vec.clear b.Block.body;
       List.iter (fun i -> Gis_util.Vec.push b.Block.body i) (List.rev !out))
     cfg;
-  (!loads, !stores)
+  (!loads, !stores, !cr_moves)
 
 (* ---- driver ---- *)
 
@@ -280,6 +386,9 @@ let rewrite ?prov cfg ~assignment ~spilled ~base ~scratch =
 let m_allocations = Gis_obs.Metrics.counter "regalloc.allocations_total"
 let m_spill_instrs = Gis_obs.Metrics.counter "regalloc.spill_instrs_total"
 let m_spilled_regs = Gis_obs.Metrics.counter "regalloc.spilled_regs_total"
+
+let m_cr_spill_moves =
+  Gis_obs.Metrics.counter "regalloc.cr_spill_moves_total"
 
 let allocate ?gprs ?fprs ?prov machine cfg =
   let budget = function
@@ -292,9 +401,12 @@ let allocate ?gprs ?fprs ?prov machine cfg =
   let intervals, entry_live = build_intervals cfg in
   let has_fpr = List.exists (fun iv -> iv.reg.Reg.cls = Reg.Fpr) intervals in
   let finish ~assignment ~spilled ~slots ~base ~scratch =
-    let loads, stores = rewrite ?prov cfg ~assignment ~spilled ~base ~scratch in
+    let loads, stores, cr_moves =
+      rewrite ?prov cfg ~assignment ~spilled ~base ~scratch
+    in
     Gis_obs.Metrics.incr m_allocations;
-    Gis_obs.Metrics.incr ~by:(loads + stores) m_spill_instrs;
+    Gis_obs.Metrics.incr ~by:(loads + stores + cr_moves) m_spill_instrs;
+    Gis_obs.Metrics.incr ~by:cr_moves m_cr_spill_moves;
     Gis_obs.Metrics.incr ~by:(Hashtbl.length spilled) m_spilled_regs;
     if Hashtbl.length spilled > 0 then begin
       let base_reg = match base with Some r -> r | None -> assert false in
@@ -326,8 +438,10 @@ let allocate ?gprs ?fprs ?prov machine cfg =
         |> List.sort (fun (a, _) (b, _) -> Reg.compare a b);
       intervals;
       entry_live;
+      frame = (if Hashtbl.length spilled > 0 then base else None);
       spill_loads = loads;
       spill_stores = stores;
+      cr_spill_moves = cr_moves;
       slots;
       per_class =
         List.map
@@ -352,11 +466,20 @@ let allocate ?gprs ?fprs ?prov machine cfg =
              ~scratch:(fun _ -> []))
     | _ -> (
         (* The procedure does not fit: re-run the scan with the top of
-           each file reserved — one GPR as the spill-slot base (holds
-           0, initialized at entry) and three scratch registers per
-           spillable class in use (a three-address op can have dst, lhs
-           and rhs all spilled and distinct). *)
+           each file reserved — one GPR as the spill-slot frame base
+           (holds 0, initialized at entry; the simulator routes every
+           access through it to the dedicated spill segment) and three
+           scratch registers per spillable class in use (a
+           three-address op can have dst, lhs and rhs all spilled and
+           distinct). Condition registers spill through memory via an
+           integer transfer scratch, so CR pressure above the file
+           additionally reserves the top CR as the scratch — linear
+           scan spills a class exactly when its peak pressure exceeds
+           its pool, so the reservation is decided up front, before any
+           CFG mutation. *)
         let g = budget Reg.Gpr and f = budget Reg.Fpr in
+        let crs = budget Reg.Cr in
+        let cr_spill = class_pressure intervals Reg.Cr > crs in
         if g < 5 then
           Error
             (Fmt.str
@@ -369,11 +492,17 @@ let allocate ?gprs ?fprs ?prov machine cfg =
                "spilling floats needs 4 FPRs (3 scratch + 1 allocatable), \
                 have %d"
                f)
+        else if cr_spill && crs < 2 then
+          Error
+            (Fmt.str
+               "spilling condition registers needs 2 CRs (1 transfer \
+                scratch + 1 allocatable), have %d"
+               crs)
         else
           let pool_size = function
             | Reg.Gpr -> g - 4
             | Reg.Fpr -> if has_fpr then f - 3 else f
-            | Reg.Cr -> budget Reg.Cr
+            | Reg.Cr -> if cr_spill then crs - 1 else crs
           in
           match scan ~pool_size ~phys intervals with
           | exception Alloc_error m -> Error m
@@ -392,7 +521,7 @@ let allocate ?gprs ?fprs ?prov machine cfg =
                         phys Reg.Fpr (f - 3);
                       ]
                     else []
-                | Reg.Cr -> []
+                | Reg.Cr -> if cr_spill then [ phys Reg.Cr (crs - 1) ] else []
               in
               match finish ~assignment ~spilled ~slots ~base ~scratch with
               | t -> Ok t
@@ -436,22 +565,17 @@ let remap_input t (input : Simulator.input) =
   in
   let int_regs, extra_mem = split input.Simulator.int_regs in
   let float_regs, extra_fmem = split input.Simulator.float_regs in
+  (* Bindings of spilled registers are staged into the spill segment,
+     not program memory — the segment the simulator's [frame] routing
+     reads them back from. *)
   {
+    input with
     Simulator.int_regs = List.rev int_regs;
     float_regs = List.rev float_regs;
-    memory = input.Simulator.memory @ List.rev extra_mem;
-    float_memory = input.Simulator.float_memory @ List.rev extra_fmem;
+    spill_memory = input.Simulator.spill_memory @ List.rev extra_mem;
+    spill_float_memory =
+      input.Simulator.spill_float_memory @ List.rev extra_fmem;
   }
-
-let observables_ignoring_spills (o : Simulator.outcome) =
-  Simulator.observables
-    {
-      o with
-      Simulator.final_memory =
-        List.filter (fun (a, _) -> a >= 0) o.Simulator.final_memory;
-      final_float_memory =
-        List.filter (fun (a, _) -> a >= 0) o.Simulator.final_float_memory;
-    }
 
 (* ---- verification ---- *)
 
@@ -511,11 +635,12 @@ let verify ?gprs ?fprs ~machine ~baseline ~allocated t input =
                Reg.pp_cls s.cls s.used (budget s.cls))
       | None ->
           let expected =
-            observables_ignoring_spills (Simulator.run machine baseline input)
+            Simulator.observables (Simulator.run machine baseline input)
           in
           let got =
-            observables_ignoring_spills
-              (Simulator.run machine allocated (remap_input t input))
+            Simulator.observables
+              (Simulator.run ?frame:t.frame machine allocated
+                 (remap_input t input))
           in
           if String.equal expected got then Ok ()
           else
@@ -524,7 +649,7 @@ let verify ?gprs ?fprs ~machine ~baseline ~allocated t input =
                  expected got))
 
 let pp ppf t =
-  Fmt.pf ppf "%a; spilled %d regs into %d slots (+%d reloads, +%d stores)"
+  Fmt.pf ppf "%a; spilled %d regs into %d slots (+%d reloads, +%d stores%a)"
     Fmt.(
       list ~sep:comma (fun ppf (s : cls_stat) ->
           pf ppf "%a pressure %d, used %d/%d" Reg.pp_cls s.cls s.pressure
@@ -532,3 +657,5 @@ let pp ppf t =
     t.per_class
     (List.length t.spilled)
     t.slots t.spill_loads t.spill_stores
+    (fun ppf n -> if n > 0 then Fmt.pf ppf ", +%d cr transfers" n)
+    t.cr_spill_moves

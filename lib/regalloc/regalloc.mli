@@ -12,15 +12,23 @@
     model (load-use delay, store-queue forwarding) prices spills with
     no special cases.
 
-    Spill slots live at {e negative} addresses (word slots at
-    [-4(k+1)], doubles at [-8(k+1)]), below every Tiny-C array (static
-    bases start at 1024), addressed off a reserved base register that
-    holds 0. Observable comparisons against symbolic code must ignore
-    those addresses — use {!observables_ignoring_spills}.
+    Spill slots live in a {e dedicated spill segment}, disjoint from
+    program memory by construction: slots (word slots at [4k], doubles
+    at [8k]) are addressed off a reserved frame register holding 0, and
+    the simulator routes every access whose base register {e is} the
+    frame register ({!field-frame}, passed as {!Gis_sim.Simulator.run}'s
+    [frame]) to separate spill tables. Isolation is by base-register
+    identity, never by address range — program arithmetic can compute
+    any integer, so no numeric range is unreachable, but the frame
+    register is never assigned to a program value. Out-of-bounds
+    program loads therefore cannot alias spill slots, and
+    {!Gis_sim.Simulator.observables} needs no spill filtering.
 
-    Condition registers cannot be spilled (stores of [crN] are
-    ill-formed, see [Validate]); a procedure whose condition-register
-    pressure exceeds the file is rejected with [Error]. *)
+    Condition registers spill through memory via an integer transfer
+    scratch (mfcr/mtcr modeling, see [Validate]'s cr<->gpr move forms):
+    the reload is [l gN,slot(base); mtcr crS,gN], the store-back
+    [mfcr gN,crS; st gN,slot(base)]. CR pressure above the file
+    reserves the top CR as the scratch and needs at least 2 CRs. *)
 
 type interval = {
   reg : Gis_ir.Reg.t;
@@ -44,11 +52,26 @@ type t = {
   entry_live : Gis_ir.Reg.t list;
       (** registers live into the entry block — the only input bindings
           that survive {!remap_input} *)
+  frame : Gis_ir.Reg.t option;
+      (** the reserved spill frame base register, [Some] exactly when
+          spill code was inserted; pass it to
+          {!Gis_sim.Simulator.run}'s [frame] so spill traffic lands in
+          the simulator's dedicated spill segment *)
   spill_loads : int;  (** reload instructions inserted *)
   spill_stores : int;  (** spill-store instructions inserted *)
+  cr_spill_moves : int;
+      (** cr<->gpr transfer moves inserted for condition-register
+          spills (also counted process-wide by the
+          [regalloc.cr_spill_moves_total] metric) *)
   slots : int;  (** distinct spill slots *)
   per_class : cls_stat list;  (** GPR, FPR, CR in that order *)
 }
+
+exception Infeasible of string
+(** The procedure cannot be allocated within the register file at all —
+    what {!allocate} reports as [Error]. Raised by the pipeline (never
+    by this module) so drivers can classify infeasibility separately
+    from crashes; deterministic for a given (program, machine, budget). *)
 
 val allocate :
   ?gprs:int ->
@@ -64,14 +87,16 @@ val allocate :
     the condition-register budget always comes from the machine.
 
     When spilling is needed the allocator re-runs the scan with a
-    reduced pool: the highest GPR becomes the spill-slot base register
+    reduced pool: the highest GPR becomes the spill frame base register
     and the next three GPRs (and top three FPRs, when floats are in
     use) become reload/store scratch registers — three because a
     three-address op can have all its operands spilled and distinct.
-    [Error] when the file is too small even for that (fewer than 5
-    GPRs), when condition registers overflow their file, or when one
-    instruction needs more spilled operands of a class than there are
-    scratch registers (a call with 4+ spilled arguments). *)
+    When condition-register pressure exceeds the CR file, the top CR is
+    additionally reserved as the transfer scratch. [Error] when the
+    file is too small even for that (fewer than 5 GPRs, or fewer than
+    2 CRs under CR pressure), or when one instruction needs more
+    spilled operands of a class than there are scratch registers (a
+    call with 4+ spilled arguments). *)
 
 val staged_slots : t -> int list
 (** Spill-slot offsets that {!remap_input} pre-stages from the caller
@@ -81,14 +106,10 @@ val staged_slots : t -> int list
 val remap_input : t -> Gis_sim.Simulator.input -> Gis_sim.Simulator.input
 (** Translate an input built for the symbolic procedure: register
     bindings move to their physical names, bindings of spilled
-    registers become memory bindings at the spill slot, and bindings of
-    registers the procedure never read at entry are dropped (their
-    physical home may be shared with a register that {e is} live). *)
-
-val observables_ignoring_spills : Gis_sim.Simulator.outcome -> string
-(** {!Gis_sim.Simulator.observables} with spill-slot (negative)
-    addresses removed from both final memories — what allocation must
-    preserve. The identity on outcomes of spill-free code. *)
+    registers become spill-segment bindings at the spill slot
+    ([spill_memory]/[spill_float_memory]), and bindings of registers
+    the procedure never read at entry are dropped (their physical home
+    may be shared with a register that {e is} live). *)
 
 val verify :
   ?gprs:int ->
@@ -105,8 +126,10 @@ val verify :
       conflicting def while another value is still live);
     - the rewritten code uses at most the budget of each class;
     - running the functional evaluator on the allocated code with the
-      remapped input produces observable state (modulo spill slots)
-      identical to the symbolic [baseline] on the same input. *)
+      remapped input (and the spill segment routed through
+      {!field-frame}) produces observable state identical to the
+      symbolic [baseline] on the same input — exact equality, no spill
+      filtering, since spill storage is disjoint by construction. *)
 
 val pp : t Fmt.t
 (** One-line allocation summary: per-class pressure/used/budget plus

@@ -7,9 +7,19 @@ type input = {
   float_regs : (Reg.t * float) list;
   memory : (int * int) list;
   float_memory : (int * float) list;
+  spill_memory : (int * int) list;
+  spill_float_memory : (int * float) list;
 }
 
-let no_input = { int_regs = []; float_regs = []; memory = []; float_memory = [] }
+let no_input =
+  {
+    int_regs = [];
+    float_regs = [];
+    memory = [];
+    float_memory = [];
+    spill_memory = [];
+    spill_float_memory = [];
+  }
 
 type stop_reason = Halted | Out_of_fuel | Trap of string
 
@@ -25,6 +35,8 @@ type outcome = {
   output : string list;
   final_memory : (int * int) list;
   final_float_memory : (int * float) list;
+  final_spill_memory : (int * int) list;
+  final_spill_float_memory : (int * float) list;
   read_int : Reg.t -> int option;
   block_counts : (Label.t * int) list;
   telemetry : Trace.summary;
@@ -40,10 +52,16 @@ let m_issue_span = Metrics.histogram "sim.issue_span_cycles"
 type state = {
   machine : Machine.t;
   cfg : Cfg.t;
+  frame : Reg.t option;
+      (** the allocator's spill frame base; loads and stores whose base
+          register IS this register (by identity, not address value)
+          are routed to the spill segment below *)
   ints : (int, int) Hashtbl.t;  (** Reg.hash -> value (GPR and CR) *)
   floats : (int, float) Hashtbl.t;
   mem : (int, int) Hashtbl.t;
   fmem : (int, float) Hashtbl.t;
+  smem : (int, int) Hashtbl.t;  (** spill segment, disjoint from [mem] *)
+  sfmem : (int, float) Hashtbl.t;
   producers : (int, Instr.t * int) Hashtbl.t;
       (** Reg.hash -> (producing instruction, cycle its result leaves the
           unit); consumer readiness adds the pair-specific delay *)
@@ -218,24 +236,37 @@ let corrupt_wide_add_for_testing = ref false
 
 (* Execute the instruction's semantics; returns the label to jump to
    when it is a taken branch terminator. *)
+(* The spill segment is selected by the identity of the base register,
+   never by the numeric address: program arithmetic can compute any
+   integer, so no address range is unreachable, but the frame register
+   is reserved by the allocator and no program value is ever assigned
+   to it. This is what makes spill storage disjoint from everything the
+   program can observe. *)
+let is_frame st base =
+  match st.frame with Some f -> Reg.equal f base | None -> false
+
 let execute st i =
   match Instr.kind i with
   | Instr.Load { dst; base; offset; update } ->
       let addr = read_int st base + offset in
+      let mem = if is_frame st base then st.smem else st.mem in
+      let fmem = if is_frame st base then st.sfmem else st.fmem in
       (match dst.Reg.cls with
       | Reg.Fpr ->
           write_float st dst
-            (Option.value ~default:0.0 (Hashtbl.find_opt st.fmem addr))
+            (Option.value ~default:0.0 (Hashtbl.find_opt fmem addr))
       | Reg.Gpr | Reg.Cr ->
           write_int st dst
-            (Option.value ~default:0 (Hashtbl.find_opt st.mem addr)));
+            (Option.value ~default:0 (Hashtbl.find_opt mem addr)));
       if update then write_int st base addr;
       None
   | Instr.Store { src; base; offset; update } ->
       let addr = read_int st base + offset in
+      let mem = if is_frame st base then st.smem else st.mem in
+      let fmem = if is_frame st base then st.sfmem else st.fmem in
       (match src.Reg.cls with
-      | Reg.Fpr -> Hashtbl.replace st.fmem addr (read_float st src)
-      | Reg.Gpr | Reg.Cr -> Hashtbl.replace st.mem addr (read_int st src));
+      | Reg.Fpr -> Hashtbl.replace fmem addr (read_float st src)
+      | Reg.Gpr | Reg.Cr -> Hashtbl.replace mem addr (read_int st src));
       if update then write_int st base addr;
       None
   | Instr.Load_imm { dst; value } ->
@@ -342,15 +373,18 @@ let summarize st =
       (match st.trace with Some log -> Gis_util.Vec.to_list log | None -> []);
   }
 
-let run_with_header ~fuel ?(trace = false) machine cfg ~header input =
+let run_with_header ~fuel ?(trace = false) ?frame machine cfg ~header input =
   let st =
     {
       machine;
       cfg;
+      frame;
       ints = Hashtbl.create 64;
       floats = Hashtbl.create 16;
       mem = Hashtbl.create 256;
       fmem = Hashtbl.create 16;
+      smem = Hashtbl.create 16;
+      sfmem = Hashtbl.create 16;
       producers = Hashtbl.create 64;
       unit_use = Hashtbl.create 1024;
       cursor = 0;
@@ -376,6 +410,10 @@ let run_with_header ~fuel ?(trace = false) machine cfg ~header input =
   List.iter (fun (r, v) -> write_float st r v) input.float_regs;
   List.iter (fun (a, v) -> Hashtbl.replace st.mem a v) input.memory;
   List.iter (fun (a, v) -> Hashtbl.replace st.fmem a v) input.float_memory;
+  List.iter (fun (a, v) -> Hashtbl.replace st.smem a v) input.spill_memory;
+  List.iter
+    (fun (a, v) -> Hashtbl.replace st.sfmem a v)
+    input.spill_float_memory;
   let stop = ref None in
   let block = ref (Cfg.block cfg (Cfg.entry cfg)) in
   (try
@@ -425,6 +463,8 @@ let run_with_header ~fuel ?(trace = false) machine cfg ~header input =
       output = List.rev st.out;
       final_memory = dump st.mem;
       final_float_memory = dump st.fmem;
+      final_spill_memory = dump st.smem;
+      final_spill_float_memory = dump st.sfmem;
       read_int = (fun r -> Hashtbl.find_opt st.ints (Reg.hash r));
       block_counts =
         List.sort compare
@@ -433,11 +473,11 @@ let run_with_header ~fuel ?(trace = false) machine cfg ~header input =
     },
     List.rev st.header_entries )
 
-let run ?fuel ?trace machine cfg input =
+let run ?fuel ?trace ?frame machine cfg input =
   fst
     (run_with_header
        ~fuel:(Option.value ~default:2_000_000 fuel)
-       ?trace machine cfg ~header:None input)
+       ?trace ?frame machine cfg ~header:None input)
 
 let profile_fn o label =
   Option.value ~default:0 (List.assoc_opt label o.block_counts)

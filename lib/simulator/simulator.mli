@@ -24,6 +24,10 @@ type input = {
   float_regs : (Gis_ir.Reg.t * float) list;
   memory : (int * int) list;  (** byte address (4-aligned) -> word *)
   float_memory : (int * float) list;  (** byte address (8-aligned) -> double *)
+  spill_memory : (int * int) list;
+      (** initial contents of the spill segment (slot offset -> word);
+          only reachable through the [frame] register, see {!run} *)
+  spill_float_memory : (int * float) list;
 }
 
 val no_input : input
@@ -39,6 +43,11 @@ type outcome = {
   output : string list;  (** call trace, oldest first *)
   final_memory : (int * int) list;  (** sorted by address *)
   final_float_memory : (int * float) list;
+  final_spill_memory : (int * int) list;
+      (** final contents of the spill segment — compiler-private state,
+          excluded from {!observables}; empty unless [run] was given a
+          [frame] register *)
+  final_spill_float_memory : (int * float) list;
   read_int : Gis_ir.Reg.t -> int option;  (** final register contents *)
   block_counts : (Gis_ir.Label.t * int) list;
       (** dynamic execution count of every block entered at least once —
@@ -56,6 +65,7 @@ type outcome = {
 val run :
   ?fuel:int ->
   ?trace:bool ->
+  ?frame:Gis_ir.Reg.t ->
   Gis_machine.Machine.t ->
   Gis_ir.Cfg.t ->
   input ->
@@ -65,7 +75,14 @@ val run :
     {!Gis_obs.Trace.event} per dynamic instruction into
     [outcome.telemetry.events] — the input to
     {!Gis_obs.Report.pp_issue_diagram}. Aggregated telemetry is always
-    collected. *)
+    collected.
+
+    [frame] names the register allocator's spill frame base: loads and
+    stores whose base register {e is} [frame] (by register identity —
+    not by the numeric address, which program arithmetic could forge)
+    read and write a dedicated spill segment disjoint from program
+    memory. Out-of-bounds program accesses therefore can never alias
+    spill slots, and spill traffic never appears in {!observables}. *)
 
 val profile_fn : outcome -> Gis_ir.Label.t -> int
 (** Lookup into {!field-block_counts}; 0 for blocks never executed. *)

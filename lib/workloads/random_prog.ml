@@ -19,10 +19,10 @@ type params = {
   mask_load_index : bool;
       (** mask array load indices to the array window, like stores.
           Unmasked loads of wild indices read 0 from untouched memory —
-          semantically fine, but they can alias the register allocator's
-          negative-address spill slots, which generated programs must
-          not inspect. The fuzzing grammar masks; the legacy grammar is
-          kept bit-compatible. *)
+          well-defined now that spill storage lives in its own
+          simulator segment, unreachable from program addresses. The
+          hardened grammar masks (denser in-window aliasing); the
+          default grammar leaves them wild, stressing that isolation. *)
   max_scalars : int;
   max_arrays : int;
   body_len : int;  (** top-level statement count is 3 + [0, body_len) *)

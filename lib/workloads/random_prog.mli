@@ -17,9 +17,11 @@ type params = {
   alias_pairs : bool;  (** emit store-then-load pairs to one masked slot *)
   mask_load_index : bool;
       (** mask array load indices to the array window (stores always
-          are). The fuzzing grammar masks loads too so generated
-          programs never read the register allocator's negative-address
-          spill slots; the legacy grammar leaves them wild. *)
+          are). The hardened grammar masks loads too, for denser
+          in-window aliasing; the default grammar leaves them wild —
+          out-of-bounds loads read 0 and cannot touch the register
+          allocator's spill segment, which is routed by frame-register
+          identity, not an address range. *)
   max_scalars : int;  (** scalar count is 3 + [0, max_scalars) *)
   max_arrays : int;  (** array count is 1 + [0, max_arrays) *)
   body_len : int;  (** top-level statement count is 3 + [0, body_len) *)

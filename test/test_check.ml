@@ -161,6 +161,86 @@ let test_rejects_store_speculation () =
        (fun d -> d.D.uid = Some (Instr.uid store))
        errs)
 
+(* Hoist the first body instruction of [from] onto the end of [to_]'s
+   body — the physical shape of a speculative upward motion. *)
+let hoist post ~from ~to_ =
+  let bsrc = Cfg.block_of_label post from in
+  let inst = List.hd (Gis_util.Vec.to_list bsrc.Block.body) in
+  ignore (Block.remove_by_uid bsrc ~uid:(Instr.uid inst));
+  let bdst = Cfg.block_of_label post to_ in
+  Gis_util.Vec.push bdst.Block.body inst;
+  inst
+
+(* A speculated definition whose value survives to the target block's
+   exit while the register is live into the off-path successor is the
+   classic illegal clobber; the checker must flag it. *)
+let test_rejects_off_path_clobber () =
+  let g, regs = fresh_gprs 4 in
+  let r1, r9, r3, c0 =
+    ( List.nth regs 0,
+      List.nth regs 1,
+      List.nth regs 2,
+      Reg.Gen.fresh g Reg.Cr )
+  in
+  let pre =
+    B.func ~reg_gen:g
+      [
+        ( "L.entry",
+          [ B.li ~dst:r1 7; B.li ~dst:r9 1; B.cmpi ~dst:c0 ~lhs:r9 0 ],
+          B.bt ~cr:c0 ~cond:Instr.Gt ~taken:"L.then" ~fallthru:"L.else" );
+        ("L.then", [ B.li ~dst:r1 0 ], B.jmp "L.join");
+        ("L.else", [ B.addi ~dst:r3 ~lhs:r1 1 ], B.jmp "L.join");
+        ("L.join", [], B.halt);
+      ]
+  in
+  let post = Cfg.deep_copy pre in
+  let moved = hoist post ~from:"L.then" ~to_:"L.entry" in
+  let ds = C.check_stage ~stage:"global-pass1" ~pre ~post () in
+  let errs = C.errors ds in
+  Alcotest.(check bool)
+    (Fmt.str "off-path clobber rejected: %s" (pp_diags ds))
+    true
+    (has_rule "speculation.live-off-path" errs);
+  Alcotest.(check bool) "diagnostic names the moved uid" true
+    (List.exists (fun d -> d.D.uid = Some (Instr.uid moved)) errs)
+
+(* The counterpart from fuzz seed 1741: when a later hoisted definition
+   of the same register kills the speculated one inside the target
+   block, the dead value never escapes and the motion is legal — the
+   killer itself came from a block every off-path successor reaches, so
+   neither motion may be flagged. *)
+let test_accepts_killed_off_path_def () =
+  let g, regs = fresh_gprs 4 in
+  let r1, r9, r3, c0 =
+    ( List.nth regs 0,
+      List.nth regs 1,
+      List.nth regs 2,
+      Reg.Gen.fresh g Reg.Cr )
+  in
+  let pre =
+    B.func ~reg_gen:g
+      [
+        ( "L.entry",
+          [ B.li ~dst:r9 1; B.cmpi ~dst:c0 ~lhs:r9 0 ],
+          B.bt ~cr:c0 ~cond:Instr.Gt ~taken:"L.then" ~fallthru:"L.skip" );
+        ("L.then", [ B.li ~dst:r1 0 ], B.jmp "L.tail");
+        ("L.skip", [], B.jmp "L.tail");
+        ("L.tail", [ B.li ~dst:r1 5; B.addi ~dst:r3 ~lhs:r1 1 ], B.halt);
+      ]
+  in
+  let post = Cfg.deep_copy pre in
+  let speculated = hoist post ~from:"L.then" ~to_:"L.entry" in
+  let killer = hoist post ~from:"L.tail" ~to_:"L.entry" in
+  Alcotest.(check bool) "killer defines the same register" true
+    (List.exists
+       (fun r -> List.exists (Reg.equal r) (Instr.defs killer))
+       (Instr.defs speculated));
+  let ds = C.check_stage ~stage:"global-pass1" ~pre ~post () in
+  Alcotest.(check bool)
+    (Fmt.str "killed speculative def accepted: %s" (pp_diags ds))
+    true
+    (not (has_rule "speculation.live-off-path" (C.errors ds)))
+
 (* Deleting an instruction must be caught as a conservation failure. *)
 let test_rejects_deletion () =
   let g, regs = fresh_gprs 2 in
@@ -234,7 +314,7 @@ let test_lint_detached_target () =
 
 let test_exit_codes () =
   let module E = Gis_driver.Exit_codes in
-  Alcotest.(check (list int)) "table" [ 0; 1; 2; 3; 4; 5; 6 ] E.all;
+  Alcotest.(check (list int)) "table" [ 0; 1; 2; 3; 4; 5; 6; 7 ] E.all;
   Alcotest.(check int) "ok" 0 E.ok;
   Alcotest.(check int) "compile" 1 E.compile_error;
   Alcotest.(check int) "usage" 2 E.usage_error;
@@ -242,6 +322,7 @@ let test_exit_codes () =
   Alcotest.(check int) "batch partial" 4 E.batch_partial_failure;
   Alcotest.(check int) "batch timeout" 5 E.batch_timeout_only;
   Alcotest.(check int) "fuzz finding" 6 E.fuzz_finding;
+  Alcotest.(check int) "regalloc infeasible" 7 E.regalloc_infeasible;
   List.iter
     (fun c ->
       Alcotest.(check bool)
@@ -315,6 +396,10 @@ let () =
             test_rejects_swap;
           Alcotest.test_case "store hoisted above its branch" `Quick
             test_rejects_store_speculation;
+          Alcotest.test_case "off-path live clobber" `Quick
+            test_rejects_off_path_clobber;
+          Alcotest.test_case "killed off-path def accepted" `Quick
+            test_accepts_killed_off_path_def;
           Alcotest.test_case "instruction deleted" `Quick test_rejects_deletion;
         ] );
       ( "validator",

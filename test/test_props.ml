@@ -183,18 +183,11 @@ let prop_unroll_then_rotate_all_levels seed =
 
 (* Linear-scan allocation on a deliberately small register file: the
    allocated code must verify (disjoint intervals per physical
-   register, within budget, evaluator-identical modulo spill slots).
-
-   Run over a PINNED seed window, not QCheck's random sampling: the
-   differential fuzzer found pre-existing soundness gaps here
-   (default-grammar seeds 532, 727, 730, 2131 fail the observable diff
-   — most likely out-of-bounds loads aliasing the spill-slot address
-   space rather than a miscompile; 658 crashes on CR spill capacity —
-   all reproduce at the pre-fuzzer seed commit) at a density that made
-   random sampling fail ~6% of runs. The pinned sweep keeps the
-   regression coverage deterministic while those are open; see
-   ROADMAP.md ("allocation soundness gaps") for the shrunk reproducer
-   and fix plan. *)
+   register, within budget, evaluator-identical — spill storage lives
+   in its own segment, so observables compare exactly). Random
+   sampling: the soundness gaps the fuzzer found here (wild program
+   addresses aliasing spill slots, CR spill capacity) are fixed and
+   pinned as corpus fixtures in test_regalloc. *)
 let prop_regalloc_verifies seed =
   let cfg, input = baseline_and_input seed in
   let scheduled = Cfg.deep_copy cfg in
@@ -350,17 +343,7 @@ let () =
             prop_unroll_then_rotate_all_levels;
         ] );
       ( "register allocation",
-        [
-          Alcotest.test_case "tight file verifies (pinned seeds)" `Quick
-            (fun () ->
-              List.iter
-                (fun seed ->
-                  Alcotest.(check bool)
-                    (Fmt.str "seed %d verifies" seed)
-                    true
-                    (prop_regalloc_verifies seed))
-                (List.init 40 (fun i -> i + 1)));
-        ] );
+        [ qtest "tight file verifies" 40 prop_regalloc_verifies ] );
       ( "batch driver determinism",
         [ qtest "jobs 1 = jobs 4" 12 prop_driver_jobs_deterministic ] );
       ( "analysis invariants",

@@ -122,7 +122,8 @@ let test_file_too_small_to_spill () =
   | Ok _ -> Alcotest.fail "4 GPRs cannot hold minmax and spill code"
 
 (* ------------------------------------------------------------------ *)
-(* Condition registers never spill.                                    *)
+(* Condition registers spill through an integer transfer scratch; a    *)
+(* file with a single CR cannot even hold the scratch and is rejected. *)
 (* ------------------------------------------------------------------ *)
 
 let test_cr_overflow_rejected () =
@@ -150,6 +151,104 @@ let test_cr_overflow_rejected () =
       Alcotest.(check bool) "error mentions the condition register" true
         (contains m "condition register")
   | Ok _ -> Alcotest.fail "two live CRs cannot fit one CR field"
+
+(* Three CR values live at once on a 2-CR machine: the scan must spill
+   condition registers through the integer transfer scratch (mfcr/mtcr
+   moves around spill loads/stores), the branches on spilled CRs must
+   reload through the terminator path, and the allocated code must
+   still print the same trace as the symbolic baseline. *)
+let cr_pressure_cfg () =
+  let g = Reg.Gen.create () in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let v = Reg.Gen.fresh g Reg.Gpr in
+  let c1 = Reg.Gen.fresh g Reg.Cr in
+  let c2 = Reg.Gen.fresh g Reg.Cr in
+  let c3 = Reg.Gen.fresh g Reg.Cr in
+  let print_block name k next =
+    (name, [ B.li ~dst:v k; B.call "print_int" [ v ] ], B.jmp next)
+  in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "A",
+          [
+            B.li ~dst:x 1;
+            B.cmpi ~dst:c1 ~lhs:x 0;
+            B.cmpi ~dst:c2 ~lhs:x 1;
+            B.cmpi ~dst:c3 ~lhs:x 2;
+          ],
+          B.bt ~cr:c1 ~cond:Instr.Gt ~taken:"T1" ~fallthru:"F1" );
+        print_block "T1" 1 "J1";
+        print_block "F1" 2 "J1";
+        ("J1", [], B.bt ~cr:c2 ~cond:Instr.Eq ~taken:"T2" ~fallthru:"F2");
+        print_block "T2" 3 "J2";
+        print_block "F2" 4 "J2";
+        ("J2", [], B.bt ~cr:c3 ~cond:Instr.Lt ~taken:"T3" ~fallthru:"F3");
+        print_block "T3" 5 "End";
+        print_block "F3" 6 "End";
+        ("End", [], Instr.Halt);
+      ]
+  in
+  cfg
+
+let two_cr_machine =
+  Machine.make ~name:"two-cr" ~fixed_units:1 ~float_units:1 ~branch_units:1
+    ~crs:2 ()
+
+let test_cr_spill_roundtrip () =
+  let cfg = cr_pressure_cfg () in
+  let baseline = Cfg.deep_copy cfg in
+  let prov = Gis_obs.Provenance.create () in
+  match R.allocate ~prov two_cr_machine cfg with
+  | Error m -> Alcotest.failf "CR pressure 3 on 2 CRs should spill: %s" m
+  | Ok alloc ->
+      Validate.check_exn cfg;
+      (* The spill-discipline lint must accept the cr<->gpr transfer
+         moves as spill code, not flag them as spill.not-mem. *)
+      let lint_errors =
+        Gis_check.Check.errors
+          (Gis_check.Lint.run ~prov ~staged_slots:(R.staged_slots alloc)
+             ~stage:"final" cfg)
+      in
+      Alcotest.(check int)
+        (Fmt.str "lint clean: %a" Fmt.(list Gis_check.Diagnostic.pp)
+           lint_errors)
+        0
+        (List.length lint_errors);
+      let spilled_crs =
+        List.filter (fun (r, _) -> r.Reg.cls = Reg.Cr) alloc.R.spilled
+      in
+      Alcotest.(check bool) "at least one CR spilled" true
+        (spilled_crs <> []);
+      Alcotest.(check bool) "cr transfer moves inserted" true
+        (alloc.R.cr_spill_moves > 0);
+      (* x=1: c1 is Gt (print 1), c2 is Eq (print 3), c3 is Lt (print 5). *)
+      (match
+         R.verify ~machine:two_cr_machine ~baseline ~allocated:cfg alloc
+           Simulator.no_input
+       with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "CR spill verify: %s" m);
+      let out =
+        (Simulator.run ?frame:alloc.R.frame two_cr_machine cfg
+           (R.remap_input alloc Simulator.no_input))
+          .Simulator.output
+      in
+      Alcotest.(check (list string))
+        "allocated trace"
+        [ "print_int(1)"; "print_int(3)"; "print_int(5)" ]
+        out
+
+(* The same procedure on the full rs6k CR file must not spill any CR —
+   the transfer machinery only engages under real pressure. *)
+let test_cr_spill_only_under_pressure () =
+  let cfg = cr_pressure_cfg () in
+  match R.allocate machine cfg with
+  | Error m -> Alcotest.failf "roomy CR file: %s" m
+  | Ok alloc ->
+      Alcotest.(check int) "no cr transfers" 0 alloc.R.cr_spill_moves;
+      Alcotest.(check bool) "no CR spilled" true
+        (List.for_all (fun (r, _) -> r.Reg.cls <> Reg.Cr) alloc.R.spilled)
 
 (* ------------------------------------------------------------------ *)
 (* The verifier rejects a genuinely broken assignment.                 *)
@@ -228,6 +327,82 @@ let test_pressure_aware_tight_still_correct () =
     workloads
 
 (* ------------------------------------------------------------------ *)
+(* Fuzzer-found reproducers, pinned as corpus fixtures.                *)
+(* ------------------------------------------------------------------ *)
+
+module F = Gis_fuzz.Fuzz
+
+(* Each fixture is the shrunk program of a real fuzzer finding from
+   before spill storage was isolated / condition registers could spill;
+   the header comment in the .tc file records the original failure.
+   Replaying the exact failing cell through the full oracle (legality
+   checker + allocation verifier + trace comparison against the
+   unscheduled reference) must now pass. *)
+let corpus_source name =
+  let path =
+    let candidates =
+      [
+        Filename.concat "fuzz-corpus" name;
+        Filename.concat (Filename.concat ".." "fuzz-corpus") name;
+      ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> Alcotest.failf "corpus fixture %s not found" name
+  in
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+let test_corpus_fixture ~file ~seed ~cell () =
+  let src = corpus_source file in
+  Label.reset_fresh_counter ();
+  let compiled = Codegen.compile_string src in
+  (* The shrinker evaluates candidates under the input derived from the
+     original seed, so the fixture must be replayed with exactly that
+     input to hit the original failure path. *)
+  let input = Random_prog.random_input ~seed compiled in
+  let reference =
+    Simulator.observables
+      (Simulator.run F.reference_machine compiled.Codegen.cfg input)
+  in
+  match F.run_cell cell compiled input ~reference with
+  | Ok () -> ()
+  | Error kind ->
+      Alcotest.failf "%s still fails in %a: %s" file F.pp_cell cell
+        (F.kind_label kind)
+
+(* Seed 532: out-of-bounds program address arithmetic used to read a
+   spill slot (check-failure: verifier observable mismatch). *)
+let test_corpus_seed532 =
+  test_corpus_fixture ~file:"seed532_base_rs6k_ra.tc" ~seed:532
+    ~cell:{ F.level = Config.Local; regalloc = true; machine = Machine.rs6k }
+
+(* Seed 658: CR pressure above the file used to crash with "cannot
+   spill condition register". *)
+let test_corpus_seed658 =
+  test_corpus_fixture ~file:"seed658_speculative_rs6k_ra.tc" ~seed:658
+    ~cell:
+      { F.level = Config.Speculative; regalloc = true; machine = Machine.rs6k }
+
+(* Seed 1741 (no regalloc involved): the checker's off-path clobber
+   rule used to flag a speculated definition that a later hoisted
+   definition of the same register killed inside the target block —
+   a false positive surfaced by the first default-grammar campaign
+   over the isolated spill segment. *)
+let test_corpus_seed1741 =
+  test_corpus_fixture ~file:"seed1741_speculative_superscalar-2_sym.tc"
+    ~seed:1741
+    ~cell:
+      {
+        F.level = Config.Speculative;
+        regalloc = false;
+        machine = Machine.superscalar ~width:2;
+      }
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "gis_regalloc"
@@ -240,6 +415,19 @@ let () =
             test_file_too_small_to_spill;
           Alcotest.test_case "cr overflow rejected" `Quick
             test_cr_overflow_rejected;
+          Alcotest.test_case "cr spill roundtrip" `Quick
+            test_cr_spill_roundtrip;
+          Alcotest.test_case "cr spill only under pressure" `Quick
+            test_cr_spill_only_under_pressure;
+        ] );
+      ( "fuzz corpus",
+        [
+          Alcotest.test_case "seed 532 (spill address isolation)" `Quick
+            test_corpus_seed532;
+          Alcotest.test_case "seed 658 (cr spilling)" `Quick
+            test_corpus_seed658;
+          Alcotest.test_case "seed 1741 (off-path kill false positive)"
+            `Quick test_corpus_seed1741;
         ] );
       ( "verifier",
         [
