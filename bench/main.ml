@@ -485,6 +485,70 @@ let bench_machine_sweep () =
   in
   Json.List rows
 
+(* ------------------------------------------------------------------ *)
+(* G1: gap to lower bound                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* How far each achieved schedule sits above the dependence/resource
+   lower bound of [Gis_bounds]: five workloads x three levels x the M1
+   issue widths. The accounting identity (achieved = lower bound +
+   attributed gap) is enforced on every cell, and the absolute
+   [_cycles] fields join the --baseline --check regression gate, so a
+   schedule that drifts away from its bound fails CI even when raw
+   cycle counts stay within tolerance elsewhere. *)
+let bench_gap_bounds () =
+  hr "G1: gap to lower bound (achieved vs max(chain, resource))";
+  let module Bounds = Gis_bounds.Bounds in
+  let levels =
+    [
+      ("local", Config.base);
+      ("useful", Config.useful_only);
+      ("speculative", Config.speculative);
+    ]
+  in
+  let widths = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun (name, (cfg0, input)) ->
+        Fmt.pr "  %s:@." name;
+        Fmt.pr "    %-12s | width | achieved |   bound |    gap@." "level";
+        let cells =
+          List.concat_map
+            (fun (lname, config) ->
+              List.map
+                (fun width ->
+                  let machine = Machine.superscalar ~width in
+                  let cfg = Cfg.deep_copy cfg0 in
+                  ignore (Pipeline.run machine config cfg);
+                  let os = Simulator.run machine cfg input in
+                  let b =
+                    Bounds.compute ~machine
+                      ~halted:(os.Simulator.stop = Simulator.Halted)
+                      cfg os.Simulator.telemetry
+                  in
+                  if not (Bounds.identity_holds b) then begin
+                    Fmt.epr "G1: bound identity violated on %s/%s/w%d@." name
+                      lname width;
+                    exit 1
+                  end;
+                  Fmt.pr "    %-12s | %5d | %8d | %7d | %6d@." lname width
+                    b.Bounds.achieved b.Bounds.lower_bound b.Bounds.gap;
+                  ( Fmt.str "%s.w%d" lname width,
+                    Json.Obj
+                      [
+                        ("achieved_cycles", Json.Int b.Bounds.achieved);
+                        ("lower_bound_cycles", Json.Int b.Bounds.lower_bound);
+                        ("gap_cycles", Json.Int b.Bounds.gap);
+                      ] ))
+                widths)
+            levels
+        in
+        Json.Obj [ ("program", Json.String name); ("by_cell", Json.Obj cells) ])
+      (proxy_programs ())
+  in
+  Fmt.pr "  (bound identity exact on every cell)@.";
+  Json.List rows
+
 let bench_webs () =
   hr "A4: register-web splitting (Section 4.2 renaming pre-pass)";
   Fmt.pr "  %-10s | webs off: cyc/moves/renames | webs on: cyc/moves/renames@."
@@ -997,30 +1061,57 @@ let parse_args () =
   let usage rest =
     Fmt.epr
       "usage: %s [--json [FILE]] [--deterministic] [--baseline FILE] \
-       [--check] [--history FILE] [--trend] (got: %s)@."
+       [--check] [--history FILE] [--trend] [--trend-cycles-pct P] \
+       [--trend-alloc-pct P] [--trend-wall-pct P] (got: %s)@."
       Sys.argv.(0) (String.concat " " rest);
     exit 2
   in
-  let rec go (json, det, base, chk, hist, trend) = function
-    | [] -> (json, det, base, chk, hist, trend)
-    | "--deterministic" :: rest -> go (json, true, base, chk, hist, trend) rest
-    | "--check" :: rest -> go (json, det, base, true, hist, trend) rest
-    | "--trend" :: rest -> go (json, det, base, chk, hist, true) rest
+  (* The --trend-*-pct flags override the drift-warning thresholds of
+     --trend (cycles 2%, allocation 10%, wall clock 50% by default —
+     pinned by test_prof). *)
+  let rec go (json, det, base, chk, hist, trend, tols) = function
+    | [] -> (json, det, base, chk, hist, trend, tols)
+    | "--deterministic" :: rest ->
+        go (json, true, base, chk, hist, trend, tols) rest
+    | "--check" :: rest -> go (json, det, base, true, hist, trend, tols) rest
+    | "--trend" :: rest -> go (json, det, base, chk, hist, true, tols) rest
+    | ("--trend-cycles-pct" | "--trend-alloc-pct" | "--trend-wall-pct") as flag
+      :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some p when p >= 0.0 ->
+            let cy, al, wa = tols in
+            let tols =
+              match flag with
+              | "--trend-cycles-pct" -> (p /. 100.0, al, wa)
+              | "--trend-alloc-pct" -> (cy, p /. 100.0, wa)
+              | _ -> (cy, al, p /. 100.0)
+            in
+            go (json, det, base, chk, hist, trend, tols) rest
+        | _ -> usage (flag :: v :: rest))
     | "--baseline" :: file :: rest when String.length file > 0 && file.[0] <> '-'
       ->
-        go (json, det, Some file, chk, hist, trend) rest
+        go (json, det, Some file, chk, hist, trend, tols) rest
     | "--history" :: file :: rest when String.length file > 0 && file.[0] <> '-'
       ->
-        go (json, det, base, chk, Some file, trend) rest
+        go (json, det, base, chk, Some file, trend, tols) rest
     | "--json" :: file :: rest when String.length file > 2 && file.[0] <> '-' ->
-        go (Some file, det, base, chk, hist, trend) rest
-    | "--json" :: rest -> go (Some "BENCH_gis.json", det, base, chk, hist, trend) rest
+        go (Some file, det, base, chk, hist, trend, tols) rest
+    | "--json" :: rest ->
+        go (Some "BENCH_gis.json", det, base, chk, hist, trend, tols) rest
     | rest -> usage rest
   in
-  go (None, false, None, false, None, false) (List.tl (Array.to_list Sys.argv))
+  go
+    (None, false, None, false, None, false, (0.02, 0.1, 0.5))
+    (List.tl (Array.to_list Sys.argv))
 
 let () =
-  let json_file, deterministic, baseline_file, check, history_file, trend =
+  let ( json_file,
+        deterministic,
+        baseline_file,
+        check,
+        history_file,
+        trend,
+        (cycle_tolerance, alloc_tolerance, wall_tolerance) ) =
     parse_args ()
   in
   Metrics.enable ();
@@ -1038,6 +1129,7 @@ let () =
   let a7 = bench_two_model () in
   let a8 = bench_duplication () in
   let m1 = bench_machine_sweep () in
+  let g1 = bench_gap_bounds () in
   let r1 = bench_regalloc () in
   (* P2 must run before P1 spawns worker domains: [Gc.allocated_bytes]
      folds a terminated domain's counters into the survivors at an
@@ -1066,6 +1158,7 @@ let () =
         ("A7_two_model", a7);
         ("A8_duplication", a8);
         ("M1_cycles_vs_width", m1);
+        ("G1_gap_to_lower_bound", g1);
         ("R1_register_allocation", r1);
         ("P1_parallel_batch", p1);
         ("P2_self_profile", p2);
@@ -1100,7 +1193,10 @@ let () =
         history_entry.History.total_cycles
         (Fmt.str "%a" Fmt.byte_size history_entry.History.total_alloc_bytes);
       if trend then begin
-        match History.trend entries with
+        match
+          History.trend ~cycle_tolerance ~alloc_tolerance ~wall_tolerance
+            entries
+        with
         | [] -> Fmt.pr "trend: no upward drift over the trailing window@."
         | drifts ->
             List.iter

@@ -183,11 +183,19 @@ let run_batch dir jobs width simulate elements seed deterministic stats_file
 
 let run_gisc source batch jobs level width show_code simulate elements seed
     trace_issue trace_out pipeline_view deterministic stats_file regalloc
-    pressure_aware regs timeout verbose =
+    pressure_aware regs timeout flight_cap verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
+  Option.iter
+    (fun cap ->
+      if cap < 1 then begin
+        Fmt.epr "--flight-cap must be >= 1 (got %d)@." cap;
+        exit Exit.usage_error
+      end;
+      Flight.set_default_capacity cap)
+    flight_cap;
   Metrics.enable ();
   let with_alloc config =
     { config with Config.regalloc; pressure_aware; regs }
@@ -316,6 +324,20 @@ let run_gisc source batch jobs level width show_code simulate elements seed
           Fmt.pr "  output: %a@."
             Fmt.(list ~sep:comma string)
             os.Simulator.output;
+          (* Schedule-quality bound on the run we just simulated: how
+             many of the achieved cycles were forced by dependences and
+             unit capacity, and how many are attributable gap. *)
+          let bounds =
+            Gis_bounds.Bounds.compute ~machine
+              ~halted:(os.Simulator.stop = Simulator.Halted)
+              cfg os.Simulator.telemetry
+          in
+          Gis_bounds.Bounds.export_metrics bounds;
+          Fmt.pr
+            "  bound     %7d cycles lower bound (critical path %d, resources \
+             %d); gap %d@."
+            bounds.Gis_bounds.Bounds.lower_bound bounds.Gis_bounds.Bounds.cp_lb
+            bounds.Gis_bounds.Bounds.res_lb bounds.Gis_bounds.Bounds.gap;
           Fmt.pr "@.stall breakdown (scheduled):@.";
           Report.pp_summary Fmt.stdout os.Simulator.telemetry;
           if trace_issue then begin
@@ -330,10 +352,12 @@ let run_gisc source batch jobs level width show_code simulate elements seed
             (fun path ->
               write_file path
                 (Chrome_trace.to_string ~process_name:name
-                   ?profile:(prof_root ()) os.Simulator.telemetry);
+                   ?profile:(prof_root ())
+                   ~slack:(Gis_bounds.Bounds.slack_of_uid bounds)
+                   os.Simulator.telemetry);
               Fmt.pr "@.chrome trace written to %s (load in Perfetto)@." path)
             trace_out;
-          Some (ob, os)
+          Some (ob, os, bounds)
         end
       in
       match stats_file with
@@ -428,13 +452,14 @@ let run_gisc source batch jobs level width show_code simulate elements seed
               @
               match simulation with
               | None -> []
-              | Some (ob, os) ->
+              | Some (ob, os, bounds) ->
                   [
                     ( "simulation",
                       Json.Obj
                         [
                           ("base", outcome_to_json ob);
                           ("scheduled", outcome_to_json os);
+                          ("bound", Gis_bounds.Bounds.to_json bounds);
                         ] );
                   ])
           in
@@ -496,6 +521,88 @@ let run_explain source level width elements seed regalloc pressure_aware regs
                e.Gis_driver.Explain.sched_telemetry);
           Fmt.pr "@.chrome trace written to %s (load in Perfetto)@." path)
         trace_out
+
+(* `gisc bound`: schedule-quality lower bounds for one program. The
+   scheduled program is simulated once; from the checker's trusted
+   dependence reconstruction we compute per-region critical-path and
+   resource lower bounds, per-instruction slack, and the binding
+   dependence edges, then attribute the distance between the achieved
+   cycles and the bound per stall category under an exact accounting
+   identity (exit 3 on violation). *)
+let run_bound source level width elements seed regalloc pressure_aware regs
+    top_k json_file verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  Metrics.enable ();
+  let name, src = load_source source in
+  let machine =
+    if width = 1 then Machine.rs6k else Machine.superscalar ~width
+  in
+  let config = config_of_level level in
+  let config = { config with Config.regalloc; pressure_aware; regs } in
+  let compile_input () =
+    if Filename.check_suffix name ".s" then
+      { Codegen.cfg = Asm.parse src; vars = []; arrays = [] }
+    else Codegen.compile_string src
+  in
+  match compile_input () with
+  | exception Parser.Error m
+  | exception Lexer.Error m
+  | exception Codegen.Error m
+  | exception Asm.Error m ->
+      Fmt.epr "%s: %s@." name m;
+      exit Exit.compile_error
+  | compiled ->
+      let cfg = Cfg.deep_copy compiled.Codegen.cfg in
+      let stats =
+        try Pipeline.run machine config cfg
+        with Gis_regalloc.Regalloc.Infeasible m ->
+          Fmt.epr "%s: regalloc infeasible: %s@." name m;
+          exit Exit.regalloc_infeasible
+      in
+      Validate.check_exn cfg;
+      let input = default_input compiled ~elements ~seed in
+      let sched_input, frame =
+        match stats.Pipeline.regalloc with
+        | Some alloc ->
+            ( Gis_regalloc.Regalloc.remap_input alloc input,
+              alloc.Gis_regalloc.Regalloc.frame )
+        | None -> (input, None)
+      in
+      let os = Simulator.run ?frame machine cfg sched_input in
+      let bounds =
+        Gis_bounds.Bounds.compute ~top_k ~machine
+          ~halted:(os.Simulator.stop = Simulator.Halted)
+          cfg os.Simulator.telemetry
+      in
+      Gis_bounds.Bounds.export_metrics bounds;
+      Fmt.pr "== %s: schedule bounds (machine %a, level %a) ==@.%a" name
+        Machine.pp machine Config.pp_level config.Config.level
+        Gis_bounds.Bounds.pp bounds;
+      Option.iter
+        (fun path ->
+          write_json path
+            (Json.Obj
+               [
+                 ("program", Json.String name);
+                 ("machine", Json.String (Machine.name machine));
+                 ( "level",
+                   Json.String (Fmt.str "%a" Config.pp_level config.Config.level)
+                 );
+                 ("elements", Json.Int elements);
+                 ("seed", Json.Int seed);
+                 ("bound", Gis_bounds.Bounds.to_json bounds);
+               ]);
+          Fmt.pr "bound report written to %s@." path)
+        json_file;
+      if not (Gis_bounds.Bounds.identity_holds bounds) then begin
+        Fmt.epr
+          "INTERNAL ERROR: bound accounting identity violated (achieved <> \
+           lower bound + attributed gap)@.";
+        exit Exit.verification_failure
+      end
 
 (* `gisc check`: static certification of one program's schedule. The
    pipeline runs with the per-stage verification hook installed; every
@@ -833,6 +940,16 @@ let timeout_arg =
               budget is spent are marked timed out without running. A batch \
               whose only failures are timeouts exits with code 5.")
 
+let flight_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "flight-cap" ] ~docv:"N"
+        ~doc:"Capacity of each worker domain's flight-recorder ring \
+              (default 64): the number of recent scheduler events kept \
+              for the post-mortem dump when a $(b,--batch) task crashes \
+              or times out.")
+
 let deterministic_arg =
   Arg.(
     value & flag
@@ -900,7 +1017,7 @@ let main_term =
     $ width_arg $ show_code_arg $ simulate_arg $ elements_arg $ seed_arg
     $ trace_issue_arg $ trace_out_arg $ pipeline_view_arg $ deterministic_arg
     $ stats_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg $ timeout_arg
-    $ verbose_arg)
+    $ flight_cap_arg $ verbose_arg)
 
 let explain_cmd =
   let doc =
@@ -963,6 +1080,39 @@ let profile_cmd =
       $ pressure_aware_arg $ regs_arg $ profile_json_arg $ folded_arg
       $ folded_alloc_arg $ profile_trace_arg $ deterministic_arg
       $ verbose_arg)
+
+let bound_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the bound report (program and per-region lower \
+              bounds, slack, binding edges, gap attribution per stall \
+              category) as JSON to $(docv).")
+
+let top_k_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "top-k" ] ~docv:"N"
+        ~doc:"Binding dependence edges kept per region, ranked by how \
+              close the edge is to the region's critical path \
+              (default 5).")
+
+let bound_cmd =
+  let doc =
+    "lower-bound the achieved schedule: from an independently \
+     reconstructed dependence graph, compute per-region critical-path \
+     and unit-capacity lower bounds, per-instruction slack and the \
+     binding dependence edges, then attribute the gap between achieved \
+     cycles and the bound per stall category under an exact accounting \
+     identity (exits 3 if it does not hold)"
+  in
+  Cmd.v
+    (Cmd.info "bound" ~doc)
+    Term.(
+      const run_bound $ source_arg $ level_arg $ width_arg $ elements_arg
+      $ seed_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg $ top_k_arg
+      $ bound_json_arg $ verbose_arg)
 
 let check_json_arg =
   Arg.(
@@ -1068,6 +1218,6 @@ let cmd =
   in
   Cmd.group ~default:main_term
     (Cmd.info "gisc" ~version:"1.0.0" ~doc)
-    [ explain_cmd; check_cmd; profile_cmd; fuzz_cmd ]
+    [ explain_cmd; bound_cmd; check_cmd; profile_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -64,6 +64,28 @@ let m_blocked = Gis_obs.Metrics.counter "sched.blocked_motions_total"
 let m_regions_scheduled = Gis_obs.Metrics.counter "sched.regions_scheduled_total"
 let m_regions_skipped = Gis_obs.Metrics.counter "sched.regions_skipped_total"
 
+(* One counter per Section 5.2 rank rule, bumped with the rule that
+   actually separated the winner from the best runner-up whenever a
+   ready-queue pick had competition; the order fallback (every rule
+   tied) gets its own counter. Which rules do real work is the signal
+   the ROADMAP's rank-auto-tuning item will optimize against. *)
+let m_rule_decides =
+  List.map
+    (fun r ->
+      ( r,
+        Gis_obs.Metrics.counter
+          ("priority.rule_decides_total." ^ Priority_rule.slug r) ))
+    Priority_rule.all
+
+let m_rule_order_fallback =
+  Gis_obs.Metrics.counter "priority.rule_decides_total.order-fallback"
+
+let tally_decision ~rules winner runner_up =
+  if Gis_obs.Metrics.is_enabled () then
+    match Priority.deciding_rule ~rules winner runner_up with
+    | Some r -> Gis_obs.Metrics.incr (List.assoc r m_rule_decides)
+    | None -> Gis_obs.Metrics.incr m_rule_order_fallback
+
 let blocked_reason = function
   | `Live_on_exit r -> Fmt.str "%a live on exit" Reg.pp r
   | `Rename_unsafe r -> Fmt.str "%a not renameable" Reg.pp r
@@ -651,16 +673,45 @@ let schedule_block st a blk_id =
             pick_ready ()
           end
     in
+    (* Best still-live entry left in the heap — the tie-break
+       counters' runner-up. Popped entries go straight back; the
+       comparator is total and deterministic, so re-pushing cannot
+       perturb pop order. Only scanned when metrics are on. *)
+    let runner_up () =
+      if not (Gis_obs.Metrics.is_enabled ()) then None
+      else begin
+        let popped = ref [] in
+        let rec go () =
+          match Heap.pop ready_h with
+          | None -> None
+          | Some it ->
+              popped := it :: !popped;
+              let i = it.Priority.node in
+              if candidate.(i) && st.issue.(i) = -1 then Some it else go ()
+        in
+        let res = go () in
+        List.iter (Heap.push ready_h) !popped;
+        res
+      end
+    in
     let pick () =
       match pick_ready (), term_item () with
       | None, t -> t
-      | (Some _ as s), None -> s
+      | (Some it as s), None ->
+          (match runner_up () with
+          | Some other -> tally_decision ~rules it other
+          | None -> ());
+          s
       | (Some it as s), (Some t as tt) ->
           if Priority.compare ~rules t it < 0 then begin
+            tally_decision ~rules t it;
             Heap.push ready_h it;
             tt
           end
-          else s
+          else begin
+            tally_decision ~rules it t;
+            s
+          end
     in
     let rec step () =
       if !finished then ()

@@ -22,6 +22,13 @@ let compare ~rules a b =
   in
   go rules
 
+let deciding_rule ~rules a b =
+  let rec go = function
+    | [] -> None
+    | r :: rest -> if apply_rule r a b <> 0 then Some r else go rest
+  in
+  go rules
+
 let best ~rules = function
   | [] -> None
   | first :: rest ->

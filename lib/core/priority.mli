@@ -21,4 +21,11 @@ val compare : rules:Priority_rule.t list -> item -> item -> int
     applied in the given order; items equal under every rule compare by
     [order] as the final arbiter (determinism). *)
 
+val deciding_rule :
+  rules:Priority_rule.t list -> item -> item -> Priority_rule.t option
+(** The first rule in [rules] that distinguishes the two items — the
+    rule that actually broke the tie when one of them was picked over
+    the other. [None] when every rule ties and the pick fell through
+    to the final program-order arbiter. *)
+
 val best : rules:Priority_rule.t list -> item list -> item option

@@ -7,11 +7,14 @@ type t =
 
 let paper_order = [ Useful_first; Max_delay; Max_critical_path; Program_order ]
 
-let pp ppf r =
-  Fmt.string ppf
-    (match r with
-    | Useful_first -> "useful-first"
-    | Max_delay -> "max-delay"
-    | Max_critical_path -> "max-critical-path"
-    | Program_order -> "program-order"
-    | Min_pressure -> "min-pressure")
+let slug = function
+  | Useful_first -> "useful-first"
+  | Max_delay -> "max-delay"
+  | Max_critical_path -> "max-critical-path"
+  | Program_order -> "program-order"
+  | Min_pressure -> "min-pressure"
+
+let all =
+  [ Useful_first; Max_delay; Max_critical_path; Program_order; Min_pressure ]
+
+let pp ppf r = Fmt.string ppf (slug r)

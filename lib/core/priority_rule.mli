@@ -18,4 +18,11 @@ type t =
 
 val paper_order : t list
 
+val all : t list
+(** Every rule, in [paper_order] position with {!Min_pressure} last —
+    the enumeration the per-rule tie-break counters register over. *)
+
+val slug : t -> string
+(** Stable kebab-case name, used in metric names and reports. *)
+
 val pp : t Fmt.t

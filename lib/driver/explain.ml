@@ -26,6 +26,8 @@ type t = {
   sched_cycles : int;
   base_telemetry : Trace.summary;
   sched_telemetry : Trace.summary;
+  bounds : Gis_bounds.Bounds.t;
+      (** lower bounds and gap attribution for the scheduled run *)
 }
 
 let delta_total e = e.base_last_issue - e.sched_last_issue
@@ -71,6 +73,11 @@ let explain ?(elements = 128) ?(seed = 3) ?(trace = false) machine
           Provenance.attribute prov ~base:ob.Simulator.telemetry
             ~sched:os.Simulator.telemetry
         in
+        let bounds =
+          Gis_bounds.Bounds.compute ~machine
+            ~halted:(os.Simulator.stop = Simulator.Halted)
+            cfg os.Simulator.telemetry
+        in
         {
           task = task.Driver.name;
           prov;
@@ -82,6 +89,7 @@ let explain ?(elements = 128) ?(seed = 3) ?(trace = false) machine
           sched_cycles = os.Simulator.cycles;
           base_telemetry = ob.Simulator.telemetry;
           sched_telemetry = os.Simulator.telemetry;
+          bounds;
         }
       with
       | e -> Ok e
@@ -150,7 +158,22 @@ let pp ppf e =
     e.attribution;
   Fmt.pf ppf "  total %+d (identity %s)@."
     (Provenance.attribution_total e.attribution)
-    (if identity_holds e then "exact" else "VIOLATED")
+    (if identity_holds e then "exact" else "VIOLATED");
+  let b = e.bounds in
+  Fmt.pf ppf "@.== %s: schedule bounds ==@." e.task;
+  Fmt.pf ppf
+    "  achieved %d, lower bound %d (critical path %d, resources %d), gap %d@."
+    b.Gis_bounds.Bounds.achieved b.Gis_bounds.Bounds.lower_bound
+    b.Gis_bounds.Bounds.cp_lb b.Gis_bounds.Bounds.res_lb
+    b.Gis_bounds.Bounds.gap;
+  List.iter
+    (fun (c : Gis_bounds.Bounds.credit) ->
+      if c.Gis_bounds.Bounds.cycles > 0 then
+        Fmt.pf ppf "  gap from %-14s %5d@." c.Gis_bounds.Bounds.category
+          c.Gis_bounds.Bounds.cycles)
+    b.Gis_bounds.Bounds.credits;
+  Fmt.pf ppf "  bound identity %s@."
+    (if Gis_bounds.Bounds.identity_holds b then "exact" else "VIOLATED")
 
 let to_json e =
   Json.Obj
@@ -164,4 +187,5 @@ let to_json e =
       ("identity_exact", Json.Bool (identity_holds e));
       ("provenance", Provenance.to_json e.prov);
       ("attribution", Provenance.attribution_to_json e.attribution);
+      ("bound", Gis_bounds.Bounds.to_json e.bounds);
     ]

@@ -18,6 +18,9 @@ type t = {
   sched_cycles : int;
   base_telemetry : Gis_obs.Trace.summary;
   sched_telemetry : Gis_obs.Trace.summary;
+  bounds : Gis_bounds.Bounds.t;
+      (** schedule-quality lower bounds and gap attribution for the
+          scheduled run (see {!Gis_bounds.Bounds}) *)
 }
 
 val delta_total : t -> int

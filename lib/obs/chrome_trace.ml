@@ -30,28 +30,69 @@ let meta ~name ~tid fields =
      ]
     @ [ ("args", Json.Obj fields) ])
 
-let slice (e : Trace.event) =
+(* Slice colour from schedule slack (Lstart - Estart of the static
+   instruction): zero-slack instructions sit on the critical path. The
+   cnames are Catapult's reserved palette names. *)
+let slack_cname s =
+  if s = 0 then "terrible" else if s <= 2 then "bad" else "good"
+
+let slice ?slack_of (e : Trace.event) =
   let dur = max 1 (e.Trace.fin - e.Trace.cycle) in
+  let slack =
+    match slack_of with
+    | None -> None
+    | Some f -> f (Instr.uid e.Trace.instr)
+  in
+  let cname =
+    match slack with None -> [] | Some s -> [ ("cname", str (slack_cname s)) ]
+  in
+  let slack_arg =
+    match slack with None -> [] | Some s -> [ ("slack_cycles", int s) ]
+  in
   Json.Obj
-    [
-      ("name", str (Fmt.str "%a" Instr.pp e.Trace.instr));
-      ("cat", str "issue");
-      ("ph", str "X");
-      ("ts", int e.Trace.cycle);
-      ("dur", int dur);
-      ("pid", int pid);
-      ("tid", int (unit_tid e.Trace.unit_));
-      ( "args",
-        Json.Obj
-          [
-            ("block", str e.Trace.block);
-            ("uid", int (Instr.uid e.Trace.instr));
-            ("issue_cycle", int e.Trace.cycle);
-            ("completion_cycle", int e.Trace.fin);
-            ("gap", int e.Trace.gap);
-            ("stall", str (Trace.stall_category e.Trace.stall));
-          ] );
-    ]
+    ([
+       ("name", str (Fmt.str "%a" Instr.pp e.Trace.instr));
+       ("cat", str "issue");
+       ("ph", str "X");
+       ("ts", int e.Trace.cycle);
+       ("dur", int dur);
+       ("pid", int pid);
+       ("tid", int (unit_tid e.Trace.unit_));
+     ]
+    @ cname
+    @ [
+        ( "args",
+          Json.Obj
+            ([
+               ("block", str e.Trace.block);
+               ("uid", int (Instr.uid e.Trace.instr));
+               ("issue_cycle", int e.Trace.cycle);
+               ("completion_cycle", int e.Trace.fin);
+               ("gap", int e.Trace.gap);
+               ("stall", str (Trace.stall_category e.Trace.stall));
+             ]
+            @ slack_arg) );
+      ])
+
+(* A counter track of the issuing instruction's slack over the
+   timeline — dips to zero mark stretches where the schedule is pinned
+   to the critical path. *)
+let slack_counter ?slack_of (e : Trace.event) =
+  match slack_of with
+  | None -> None
+  | Some f -> (
+      match f (Instr.uid e.Trace.instr) with
+      | None -> None
+      | Some s ->
+          Some
+            (Json.Obj
+               [
+                 ("name", str "schedule_slack");
+                 ("ph", str "C");
+                 ("ts", int e.Trace.cycle);
+                 ("pid", int pid);
+                 ("args", Json.Obj [ ("slack_cycles", int s) ]);
+               ]))
 
 let stall_instant (e : Trace.event) =
   match e.Trace.stall with
@@ -178,7 +219,8 @@ let profile_to_json root =
 
 let profile_to_string root = Json.to_string (profile_to_json root)
 
-let to_json ?(process_name = "gisc simulator") ?profile (s : Trace.summary) =
+let to_json ?(process_name = "gisc simulator") ?profile ?slack
+    (s : Trace.summary) =
   let unit_tys = [ Instr.Fixed; Instr.Float; Instr.Branch ] in
   let metadata =
     meta ~name:"process_name" ~tid:0 [ ("name", str process_name) ]
@@ -188,8 +230,11 @@ let to_json ?(process_name = "gisc simulator") ?profile (s : Trace.summary) =
              [ ("name", str (unit_name u ^ " unit")) ])
          unit_tys
   in
-  let slices = List.map slice s.Trace.events in
+  let slices = List.map (slice ?slack_of:slack) s.Trace.events in
   let stalls = List.filter_map stall_instant s.Trace.events in
+  let slack_track =
+    List.filter_map (slack_counter ?slack_of:slack) s.Trace.events
+  in
   (* The profiler rides along as a second process (its own slice track
      plus counter tracks); an absent profile leaves the simulator-only
      trace byte-identical to what it always was. *)
@@ -199,7 +244,8 @@ let to_json ?(process_name = "gisc simulator") ?profile (s : Trace.summary) =
   Json.Obj
     [
       ("displayTimeUnit", str "ms");
-      ("traceEvents", Json.List (metadata @ slices @ stalls @ prof_events));
+      ( "traceEvents",
+        Json.List (metadata @ slices @ stalls @ slack_track @ prof_events) );
       ( "otherData",
         Json.Obj
           [
@@ -209,5 +255,5 @@ let to_json ?(process_name = "gisc simulator") ?profile (s : Trace.summary) =
           ] );
     ]
 
-let to_string ?process_name ?profile s =
-  Json.to_string (to_json ?process_name ?profile s)
+let to_string ?process_name ?profile ?slack s =
+  Json.to_string (to_json ?process_name ?profile ?slack s)

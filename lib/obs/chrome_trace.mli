@@ -10,16 +10,33 @@
     the schema. *)
 
 val to_json :
-  ?process_name:string -> ?profile:Prof.node -> Trace.summary -> Json.t
+  ?process_name:string ->
+  ?profile:Prof.node ->
+  ?slack:(int -> int option) ->
+  Trace.summary ->
+  Json.t
 (** With [profile], the self-profiler's tree rides along as a second
     trace process: one slice track of pipeline phases/regions plus
     ["allocated_bytes"] and ["gc_collections"] counter tracks sampled
     at every phase boundary (one profile nanosecond = one trace
-    microsecond). Without it, the output is exactly the simulator-only
+    microsecond).
+
+    With [slack] (instruction uid → schedule slack, [None] for unknown
+    uids), every slice is coloured by how pinned its instruction is to
+    the critical path — zero slack renders ["terrible"] (red), 1–2
+    ["bad"], the rest ["good"] — each slice's args gain
+    [slack_cycles], and a ["schedule_slack"] counter track follows the
+    issuing instruction's slack across the timeline.
+
+    Without either option, the output is exactly the simulator-only
     trace. *)
 
 val to_string :
-  ?process_name:string -> ?profile:Prof.node -> Trace.summary -> string
+  ?process_name:string ->
+  ?profile:Prof.node ->
+  ?slack:(int -> int option) ->
+  Trace.summary ->
+  string
 
 val profile_events : Prof.node -> Json.t list
 (** The raw trace events of one profile tree (metadata, slices,

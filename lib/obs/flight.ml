@@ -10,32 +10,48 @@ type entry = { at : float; msg : string }
 
 let capacity = 64
 
-type ring = { mutable n : int (* total notes ever *); slots : entry array }
+type t = { mutable n : int (* total notes ever *); slots : entry array }
 
-let ring : ring Domain.DLS.key =
-  Domain.DLS.new_key (fun () ->
-      { n = 0; slots = Array.make capacity { at = 0.0; msg = "" } })
+let create ?capacity:(c = capacity) () =
+  if c < 1 then invalid_arg "Flight.create: capacity must be >= 1";
+  { n = 0; slots = Array.make c { at = 0.0; msg = "" } }
 
-let note msg =
-  let r = Domain.DLS.get ring in
-  r.slots.(r.n mod capacity) <- { at = Unix.gettimeofday (); msg };
+let capacity_of r = Array.length r.slots
+
+let note_to r msg =
+  r.slots.(r.n mod capacity_of r) <- { at = Unix.gettimeofday (); msg };
   r.n <- r.n + 1
 
-let notef fmt = Fmt.kstr note fmt
+let notef_to r fmt = Fmt.kstr (note_to r) fmt
+let clear_of r = r.n <- 0
+let recorded_of r = r.n
 
-let clear () =
-  let r = Domain.DLS.get ring in
-  r.n <- 0
-
-let recorded () = (Domain.DLS.get ring).n
-
-let dump () =
-  let r = Domain.DLS.get ring in
-  let kept = min r.n capacity in
+let dump_of r =
+  let cap = capacity_of r in
+  let kept = min r.n cap in
   List.init kept (fun i ->
       (* Oldest first: the ring's logical start is n - kept. *)
-      r.slots.((r.n - kept + i) mod capacity))
+      r.slots.((r.n - kept + i) mod cap))
 
+(* Capacity used for the lazily-created per-domain rings. Settable once
+   at startup (e.g. from gisc --flight-cap) before any domain has
+   noted; rings already materialised keep their size. *)
+let default_capacity = Atomic.make capacity
+
+let set_default_capacity c =
+  if c < 1 then invalid_arg "Flight.set_default_capacity: capacity must be >= 1";
+  Atomic.set default_capacity c
+
+let get_default_capacity () = Atomic.get default_capacity
+
+let ring : t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> create ~capacity:(Atomic.get default_capacity) ())
+
+let note msg = note_to (Domain.DLS.get ring) msg
+let notef fmt = Fmt.kstr note fmt
+let clear () = clear_of (Domain.DLS.get ring)
+let recorded () = recorded_of (Domain.DLS.get ring)
+let dump () = dump_of (Domain.DLS.get ring)
 let dump_messages () = List.map (fun e -> e.msg) (dump ())
 
 let pp_dump ppf () =

@@ -11,7 +11,33 @@
 type entry = { at : float;  (** wall clock of the note *) msg : string }
 
 val capacity : int
-(** Entries retained per domain (older notes are overwritten). *)
+(** Default entries retained per ring (older notes are overwritten). *)
+
+type t
+(** An explicit ring, independent of the per-domain ones — for callers
+    that want a recorder with a chosen capacity or lifetime. *)
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty ring. [capacity] defaults to {!capacity} (64); raises
+    [Invalid_argument] when < 1. *)
+
+val capacity_of : t -> int
+val note_to : t -> string -> unit
+val notef_to : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val clear_of : t -> unit
+val recorded_of : t -> int
+val dump_of : t -> entry list
+
+val set_default_capacity : int -> unit
+(** Capacity for per-domain rings created after this call (each
+    domain's ring materialises lazily on first use). Call at startup —
+    e.g. from [gisc --flight-cap] — before anything notes; rings that
+    already exist keep their size. Raises [Invalid_argument] when
+    < 1. *)
+
+val get_default_capacity : unit -> int
+(** Current per-domain default; {!capacity} unless
+    {!set_default_capacity} was called. *)
 
 val note : string -> unit
 (** Append to this domain's ring. *)

@@ -122,7 +122,7 @@ let pp_drift ppf d =
    threshold is looser for the same reason the gate's is — byte counts
    move with the toolchain. *)
 let trend ?(window = 5) ?(cycle_tolerance = 0.02) ?(alloc_tolerance = 0.1)
-    entries =
+    ?(wall_tolerance = 0.5) entries =
   match List.rev entries with
   | [] | [ _ ] -> []
   | latest :: prior ->
@@ -146,6 +146,6 @@ let trend ?(window = 5) ?(cycle_tolerance = 0.02) ?(alloc_tolerance = 0.1)
           alloc_tolerance
       @ check "wall_seconds" latest.wall_seconds
           (mean (fun e -> e.wall_seconds))
-          (* Wall clock is the noisiest of the three; only flag a run
-             half again slower than the recent mean. *)
-          0.5
+          (* Wall clock is the noisiest of the three; by default only
+             flag a run half again slower than the recent mean. *)
+          wall_tolerance

@@ -42,10 +42,11 @@ val trend :
   ?window:int ->
   ?cycle_tolerance:float ->
   ?alloc_tolerance:float ->
+  ?wall_tolerance:float ->
   entry list ->
   drift list
 (** Compare the newest entry against the mean of up to [window]
     (default 5) prior entries. Flags only upward drift: cycles beyond
     [cycle_tolerance] (default 2%), allocation beyond [alloc_tolerance]
-    (default 10%), wall clock beyond 50%. Fewer than two entries → no
-    findings. *)
+    (default 10%), wall clock beyond [wall_tolerance] (default 50%).
+    Fewer than two entries → no findings. *)

@@ -243,6 +243,29 @@ let test_flight_ring () =
     (List.nth msgs (Flight.capacity - 1));
   Flight.clear ()
 
+(* Ring capacity is configurable per explicit ring (and per process
+   via gisc --flight-cap), but the default stays pinned at 64. *)
+let test_flight_capacity () =
+  Alcotest.(check int) "default capacity pinned" 64 Flight.capacity;
+  Alcotest.(check int) "per-domain default unchanged" 64
+    (Flight.get_default_capacity ());
+  Alcotest.(check int) "create () uses the default" 64
+    (Flight.capacity_of (Flight.create ()));
+  let r = Flight.create ~capacity:3 () in
+  Alcotest.(check int) "explicit capacity" 3 (Flight.capacity_of r);
+  for i = 1 to 5 do
+    Flight.notef_to r "n%d" i
+  done;
+  Alcotest.(check int) "recorded counts all" 5 (Flight.recorded_of r);
+  Alcotest.(check (list string))
+    "ring keeps newest 3" [ "n3"; "n4"; "n5" ]
+    (List.map (fun (e : Flight.entry) -> e.Flight.msg) (Flight.dump_of r));
+  Flight.clear_of r;
+  Alcotest.(check int) "clear empties" 0 (List.length (Flight.dump_of r));
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Flight.create: capacity must be >= 1") (fun () ->
+      ignore (Flight.create ~capacity:0 ()))
+
 let test_flight_domain_isolation () =
   Flight.clear ();
   Flight.note "main-domain";
@@ -434,6 +457,32 @@ let test_history_load_missing () =
   Alcotest.(check int) "missing file is empty" 0 (List.length entries);
   Alcotest.(check int) "no skips" 0 (List.length skipped)
 
+(* The drift thresholds are configurable (bench --trend-*-pct) but the
+   defaults are pinned: cycles 2%, allocation 10%, wall clock 50%. *)
+let test_history_trend_tolerances () =
+  let stable = List.init 5 (fun _ -> entry ()) in
+  (* +1% cycles sits inside the default 2%; +3% is out. *)
+  Alcotest.(check int) "cycles +1% inside default" 0
+    (List.length (History.trend (stable @ [ entry ~cycles:1010 () ])));
+  Alcotest.(check int) "cycles +3% outside default" 1
+    (List.length (History.trend (stable @ [ entry ~cycles:1030 () ])));
+  (* +8% alloc inside the default 10%; +15% is out. *)
+  Alcotest.(check int) "alloc +8% inside default" 0
+    (List.length (History.trend (stable @ [ entry ~alloc:1_080_000 () ])));
+  Alcotest.(check int) "alloc +15% outside default" 1
+    (List.length (History.trend (stable @ [ entry ~alloc:1_150_000 () ])));
+  (* +40% wall inside the default 50%; tightening the tolerance flags it. *)
+  let wall_up = stable @ [ entry ~wall:1.4 () ] in
+  Alcotest.(check int) "wall +40% inside default" 0
+    (List.length (History.trend wall_up));
+  (match History.trend ~wall_tolerance:0.3 wall_up with
+  | [ d ] -> Alcotest.(check string) "metric" "wall_seconds" d.History.metric
+  | ds -> Alcotest.failf "expected one wall drift, got %d" (List.length ds));
+  (* Overriding one tolerance leaves the others at their defaults. *)
+  Alcotest.(check int) "cycle override flags +1%" 1
+    (List.length
+       (History.trend ~cycle_tolerance:0.005 (stable @ [ entry ~cycles:1010 () ])))
+
 let test_history_trend () =
   let stable = List.init 5 (fun _ -> entry ()) in
   Alcotest.(check int) "stable history has no drift" 0
@@ -508,6 +557,8 @@ let () =
       ( "flight recorder",
         [
           Alcotest.test_case "ring order and wrap" `Quick test_flight_ring;
+          Alcotest.test_case "configurable capacity, pinned default" `Quick
+            test_flight_capacity;
           Alcotest.test_case "domain isolation" `Quick
             test_flight_domain_isolation;
           Alcotest.test_case "sink mirrors events" `Quick test_flight_sink;
@@ -533,6 +584,8 @@ let () =
             test_history_skips_bad_lines;
           Alcotest.test_case "missing file" `Quick test_history_load_missing;
           Alcotest.test_case "trend" `Quick test_history_trend;
+          Alcotest.test_case "trend tolerances, pinned defaults" `Quick
+            test_history_trend_tolerances;
         ] );
       ( "driver",
         [
