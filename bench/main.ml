@@ -549,6 +549,87 @@ let bench_gap_bounds () =
   Fmt.pr "  (bound identity exact on every cell)@.";
   Json.List rows
 
+(* ------------------------------------------------------------------ *)
+(* A1 (disambiguation): symbolic affine addresses vs same-base rule    *)
+(* ------------------------------------------------------------------ *)
+
+(* The symbolic-address refinement's end-to-end effect: five workloads
+   x three levels, scheduled with disambiguation off (the syntactic
+   same-base rule alone, --no-disambig) and on (the default). Cycles
+   and the dependence/resource lower bound enter as absolute [_cycles]
+   metrics, so the --baseline --check gate holds the refinement to the
+   same 2% tolerance as every other table. The two schedules must
+   produce identical observable traces — disambiguation may only
+   reorder memory operations it proved independent, never change what
+   the program computes — so any divergence aborts the run. *)
+let bench_mem_disambiguation () =
+  hr "A1: memory disambiguation (affine symbolic addresses vs same-base rule)";
+  let module Bounds = Gis_bounds.Bounds in
+  let levels =
+    [
+      ("local", Config.base);
+      ("useful", Config.useful_only);
+      ("speculative", Config.speculative);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, (cfg0, input)) ->
+        Fmt.pr "  %s:@." name;
+        Fmt.pr "    %-12s | off: cyc / bound / gap | on: cyc / bound / gap@."
+          "level";
+        let cells =
+          List.map
+            (fun (lname, config) ->
+              let run disambig =
+                let cfg = Cfg.deep_copy cfg0 in
+                ignore
+                  (Pipeline.run rs6k
+                     { config with Config.disambiguate = disambig }
+                     cfg);
+                let os = Simulator.run rs6k cfg input in
+                let b =
+                  Bounds.compute ~disambig ~machine:rs6k
+                    ~halted:(os.Simulator.stop = Simulator.Halted)
+                    cfg os.Simulator.telemetry
+                in
+                (os, b)
+              in
+              let ooff, boff = run false in
+              let oon, bon = run true in
+              if
+                not
+                  (String.equal
+                     (Simulator.observables ooff)
+                     (Simulator.observables oon))
+              then begin
+                Fmt.epr "A1: disambiguation changed observables on %s/%s@."
+                  name lname;
+                exit 1
+              end;
+              Fmt.pr "    %-12s | %8d / %5d / %4d | %8d / %5d / %4d@." lname
+                ooff.Simulator.cycles boff.Bounds.lower_bound boff.Bounds.gap
+                oon.Simulator.cycles bon.Bounds.lower_bound bon.Bounds.gap;
+              ( lname,
+                Json.Obj
+                  [
+                    ("off_cycles", Json.Int ooff.Simulator.cycles);
+                    ( "off_lower_bound_cycles",
+                      Json.Int boff.Bounds.lower_bound );
+                    ("off_gap_cycles", Json.Int boff.Bounds.gap);
+                    ("on_cycles", Json.Int oon.Simulator.cycles);
+                    ("on_lower_bound_cycles", Json.Int bon.Bounds.lower_bound);
+                    ("on_gap_cycles", Json.Int bon.Bounds.gap);
+                  ] ))
+            levels
+        in
+        Json.Obj
+          [ ("program", Json.String name); ("by_level", Json.Obj cells) ])
+      (proxy_programs ())
+  in
+  Fmt.pr "  (observable traces identical off/on in every cell)@.";
+  Json.List rows
+
 let bench_webs () =
   hr "A4: register-web splitting (Section 4.2 renaming pre-pass)";
   Fmt.pr "  %-10s | webs off: cyc/moves/renames | webs on: cyc/moves/renames@."
@@ -1130,6 +1211,7 @@ let () =
   let a8 = bench_duplication () in
   let m1 = bench_machine_sweep () in
   let g1 = bench_gap_bounds () in
+  let a1d = bench_mem_disambiguation () in
   let r1 = bench_regalloc () in
   (* P2 must run before P1 spawns worker domains: [Gc.allocated_bytes]
      folds a terminated domain's counters into the survivors at an
@@ -1150,6 +1232,7 @@ let () =
         ("E5_figure8_runtime", e5);
         ("E6_section53_safety", e6);
         ("A1_width_sweep", a1);
+        ("A1_mem_disambiguation", a1d);
         ("A2_heuristic_order", a2);
         ("A3_design_ablation", a3);
         ("A4_register_webs", a4);

@@ -183,7 +183,7 @@ let run_batch dir jobs width simulate elements seed deterministic stats_file
 
 let run_gisc source batch jobs level width show_code simulate elements seed
     trace_issue trace_out pipeline_view deterministic stats_file regalloc
-    pressure_aware regs timeout flight_cap verbose =
+    pressure_aware regs no_disambig timeout flight_cap verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -198,7 +198,13 @@ let run_gisc source batch jobs level width show_code simulate elements seed
     flight_cap;
   Metrics.enable ();
   let with_alloc config =
-    { config with Config.regalloc; pressure_aware; regs }
+    {
+      config with
+      Config.regalloc;
+      pressure_aware;
+      regs;
+      disambiguate = not no_disambig;
+    }
   in
   (match batch with
   | Some dir ->
@@ -471,7 +477,7 @@ let run_gisc source batch jobs level width show_code simulate elements seed
    block. The attribution identity (credits sum exactly to the base vs
    scheduled issue-cycle delta) is checked on every run. *)
 let run_explain source level width elements seed regalloc pressure_aware regs
-    json_file trace_out verbose =
+    no_disambig json_file trace_out verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -482,7 +488,15 @@ let run_explain source level width elements seed regalloc pressure_aware regs
     if width = 1 then Machine.rs6k else Machine.superscalar ~width
   in
   let config = config_of_level level in
-  let config = { config with Config.regalloc; pressure_aware; regs } in
+  let config =
+    {
+      config with
+      Config.regalloc;
+      pressure_aware;
+      regs;
+      disambiguate = not no_disambig;
+    }
+  in
   let task =
     {
       Gis_driver.Driver.name;
@@ -530,7 +544,7 @@ let run_explain source level width elements seed regalloc pressure_aware regs
    cycles and the bound per stall category under an exact accounting
    identity (exit 3 on violation). *)
 let run_bound source level width elements seed regalloc pressure_aware regs
-    top_k json_file verbose =
+    no_disambig top_k json_file verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -541,7 +555,15 @@ let run_bound source level width elements seed regalloc pressure_aware regs
     if width = 1 then Machine.rs6k else Machine.superscalar ~width
   in
   let config = config_of_level level in
-  let config = { config with Config.regalloc; pressure_aware; regs } in
+  let config =
+    {
+      config with
+      Config.regalloc;
+      pressure_aware;
+      regs;
+      disambiguate = not no_disambig;
+    }
+  in
   let compile_input () =
     if Filename.check_suffix name ".s" then
       { Codegen.cfg = Asm.parse src; vars = []; arrays = [] }
@@ -573,7 +595,7 @@ let run_bound source level width elements seed regalloc pressure_aware regs
       in
       let os = Simulator.run ?frame machine cfg sched_input in
       let bounds =
-        Gis_bounds.Bounds.compute ~top_k ~machine
+        Gis_bounds.Bounds.compute ~top_k ~disambig:(not no_disambig) ~machine
           ~halted:(os.Simulator.stop = Simulator.Halted)
           cfg os.Simulator.telemetry
       in
@@ -610,8 +632,8 @@ let run_bound source level width elements seed regalloc pressure_aware regs
    control-dependence relation reconstructed independently from the
    stage's input, plus an IR lint over the source and final programs.
    No simulation is involved. Exit code 3 on any legality Error. *)
-let run_check source level width regalloc pressure_aware regs json_file
-    deterministic verbose =
+let run_check source level width regalloc pressure_aware regs no_disambig
+    json_file deterministic verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -633,6 +655,7 @@ let run_check source level width regalloc pressure_aware regs json_file
       Config.regalloc;
       pressure_aware;
       regs;
+      disambiguate = not no_disambig;
       prov = Some prov;
       check = Some (Gis_check.Check.hook collector);
     }
@@ -931,6 +954,17 @@ let regs_arg =
               each, for $(b,--regalloc) and $(b,--pressure-aware) \
               experiments. Condition registers keep the machine's count.")
 
+let no_disambig_arg =
+  Arg.(
+    value & flag
+    & info [ "no-disambig" ]
+        ~doc:"Disable symbolic memory disambiguation: dependence graphs \
+              (scheduler and bound sides) keep every Mem edge the \
+              syntactic same-base rule cannot rule out, instead of \
+              consulting the whole-procedure affine address analysis. \
+              The control configuration of the A1 disambiguation \
+              experiment.")
+
 let timeout_arg =
   Arg.(
     value
@@ -973,7 +1007,7 @@ let explain_json_arg =
    run. Findings are shrunk to minimal reproducers and written to the
    corpus directory. Exit 6 when the campaign found anything. *)
 let run_fuzz seeds start corpus max_findings shrink_fuel jobs grammar
-    json_file verbose =
+    no_disambig json_file verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -993,7 +1027,7 @@ let run_fuzz seeds start corpus max_findings shrink_fuel jobs grammar
   let report =
     Gis_fuzz.Fuzz.campaign ~params ~max_findings ~shrink_fuel ~jobs
       ~log:(fun line -> Fmt.pr "FINDING %s@." line)
-      ~start ~seeds ()
+      ~disambig:(not no_disambig) ~start ~seeds ()
   in
   Option.iter
     (fun path -> write_json path (Gis_fuzz.Fuzz.report_to_json report))
@@ -1016,8 +1050,8 @@ let main_term =
     const run_gisc $ source_arg $ batch_arg $ jobs_arg $ level_arg
     $ width_arg $ show_code_arg $ simulate_arg $ elements_arg $ seed_arg
     $ trace_issue_arg $ trace_out_arg $ pipeline_view_arg $ deterministic_arg
-    $ stats_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg $ timeout_arg
-    $ flight_cap_arg $ verbose_arg)
+    $ stats_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg
+    $ no_disambig_arg $ timeout_arg $ flight_cap_arg $ verbose_arg)
 
 let explain_cmd =
   let doc =
@@ -1030,7 +1064,7 @@ let explain_cmd =
     Term.(
       const run_explain $ source_arg $ level_arg $ width_arg $ elements_arg
       $ seed_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg
-      $ explain_json_arg $ trace_out_arg $ verbose_arg)
+      $ no_disambig_arg $ explain_json_arg $ trace_out_arg $ verbose_arg)
 
 let profile_json_arg =
   Arg.(
@@ -1111,8 +1145,8 @@ let bound_cmd =
     (Cmd.info "bound" ~doc)
     Term.(
       const run_bound $ source_arg $ level_arg $ width_arg $ elements_arg
-      $ seed_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg $ top_k_arg
-      $ bound_json_arg $ verbose_arg)
+      $ seed_arg $ regalloc_arg $ pressure_aware_arg $ regs_arg
+      $ no_disambig_arg $ top_k_arg $ bound_json_arg $ verbose_arg)
 
 let check_json_arg =
   Arg.(
@@ -1134,8 +1168,8 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const run_check $ source_arg $ level_arg $ width_arg $ regalloc_arg
-      $ pressure_aware_arg $ regs_arg $ check_json_arg $ deterministic_arg
-      $ verbose_arg)
+      $ pressure_aware_arg $ regs_arg $ no_disambig_arg $ check_json_arg
+      $ deterministic_arg $ verbose_arg)
 
 let fuzz_seeds_arg =
   Arg.(
@@ -1209,7 +1243,7 @@ let fuzz_cmd =
     Term.(
       const run_fuzz $ fuzz_seeds_arg $ fuzz_start_arg $ fuzz_corpus_arg
       $ fuzz_max_findings_arg $ fuzz_shrink_fuel_arg $ fuzz_jobs_arg
-      $ fuzz_grammar_arg $ fuzz_json_arg $ verbose_arg)
+      $ fuzz_grammar_arg $ no_disambig_arg $ fuzz_json_arg $ verbose_arg)
 
 let cmd =
   let doc =

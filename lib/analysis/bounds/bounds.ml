@@ -372,8 +372,9 @@ let region_static ~top_k machine cfg sites block_instrs deps
 
 (* ------------------------------------------------------------------ *)
 
-let compute ?(top_k = 5) ~machine ~halted cfg (summary : Trace.summary) =
-  let program = Deps.of_cfg cfg in
+let compute ?(top_k = 5) ?(disambig = true) ~machine ~halted cfg
+    (summary : Trace.summary) =
+  let program = Deps.of_cfg ~disambig cfg in
   let deps = Deps.reconstruct program in
   let sites, block_instrs = index_cfg cfg in
   let chains = block_chains machine cfg deps sites block_instrs in

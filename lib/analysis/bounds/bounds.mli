@@ -78,6 +78,7 @@ type t = {
 
 val compute :
   ?top_k:int ->
+  ?disambig:bool ->
   machine:Gis_machine.Machine.t ->
   halted:bool ->
   Cfg.t ->
@@ -86,8 +87,11 @@ val compute :
 (** [compute ~machine ~halted cfg summary] bounds the run described by
     [summary] (the scheduled run's telemetry) for the final scheduled
     [cfg] it executed. [top_k] caps the binding edges kept per region
-    (default 5). [halted] must be false unless the run stopped at a
-    halt terminator. *)
+    (default 5). [disambig] (default [true]) is forwarded to
+    {!Gis_check.Deps.of_cfg}: with symbolic memory disambiguation off
+    the dependence chains keep every syntactic Mem edge and the lower
+    bound can only rise. [halted] must be false unless the run stopped
+    at a halt terminator. *)
 
 val identity_holds : t -> bool
 (** The exact accounting identity, checked at both levels: the bound

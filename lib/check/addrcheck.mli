@@ -1,0 +1,47 @@
+(** The checker's own symbolic address analysis.
+
+    [Gis_analysis.Symaddr] tells the scheduler which Mem edges it may
+    prune; this module re-proves those prunings at verification time
+    without sharing a line of code with it. It is written against the
+    same abstract-domain specification — base values in the flat
+    lattice [Num k | Ref (definition instance, k) | Any], affine
+    transfer through [Load_imm]/[Move]/add-sub-with-known-constant
+    (including [update] post-increments), fresh instance per opaque
+    definition, equality-or-Any join — but from an independent
+    implementation: registers are interned to dense indices, block
+    environments are flat arrays, and the fixpoint runs on a
+    {!Gis_util.Fix.Worklist} instead of repeated layout sweeps. The
+    two must agree in precision (a weaker checker would reject legal
+    schedules); they must never share defect modes (hence no code
+    sharing, and no fault-injection hook on this side — an over-claim
+    injected into [Symaddr] is exactly what this module exists to
+    catch). *)
+
+type av =
+  | Num of int  (** a known constant *)
+  | Ref of { def : int; reg : int; add : int }
+      (** the value produced by definition instance ([def], [reg]) —
+          instruction uid and {!Gis_ir.Reg.hash} of the defined
+          register, with [def = -1] for the register's value at
+          procedure entry — plus the constant [add] *)
+  | Any  (** no claim *)
+
+val pp_av : av Fmt.t
+
+type t
+
+val compute : Gis_ir.Cfg.t -> t
+(** Fixpoint over the CFG, then one recording pass noting the base
+    register's abstract value at every [Load]/[Store], before any
+    [update] post-increment. *)
+
+val base_value : t -> int -> av
+(** Abstract base value of the access with uid [uid]; [Any] when the
+    uid is not a recorded memory access. *)
+
+val delta : t -> a:int -> b:int -> int option
+(** [Some d] when access [b]'s base provably equals access [a]'s base
+    plus [d] on every joint execution — both [Num], or both [Ref] of
+    the same definition instance. Callers fold [d] into one side's
+    offset and apply {!Gis_ddg.Alias.ranges_disjoint} per its
+    contract. *)

@@ -34,6 +34,8 @@ type program = {
   p_summaries : (int, summary list) Hashtbl.t;  (* block id -> in order *)
   p_uids : Ints.Int_set.t;
   p_reaching : Reaching.t Lazy.t;
+  p_addr : Addrcheck.t Lazy.t;
+  p_disambig : bool;
 }
 
 let cfg p = p.p_cfg
@@ -83,7 +85,7 @@ let summarize_block (b : Block.t) =
       s)
     (Block.instrs b)
 
-let of_cfg cfg =
+let of_cfg ?(disambig = true) cfg =
   let layout_set =
     List.fold_left
       (fun acc id -> Ints.Int_set.add id acc)
@@ -118,6 +120,8 @@ let of_cfg cfg =
     p_summaries = summaries;
     p_uids = !uids;
     p_reaching = lazy (Reaching.compute cfg);
+    p_addr = lazy (Addrcheck.compute cfg);
+    p_disambig = disambig;
   }
 
 let site p uid = Hashtbl.find_opt p.p_sites uid
@@ -161,8 +165,8 @@ let still_conflicts kind iu iv =
 (* Kill-sensitive single-block scan, mirroring [Ddg.intra_block_scan]:
    flow from the last definition, output over the last definition, anti
    from uses since the last definition, memory pairwise with scan-local
-   base versions. *)
-let intra_deps summaries add =
+   base versions refined by [mem_conflict]. *)
+let intra_deps ~mem_conflict summaries add =
   let last_def = Hashtbl.create 8 in
   let uses_since = Hashtbl.create 8 in
   let mem_before = ref [] in
@@ -188,7 +192,7 @@ let intra_deps summaries add =
       (match s.s_mem with
       | Some a ->
           List.iter
-            (fun (m, am) -> if Alias.conflict am a then add m u Mem None)
+            (fun (m, am) -> if mem_conflict (m, am) (u, a) then add m u Mem None)
             !mem_before;
           mem_before := (u, a) :: !mem_before
       | None -> ());
@@ -231,6 +235,33 @@ let reconstruct p =
   let base_sites uid (ri : Alias.ref_info) =
     Some (Reaching.defs_of_use (reaching p) ~uid ~reg:ri.Alias.base)
   in
+  (* The symbolic-address refinement: a conflicting-looking pair stays
+     a Mem dependence unless the two accesses live in different memory
+     families, or the checker's own address analysis ([Addrcheck],
+     deliberately not the scheduler's [Symaddr]) proves a base delta
+     that puts their ranges apart. Matches [Ddg.decide_mem] in
+     precision — a weaker rule here would demand edges the scheduler
+     legitimately pruned and reject legal schedules. *)
+  let addr = if p.p_disambig then Some (Lazy.force p.p_addr) else None in
+  let refine ua a ub b conservative =
+    conservative
+    &&
+    match a, b with
+    | Alias.Call_ref, _ | _, Alias.Call_ref -> true
+    | ( (Alias.Load_ref x | Alias.Store_ref x),
+        (Alias.Load_ref y | Alias.Store_ref y) ) -> (
+        x.Alias.family = y.Alias.family
+        &&
+        match addr with
+        | None -> true
+        | Some t -> (
+            match Addrcheck.delta t ~a:ua ~b:ub with
+            | Some d ->
+                not
+                  (Alias.ranges_disjoint x
+                     { y with Alias.offset = y.Alias.offset + d })
+            | None -> true))
+  in
   (* Entry-reachable blocks only: unreachable code has no forward order
      (its back edges were never masked, so it may be cyclic) and is the
      linter's business, not the order oracle's. *)
@@ -246,7 +277,11 @@ let reconstruct p =
       (Cfg.layout p.p_cfg)
   in
   List.iter
-    (fun b -> intra_deps (Hashtbl.find p.p_summaries b) add)
+    (fun b ->
+      intra_deps
+        ~mem_conflict:(fun (m, am) (u, a) ->
+          refine m am u a (Alias.conflict am a))
+        (Hashtbl.find p.p_summaries b) add)
     view_blocks;
   List.iter
     (fun ba ->
@@ -273,7 +308,10 @@ let reconstruct p =
                       sa.s_uses;
                     match sa.s_mem, sb.s_mem with
                     | Some x, Some y ->
-                        if interblock_mem_conflict ~base_sites (ua, x) (ub, y)
+                        if
+                          refine ua x ub y
+                            (interblock_mem_conflict ~base_sites (ua, x)
+                               (ub, y))
                         then add ua ub Mem None
                     | None, _ | _, None -> ())
                   (Hashtbl.find p.p_summaries bb))

@@ -25,7 +25,14 @@ type program
     view-node reachability, uid -> (block, position) sites, and lazy
     reaching definitions. *)
 
-val of_cfg : Cfg.t -> program
+val of_cfg : ?disambig:bool -> Cfg.t -> program
+(** [disambig] (default [true]) enables the symbolic-address memory
+    disambiguation during {!reconstruct}: Mem pairs whose bases
+    {!Addrcheck} proves equal up to a known delta, with disjoint
+    access ranges, and pairs of different memory families, produce no
+    dependence. The analysis is the checker's own — it never consults
+    the scheduler's [Gis_analysis.Symaddr] — so every edge the
+    scheduler pruned is re-proved from this stage's input program. *)
 
 val back_edges : Cfg.t -> (int * int) list
 (** DFS back edges from the entry (block-id pairs) — the edges masked to
@@ -56,8 +63,10 @@ val ordered : program -> src:int -> dst:int -> bool
 val reconstruct : program -> dep list
 (** All dependences of the program: kill-sensitive intra-block scans
     plus pairwise inter-block edges over forward-reachable block pairs,
-    with the same memory disambiguation as [Gis_ddg.Ddg] (same base
-    register, same single reaching definition, disjoint ranges). *)
+    with the same memory disambiguation as [Gis_ddg.Ddg] (memory
+    families; same base register with the same scan version or single
+    reaching definition, disjoint ranges; and, when [disambig] is on,
+    {!Addrcheck}'s affine base deltas). *)
 
 val still_conflicts : kind -> Instr.t -> Instr.t -> bool
 (** Re-validate a reconstructed dependence against the *transformed*

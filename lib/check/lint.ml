@@ -1,6 +1,7 @@
 open Gis_util
 open Gis_ir
 open Gis_analysis
+open Gis_ddg
 open Gis_obs
 
 (* Rules, in reporting order:
@@ -9,6 +10,9 @@ open Gis_obs
      cfg.irreducible        (W) back edge whose target does not dominate
      lint.maybe-uninit      (W) a use reached by External *and* a real def
      lint.dead-def          (W) a definition no instruction ever reads
+     lint.dead-store        (W) a store provably overwritten, in its own
+                                block, by a covering store before any
+                                load or call could read it
      spill.not-mem          (E) Spill_inserted provenance on something other
                                 than a load, store, frame setup or
                                 cr<->gpr transfer move
@@ -124,6 +128,81 @@ let dataflow ~stage cfg acc =
           (Block.instrs b))
     cfg
 
+(* A store is dead when a later store in the same block provably
+   rewrites every byte of it before anything could read it. Address
+   proofs come from the checker-side affine analysis ({!Addrcheck}):
+   the killing store must use the same base *register* (the simulator
+   routes spill-segment accesses by base-register identity, so equal
+   numeric addresses through different bases can still name different
+   cells), the same memory family, and a provable base-value delta
+   under which its [offset, offset+width) range covers the victim's.
+   Any call, or any same-family load not provably disjoint from a
+   pending store, counts as a read and absolves it. *)
+let dead_stores ~stage cfg acc =
+  let addr = Addrcheck.compute cfg in
+  let reach = Cfg.reachable cfg in
+  Cfg.iter_blocks
+    (fun b ->
+      if Ints.Int_set.mem b.Block.id reach then begin
+        (* pending: stores not yet read or overwritten, newest first *)
+        let pending = ref [] in
+        let may_read ~x_uid (x : Alias.ref_info) ~y_uid (y : Alias.ref_info)
+            =
+          x.Alias.family = y.Alias.family
+          &&
+          match Addrcheck.delta addr ~a:x_uid ~b:y_uid with
+          | Some d ->
+              not
+                (Alias.ranges_disjoint x
+                   { y with Alias.offset = y.Alias.offset + d })
+          | None -> true
+        in
+        let covers ~x_uid (x : Alias.ref_info) ~y_uid (y : Alias.ref_info) =
+          x.Alias.family = y.Alias.family
+          && Reg.equal x.Alias.base y.Alias.base
+          &&
+          match Addrcheck.delta addr ~a:x_uid ~b:y_uid with
+          | Some d ->
+              y.Alias.offset + d <= x.Alias.offset
+              && x.Alias.offset + x.Alias.width
+                 <= y.Alias.offset + d + y.Alias.width
+          | None -> false
+        in
+        List.iter
+          (fun i ->
+            let uid = Instr.uid i in
+            match Alias.access_of_instr ~version_of:(fun _ -> 0) i with
+            | None -> ()
+            | Some Alias.Call_ref -> pending := []
+            | Some (Alias.Load_ref y) ->
+                pending :=
+                  List.filter
+                    (fun (x_uid, x) -> not (may_read ~x_uid x ~y_uid:uid y))
+                    !pending
+            | Some (Alias.Store_ref y) ->
+                let dead, live =
+                  List.partition
+                    (fun (x_uid, x) -> covers ~x_uid x ~y_uid:uid y)
+                    !pending
+                in
+                List.iter
+                  (fun (x_uid, x) ->
+                    acc :=
+                      Diagnostic.warning ~rule:"lint.dead-store" ~stage
+                        ~uid:x_uid ~blocks:[ b.Block.label ]
+                        (Fmt.str
+                           "store to %a%+d (%d bytes) is overwritten by \
+                            instruction %d before any load or call could \
+                            read it"
+                           Reg.pp x.Alias.base x.Alias.offset x.Alias.width
+                           uid)
+                      :: !acc)
+                  dead;
+                pending := (uid, y) :: live)
+          (Block.instrs b)
+      end)
+    cfg
+
 let spill_discipline ~stage ~prov ~staged_slots cfg acc =
   let spill_stores = Hashtbl.create 8 in
   let spill_instrs = ref [] in
@@ -178,6 +257,7 @@ let run ?prov ?(staged_slots = []) ?(stage = "lint") cfg =
   structural ~stage cfg acc;
   irreducibility ~stage cfg acc;
   dataflow ~stage cfg acc;
+  dead_stores ~stage cfg acc;
   (match prov with
   | Some p -> spill_discipline ~stage ~prov:p ~staged_slots cfg acc
   | None -> ());

@@ -4,9 +4,12 @@
     transformation: branch targets must resolve to layout blocks, every
     block should be reachable, loops should be natural (reducible),
     registers read before any definition on some path are suspicious,
-    definitions nothing ever reads are suspicious, and spill code must
-    follow the allocator's slot discipline. Hard malformations are
-    [Error]s; heuristic findings are [Warning]s. *)
+    definitions nothing ever reads are suspicious, stores provably
+    overwritten before anything could read them are suspicious
+    ([lint.dead-store], proved with the checker-side affine address
+    analysis {!Addrcheck}), and spill code must follow the allocator's
+    slot discipline. Hard malformations are [Error]s; heuristic
+    findings are [Warning]s. *)
 
 val run :
   ?prov:Gis_obs.Provenance.t ->

@@ -19,6 +19,7 @@ type t = {
   rotate_small_loops : bool;
   small_loop_blocks : int;
   local_post_pass : bool;
+  disambiguate : bool;
   split_webs : bool;
   max_speculation_degree : int;
   profile : (Gis_ir.Label.t -> int) option;
@@ -48,6 +49,7 @@ let default =
     rotate_small_loops = true;
     small_loop_blocks = 4;
     local_post_pass = true;
+    disambiguate = true;
     split_webs = false;
     max_speculation_degree = 1;
     profile = None;

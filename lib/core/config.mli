@@ -31,6 +31,15 @@ type t = {
   small_loop_blocks : int;
   local_post_pass : bool;
       (** run the basic block scheduler after global scheduling *)
+  disambiguate : bool;
+      (** consult the whole-procedure symbolic address analysis
+          ({!Gis_analysis.Symaddr}) when building dependence graphs, so
+          that provably disjoint memory accesses need no Mem edge. On
+          by default; [gisc --no-disambig] turns it off, leaving only
+          the syntactic same-base/same-version rule — the off
+          configuration of the A1 disambiguation experiment. Every
+          pruned edge is independently re-proved by the checker
+          ([Gis_check.Addrcheck]). *)
   split_webs : bool;
       (** run the register-web renaming pre-pass of Section 4.2 before
           scheduling (off by default so that the published Figure 5/6

@@ -166,8 +166,8 @@ let reaching st =
       st.reaching <- Some r;
       r
 
-let make_state machine config cfg regions view =
-  let ddg = Ddg.build cfg machine regions view in
+let make_state ?sym machine config cfg regions view =
+  let ddg = Ddg.build ?sym cfg machine regions view in
   let ddg = if config.Config.prune_transitive then Ddg.prune_transitive ddg else ddg in
   let flow = view.Regions.flow in
   let dom = Dominance.compute flow in
@@ -894,7 +894,7 @@ let note_skip (config : Config.t) region_id reason =
   config.Config.obs.Gis_obs.Sink.emit
     (Gis_obs.Sink.Region_skipped { region_id; reason })
 
-let schedule_region machine config cfg regions region =
+let schedule_region ?sym machine config cfg regions region =
   let base_report =
     {
       region_id = region.Regions.id;
@@ -919,7 +919,7 @@ let schedule_region machine config cfg regions region =
         match Regions.view cfg regions region with
         | exception Invalid_argument why -> skipped why
         | view ->
-            let st = make_state machine config cfg regions view in
+            let st = make_state ?sym machine config cfg regions view in
             let topo = Flow.reverse_postorder view.Regions.flow in
             List.iter
               (fun v ->
@@ -979,6 +979,14 @@ let schedule ?(only = fun _ -> true) ?regions machine config cfg =
   let regions =
     match regions with Some r -> r | None -> Regions.compute cfg
   in
+  (* The symbolic address analysis is whole-procedure and its per-access
+     facts survive legal code motion (register dependences pin every
+     address computation), so one run serves every region of this pass. *)
+  let sym =
+    if config.Config.disambiguate && config.Config.level <> Config.Local then
+      Some (Symaddr.compute cfg)
+    else None
+  in
   let inner_level = inner_levels regions in
   List.map
     (fun region ->
@@ -1015,9 +1023,10 @@ let schedule ?(only = fun _ -> true) ?regions machine config cfg =
            only built when a profiler is attached, so the detached path
            stays allocation-identical. *)
         match config.Config.prof with
-        | None -> schedule_region machine config cfg regions region
+        | None -> schedule_region ?sym machine config cfg regions region
         | Some _ as prof ->
             Gis_obs.Prof.record prof
               (Fmt.str "region-%d" region.Regions.id)
-              (fun () -> schedule_region machine config cfg regions region))
+              (fun () ->
+                schedule_region ?sym machine config cfg regions region))
     (Regions.regions regions)

@@ -77,9 +77,9 @@ let run machine rules ddg =
   done;
   (Vec.to_list emission, issue)
 
-let schedule_block ?(rules = Priority_rule.paper_order) ?prov machine
+let schedule_block ?(rules = Priority_rule.paper_order) ?prov ?sym machine
     (b : Block.t) =
-  let ddg = Ddg.build_single_block machine b in
+  let ddg = Ddg.build_single_block ?sym machine b in
   let order, issue = run machine rules ddg in
   let n = Ddg.num_nodes ddg in
   let instr_of i =
@@ -110,10 +110,15 @@ let schedule_block ?(rules = Priority_rule.paper_order) ?prov machine
   issue.(n - 1) + 1
 
 let schedule_cfg ?(rules = Priority_rule.paper_order) ?(obs = Gis_obs.Sink.null)
-    ?prov machine cfg =
+    ?prov ?(disambig = true) machine cfg =
+  (* One whole-procedure address analysis serves every block: the facts
+     are per-access and reordering within a block cannot change them. *)
+  let sym =
+    if disambig then Some (Gis_analysis.Symaddr.compute cfg) else None
+  in
   Cfg.iter_blocks
     (fun b ->
-      let cycles = schedule_block ~rules ?prov machine b in
+      let cycles = schedule_block ~rules ?prov ?sym machine b in
       obs.Gis_obs.Sink.emit
         (Gis_obs.Sink.Block_scheduled { block = b.Block.label; cycles }))
     cfg

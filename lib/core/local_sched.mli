@@ -11,24 +11,30 @@
 val schedule_block :
   ?rules:Priority_rule.t list ->
   ?prov:Gis_obs.Provenance.t ->
+  ?sym:Gis_analysis.Symaddr.t ->
   Gis_machine.Machine.t ->
   Gis_ir.Block.t ->
   int
 (** Reorder the block body in place (the terminator stays last) and
     return the schedule length in cycles — the issue cycle of the
     terminator plus one. With [prov], records the decision-time ranks
-    of instructions whose provenance has no scores yet. *)
+    of instructions whose provenance has no scores yet. [sym] prunes
+    provably false Mem edges from the block's DDG
+    ({!Gis_ddg.Ddg.build_single_block}). *)
 
 val schedule_cfg :
   ?rules:Priority_rule.t list ->
   ?obs:Gis_obs.Sink.t ->
   ?prov:Gis_obs.Provenance.t ->
+  ?disambig:bool ->
   Gis_machine.Machine.t ->
   Gis_ir.Cfg.t ->
   unit
 (** Apply {!schedule_block} to every block, emitting a
     [Block_scheduled] event per block to [obs] (default
-    {!Gis_obs.Sink.null}). *)
+    {!Gis_obs.Sink.null}). [disambig] (default [true]) runs the
+    symbolic address analysis once for the procedure and shares it
+    across blocks. *)
 
 val block_schedule_length :
   Gis_machine.Machine.t -> Gis_ir.Block.t -> int

@@ -150,7 +150,8 @@ let run_phases machine (config : Config.t) cfg =
         in
         let pre = snapshot () in
         Local_sched.schedule_cfg ~rules:config.Config.rules
-          ~obs:config.Config.obs ?prov local_machine cfg;
+          ~obs:config.Config.obs ?prov
+          ~disambig:config.Config.disambiguate local_machine cfg;
         fire "local" pre
       end);
   let regalloc =

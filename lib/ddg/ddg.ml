@@ -34,7 +34,34 @@ type t = {
   of_uid : (int, int) Hashtbl.t;
   by_view_node : int list array;
   mem_access : Alias.access option array;
+  mem_kept : int;
+  mem_pruned : int;
 }
+
+let mem_kept t = t.mem_kept
+let mem_pruned t = t.mem_pruned
+
+(* Process-wide disambiguation telemetry (no-ops until
+   [Gis_obs.Metrics.enable]): every conflict query, every Mem edge the
+   refinements pruned versus kept, and why conservative queries fell
+   back. *)
+let m_queries = Gis_obs.Metrics.counter "alias.queries_total"
+let m_kept = Gis_obs.Metrics.counter "alias.mem_edges_kept_total"
+
+let m_pruned_intra =
+  Gis_obs.Metrics.counter "alias.mem_edges_pruned_total.intra"
+
+let m_pruned_inter =
+  Gis_obs.Metrics.counter "alias.mem_edges_pruned_total.inter"
+
+let m_fb_top = Gis_obs.Metrics.counter "alias.fallback_total.top"
+
+let m_fb_origin =
+  Gis_obs.Metrics.counter "alias.fallback_total.origin-mismatch"
+
+let m_fb_overlap = Gis_obs.Metrics.counter "alias.fallback_total.overlap"
+let m_fb_call = Gis_obs.Metrics.counter "alias.fallback_total.call"
+let m_fb_off = Gis_obs.Metrics.counter "alias.fallback_total.disabled"
 
 let num_nodes t = Array.length t.nodes
 let exec_time t i = t.exec.(i)
@@ -66,11 +93,61 @@ let interblock_mem_conflict ~base_sites (a_idx, a) (b_idx, b) =
             not (Alias.ranges_disjoint x y)
         | _, _ -> true)
 
+(* Decide whether a conflicting pair of accesses really needs its Mem
+   edge. [conservative] is the verdict of the version/family (intra) or
+   reaching-definition (inter) rule; when it says "ordered" and both
+   sides are plain references, the symbolic-address pass gets the last
+   word. Every decision is tallied — process-wide in the alias.*
+   metrics, per-graph in [kept]/[pruned] (surfaced by `gisc explain`).
+   Accesses of different memory families are disjoint outright; they
+   count as pruned when the family-blind baseline rule would have kept
+   an edge. *)
+let decide_mem ~sym ~pruned_metric ~kept ~pruned ~ua ~ub a b conservative =
+  Gis_obs.Metrics.incr m_queries;
+  let prune () =
+    incr pruned;
+    Gis_obs.Metrics.incr pruned_metric;
+    false
+  in
+  let keep reason =
+    Gis_obs.Metrics.incr reason;
+    incr kept;
+    Gis_obs.Metrics.incr m_kept;
+    true
+  in
+  match a, b with
+  | Alias.Load_ref _, Alias.Load_ref _ -> false
+  | Alias.Call_ref, _ | _, Alias.Call_ref ->
+      if conservative then keep m_fb_call else false
+  | ( (Alias.Load_ref x | Alias.Store_ref x),
+      (Alias.Load_ref y | Alias.Store_ref y) ) -> (
+      if x.Alias.family <> y.Alias.family then
+        if Alias.baseline_conflict a b then prune () else false
+      else if not conservative then false
+      else
+        match sym with
+        | None -> keep m_fb_off
+        | Some sym -> (
+            match Symaddr.delta sym ~a:ua ~b:ub with
+            | Some d ->
+                let shifted = { y with Alias.offset = y.Alias.offset + d } in
+                if Alias.ranges_disjoint x shifted then prune ()
+                else keep m_fb_overlap
+            | None ->
+                keep
+                  (match
+                     ( Symaddr.base_value sym ua,
+                       Symaddr.base_value sym ub )
+                   with
+                  | Symaddr.Top, _ | _, Symaddr.Top -> m_fb_top
+                  | (Symaddr.Const _ | Symaddr.Sym _), _ -> m_fb_origin)))
+
 (* One ordered scan over the nodes of a single block, adding flow, anti,
    output and memory edges. Shared by the region builder and the
-   single-block builder. *)
+   single-block builder. [mem_conflict] answers whether an earlier
+   memory node and the current one must stay ordered. *)
 let intra_block_scan ~(nodes : node array) ~mem_access ~flow_delay ~mem_delay
-    ~add_edge node_idxs =
+    ~mem_conflict ~add_edge node_idxs =
   let last_def = Hashtbl.create 8 in   (* reg hash -> node idx *)
   let uses_since = Hashtbl.create 8 in (* reg hash -> node idx list *)
   let mem_before = ref [] in           (* earlier memory nodes, newest first *)
@@ -94,12 +171,10 @@ let intra_block_scan ~(nodes : node array) ~mem_access ~flow_delay ~mem_delay
                (Hashtbl.find_opt uses_since (Reg.hash r))))
         nd.defs;
       (match mem_access.(j) with
-      | Some a ->
+      | Some _ ->
           List.iter
             (fun m ->
-              match mem_access.(m) with
-              | Some b -> if Alias.conflict b a then add_edge m j Mem None (mem_delay m j)
-              | None -> ())
+              if mem_conflict m j then add_edge m j Mem None (mem_delay m j))
             !mem_before;
           mem_before := j :: !mem_before
       | None -> ());
@@ -117,7 +192,8 @@ let intra_block_scan ~(nodes : node array) ~mem_access ~flow_delay ~mem_delay
         nd.uses)
     node_idxs
 
-let finalize ~nodes ~mem_access ~exec ~by_view_node edges =
+let finalize ~nodes ~mem_access ~exec ~by_view_node ~mem_kept ~mem_pruned
+    edges =
   let n = Array.length nodes in
   let succs = Array.make n [] and preds = Array.make n [] in
   Hashtbl.iter
@@ -127,7 +203,18 @@ let finalize ~nodes ~mem_access ~exec ~by_view_node edges =
     edges;
   let of_uid = Hashtbl.create (max 1 n) in
   Array.iter (fun nd -> Hashtbl.replace of_uid nd.uid nd.idx) nodes;
-  { nodes; succs; preds; exec; of_uid; by_view_node; mem_access }
+  { nodes; succs; preds; exec; of_uid; by_view_node; mem_access; mem_kept;
+    mem_pruned }
+
+(* The intra-block memory-conflict test both builders hand to the scan:
+   version/family rule first, symbolic refinement second. *)
+let intra_mem_conflict ~sym ~(nodes : node array)
+    ~(mem_access : Alias.access option array) ~kept ~pruned m j =
+  match mem_access.(m), mem_access.(j) with
+  | Some a, Some b ->
+      decide_mem ~sym ~pruned_metric:m_pruned_intra ~kept ~pruned
+        ~ua:nodes.(m).uid ~ub:nodes.(j).uid a b (Alias.conflict a b)
+  | None, _ | _, None -> false
 
 (* Fault-injection hook for the differential fuzzer's self-test: when
    set, every memory dependence edge is silently dropped, so stores and
@@ -160,7 +247,7 @@ let mem_delay_fn machine (nodes : node array) a b =
   | Some p, Some c -> Gis_machine.Machine.mem_delay machine ~producer:p ~consumer:c
   | None, _ | _, None -> 0
 
-let build_single_block machine (blk : Block.t) =
+let build_single_block ?sym machine (blk : Block.t) =
   let nodes_v = Vec.create () in
   let mem_v = Vec.create () in
   let exec_v = Vec.create () in
@@ -192,16 +279,18 @@ let build_single_block machine (blk : Block.t) =
   let mem_access = Vec.to_array mem_v in
   let exec = Vec.to_array exec_v in
   let edges, add_edge = make_edge_table () in
+  let kept = ref 0 and pruned = ref 0 in
   intra_block_scan ~nodes ~mem_access
     ~flow_delay:(flow_delay_fn machine nodes)
     ~mem_delay:(mem_delay_fn machine nodes)
+    ~mem_conflict:(intra_mem_conflict ~sym ~nodes ~mem_access ~kept ~pruned)
     ~add_edge
     (List.init (Array.length nodes) Fun.id);
   finalize ~nodes ~mem_access ~exec
     ~by_view_node:[| List.init (Array.length nodes) Fun.id |]
-    edges
+    ~mem_kept:!kept ~mem_pruned:!pruned edges
 
-let build cfg machine regions (view : Regions.view) =
+let build ?sym cfg machine regions (view : Regions.view) =
   let loops_blocks c = Regions.summary_blocks regions ~loop_index:c in
   (* ---- 1. Node table ---- *)
   let nodes = Vec.create () in
@@ -271,9 +360,12 @@ let build cfg machine regions (view : Regions.view) =
   let edges, add_edge = make_edge_table () in
   let flow_delay = flow_delay_fn machine nodes in
   let mem_delay = mem_delay_fn machine nodes in
+  let kept = ref 0 and pruned = ref 0 in
   (* Intra-block dependences: one ordered scan per view node. *)
   Array.iter
-    (intra_block_scan ~nodes ~mem_access ~flow_delay ~mem_delay ~add_edge)
+    (intra_block_scan ~nodes ~mem_access ~flow_delay ~mem_delay
+       ~mem_conflict:(intra_mem_conflict ~sym ~nodes ~mem_access ~kept ~pruned)
+       ~add_edge)
     by_view_node;
   (* Inter-block dependences over reachable view-node pairs. Reaching
      definitions power the cross-block base-value proof; they are only
@@ -308,14 +400,18 @@ let build cfg machine regions (view : Regions.view) =
                   na.uses;
                 match mem_access.(a), mem_access.(b) with
                 | Some x, Some y ->
-                    if interblock_mem_conflict ~base_sites (a, x) (b, y) then
-                      add_edge a b Mem None (mem_delay a b)
+                    if
+                      decide_mem ~sym ~pruned_metric:m_pruned_inter ~kept
+                        ~pruned ~ua:na.uid ~ub:nb.uid x y
+                        (interblock_mem_conflict ~base_sites (a, x) (b, y))
+                    then add_edge a b Mem None (mem_delay a b)
                 | None, _ | _, None -> ())
               by_view_node.(vb))
           by_view_node.(va)
     done
   done;
-  finalize ~nodes ~mem_access ~exec ~by_view_node edges
+  finalize ~nodes ~mem_access ~exec ~by_view_node ~mem_kept:!kept
+    ~mem_pruned:!pruned edges
 
 let prune_transitive t =
   let implied e =

@@ -35,6 +35,7 @@ type edge = {
 type t
 
 val build :
+  ?sym:Gis_analysis.Symaddr.t ->
   Gis_ir.Cfg.t ->
   Gis_machine.Machine.t ->
   Gis_analysis.Regions.t ->
@@ -42,13 +43,27 @@ val build :
   t
 (** Dependences are computed pairwise with the transitive-closure
     shortcut of Section 4.2 disabled (all edges are materialised); use
-    {!prune_transitive} to drop edges implied by longer paths. *)
+    {!prune_transitive} to drop edges implied by longer paths.
+
+    When [sym] (the whole-procedure symbolic address analysis of the
+    same CFG) is supplied, Mem edges between accesses with provably
+    equal-origin bases and disjoint ranges are pruned; without it only
+    the version/family and reaching-definition rules apply. Legal code
+    motion preserves every address computation, so facts computed once
+    per scheduling pass stay valid as regions are scheduled. *)
 
 val build_single_block :
-  Gis_machine.Machine.t -> Gis_ir.Block.t -> t
+  ?sym:Gis_analysis.Symaddr.t -> Gis_machine.Machine.t -> Gis_ir.Block.t -> t
 (** Intra-block dependences of one basic block only (view node 0) — the
     input to the local (basic block) scheduler applied after global
-    scheduling, Section 5.1. *)
+    scheduling, Section 5.1. [sym] as in {!build}. *)
+
+val mem_kept : t -> int
+(** Mem edges this build materialised. *)
+
+val mem_pruned : t -> int
+(** Conflicting access pairs whose Mem edge the family or
+    symbolic-address refinement proved unnecessary. *)
 
 val num_nodes : t -> int
 

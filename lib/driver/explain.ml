@@ -28,6 +28,11 @@ type t = {
   sched_telemetry : Trace.summary;
   bounds : Gis_bounds.Bounds.t;
       (** lower bounds and gap attribution for the scheduled run *)
+  mem_edges_kept : int;
+      (** Mem dependence edges the scheduled pipeline's DDGs kept *)
+  mem_edges_pruned : int;
+      (** Mem edges pruned by memory disambiguation (families plus the
+          symbolic address analysis when [config.disambiguate]) *)
 }
 
 let delta_total e = e.base_last_issue - e.sched_last_issue
@@ -52,7 +57,22 @@ let explain ?(elements = 128) ?(seed = 3) ?(trace = false) machine
         let baseline = Cfg.deep_copy compiled.Gis_frontend.Codegen.cfg in
         ignore (Pipeline.run machine Config.base baseline);
         let cfg = Cfg.deep_copy compiled.Gis_frontend.Codegen.cfg in
+        (* Pruned-vs-kept Mem tallies for the scheduled pipeline only,
+           read as [alias.*] counter deltas (the baseline run above is
+           outside the window). Metrics stay enabled only if they
+           already were. *)
+        let was_enabled = Metrics.is_enabled () in
+        if not was_enabled then Metrics.enable ();
+        let alias_counts () =
+          let v name = Option.value ~default:0 (Metrics.find_counter name) in
+          ( v "alias.mem_edges_kept_total",
+            v "alias.mem_edges_pruned_total.intra"
+            + v "alias.mem_edges_pruned_total.inter" )
+        in
+        let kept0, pruned0 = alias_counts () in
         let stats = Pipeline.run machine config cfg in
+        let kept1, pruned1 = alias_counts () in
+        if not was_enabled then Metrics.disable ();
         let input =
           match task.Driver.source with
           | Driver.Generated gseed ->
@@ -75,6 +95,7 @@ let explain ?(elements = 128) ?(seed = 3) ?(trace = false) machine
         in
         let bounds =
           Gis_bounds.Bounds.compute ~machine
+            ~disambig:config.Config.disambiguate
             ~halted:(os.Simulator.stop = Simulator.Halted)
             cfg os.Simulator.telemetry
         in
@@ -90,6 +111,8 @@ let explain ?(elements = 128) ?(seed = 3) ?(trace = false) machine
           base_telemetry = ob.Simulator.telemetry;
           sched_telemetry = os.Simulator.telemetry;
           bounds;
+          mem_edges_kept = kept1 - kept0;
+          mem_edges_pruned = pruned1 - pruned0;
         }
       with
       | e -> Ok e
@@ -173,7 +196,10 @@ let pp ppf e =
           c.Gis_bounds.Bounds.cycles)
     b.Gis_bounds.Bounds.credits;
   Fmt.pf ppf "  bound identity %s@."
-    (if Gis_bounds.Bounds.identity_holds b then "exact" else "VIOLATED")
+    (if Gis_bounds.Bounds.identity_holds b then "exact" else "VIOLATED");
+  Fmt.pf ppf "@.== %s: memory disambiguation ==@." e.task;
+  Fmt.pf ppf "  Mem edges kept %d, pruned %d@." e.mem_edges_kept
+    e.mem_edges_pruned
 
 let to_json e =
   Json.Obj
@@ -188,4 +214,6 @@ let to_json e =
       ("provenance", Provenance.to_json e.prov);
       ("attribution", Provenance.attribution_to_json e.attribution);
       ("bound", Gis_bounds.Bounds.to_json e.bounds);
+      ("mem_edges_kept", Json.Int e.mem_edges_kept);
+      ("mem_edges_pruned", Json.Int e.mem_edges_pruned);
     ]

@@ -21,6 +21,13 @@ type t = {
   bounds : Gis_bounds.Bounds.t;
       (** schedule-quality lower bounds and gap attribution for the
           scheduled run (see {!Gis_bounds.Bounds}) *)
+  mem_edges_kept : int;
+      (** Mem dependence edges materialised while building the
+          scheduled pipeline's DDGs (the baseline run is excluded) *)
+  mem_edges_pruned : int;
+      (** Mem edges memory disambiguation proved unnecessary — the
+          family rule plus, when [config.disambiguate], the symbolic
+          address analysis *)
 }
 
 val delta_total : t -> int

@@ -113,7 +113,7 @@ let reference_observables compiled input =
   Gis_sim.Simulator.observables
     (Gis_sim.Simulator.run reference_machine compiled.Codegen.cfg input)
 
-let run_cell cell compiled input ~reference =
+let run_cell ?(disambig = true) cell compiled input ~reference =
   match
     let cfg = Cfg.deep_copy compiled.Codegen.cfg in
     let base_config = config_of_level cell.level in
@@ -126,6 +126,7 @@ let run_cell cell compiled input ~reference =
         base_config with
         Config.regalloc = cell.regalloc;
         regs = (if cell.regalloc then Some regalloc_regs else None);
+        disambiguate = disambig;
         check = Some (Gis_check.Check.hook collector);
       }
     in
@@ -193,10 +194,10 @@ type cell_failure = { cell : cell; kind : kind }
 
 (* Run one already-compiled program through every cell, stopping at the
    first failure. *)
-let first_failure compiled input ~reference =
+let first_failure ~disambig compiled input ~reference =
   List.find_map
     (fun cell ->
-      match run_cell cell compiled input ~reference with
+      match run_cell ~disambig cell compiled input ~reference with
       | Ok () -> None
       | Error kind -> Some { cell; kind })
     cells
@@ -211,7 +212,7 @@ let first_failure compiled input ~reference =
    runs out), which would let the shrinker walk away from the real bug
    onto a meaningless reproducer. Generated programs always terminate,
    so this keeps accepted steps inside the generator's invariant. *)
-let reproduces ~cell ~input_seed ~kind prog =
+let reproduces ~disambig ~cell ~input_seed ~kind prog =
   Label.reset_fresh_counter ();
   match Codegen.compile prog with
   | exception _ -> false
@@ -223,7 +224,7 @@ let reproduces ~cell ~input_seed ~kind prog =
       if outcome.Gis_sim.Simulator.stop <> Gis_sim.Simulator.Halted then false
       else
         let reference = Gis_sim.Simulator.observables outcome in
-        match run_cell cell compiled input ~reference with
+        match run_cell ~disambig cell compiled input ~reference with
         | Ok () -> false
         | Error k -> same_kind k kind)
 
@@ -239,26 +240,28 @@ type finding = {
    failing cell unshrunk. Self-contained per call (reset + compile
    inside), so seeds can be detected on any domain in any order with
    identical results. *)
-let detect_seed params seed =
+let detect_seed ~disambig params seed =
   let prog, compiled = program_of_seed params ~seed in
   let input = Random_prog.random_input ~seed compiled in
   let reference = reference_observables compiled input in
-  match first_failure compiled input ~reference with
+  match first_failure ~disambig compiled input ~reference with
   | None -> None
   | Some { cell; kind } ->
       Some { seed; cell; kind; program = prog; shrunk = prog }
 
-let shrink_finding ~shrink_fuel f =
+let shrink_finding ~disambig ~shrink_fuel f =
   let shrunk =
     Shrink.shrink ~fuel:shrink_fuel
-      ~pred:(reproduces ~cell:f.cell ~input_seed:f.seed ~kind:f.kind)
+      ~pred:(reproduces ~disambig ~cell:f.cell ~input_seed:f.seed ~kind:f.kind)
       f.program
   in
   { f with shrunk }
 
 let run_seed ?(params = Random_prog.hardened)
-    ?(shrink_fuel = Shrink.default_fuel) seed =
-  Option.map (shrink_finding ~shrink_fuel) (detect_seed params seed)
+    ?(shrink_fuel = Shrink.default_fuel) ?(disambig = true) seed =
+  Option.map
+    (shrink_finding ~disambig ~shrink_fuel)
+    (detect_seed ~disambig params seed)
 
 type report = {
   seeds_run : int;
@@ -269,17 +272,18 @@ type report = {
 (* Detect a round of seeds, one per domain. [jobs = 1] stays entirely
    on the current domain. Detection is deterministic per seed, so the
    round's combined result does not depend on [jobs]. *)
-let detect_round params seeds =
+let detect_round ~disambig params seeds =
   match seeds with
-  | [ seed ] -> [ detect_seed params seed ]
+  | [ seed ] -> [ detect_seed ~disambig params seed ]
   | seeds ->
       seeds
-      |> List.map (fun seed -> Domain.spawn (fun () -> detect_seed params seed))
+      |> List.map (fun seed ->
+             Domain.spawn (fun () -> detect_seed ~disambig params seed))
       |> List.map Domain.join
 
 let campaign ?(params = Random_prog.hardened) ?(max_findings = 5)
-    ?(shrink_fuel = Shrink.default_fuel) ?(jobs = 1) ?(log = ignore) ~start
-    ~seeds () =
+    ?(shrink_fuel = Shrink.default_fuel) ?(jobs = 1) ?(log = ignore)
+    ?(disambig = true) ~start ~seeds () =
   let jobs = max 1 jobs in
   (* Rounds of [jobs] seeds; stop dispatching once enough findings are
      in. Every dispatched round runs to completion, so the set of seeds
@@ -295,13 +299,13 @@ let campaign ?(params = Random_prog.hardened) ?(max_findings = 5)
     ran := !ran + List.length round;
     List.iter
       (Option.iter (fun f -> findings := f :: !findings))
-      (detect_round params round)
+      (detect_round ~disambig params round)
   done;
   let findings =
     List.rev !findings
     |> List.filteri (fun i _ -> i < max_findings)
     |> List.map (fun f ->
-           let f = shrink_finding ~shrink_fuel f in
+           let f = shrink_finding ~disambig ~shrink_fuel f in
            log
              (Fmt.str "seed %d: %s in [%a] (%d -> %d statements)" f.seed
                 (kind_label f.kind) pp_cell f.cell

@@ -47,6 +47,7 @@ val regalloc_regs : int
 val reference_machine : Gis_machine.Machine.t
 
 val run_cell :
+  ?disambig:bool ->
   cell ->
   Gis_frontend.Codegen.compiled ->
   Gis_sim.Simulator.input ->
@@ -54,8 +55,10 @@ val run_cell :
   (unit, kind) result
 (** Schedule (a deep copy of) the compiled program under the cell's
     configuration with the legality checker hooked in, and compare the
-    resulting observable trace against [reference]. Never raises —
-    exceptions become [Crash]. *)
+    resulting observable trace against [reference]. [disambig]
+    (default [true]) sets [Config.disambiguate] — the fuzzer's default
+    exercises symbolic memory disambiguation in every cell. Never
+    raises — exceptions become [Crash]. *)
 
 type finding = {
   seed : int;
@@ -68,6 +71,7 @@ type finding = {
 val run_seed :
   ?params:Gis_workloads.Random_prog.params ->
   ?shrink_fuel:int ->
+  ?disambig:bool ->
   int ->
   finding option
 (** Fuzz one seed: generate, compile, run the full matrix, shrink the
@@ -87,6 +91,7 @@ val campaign :
   ?shrink_fuel:int ->
   ?jobs:int ->
   ?log:(string -> unit) ->
+  ?disambig:bool ->
   start:int ->
   seeds:int ->
   unit ->
@@ -96,7 +101,8 @@ val campaign :
     order). [jobs] (default 1) detects that many seeds concurrently on
     separate domains — each seed's detection is self-contained, so the
     findings are identical at any job count. [log] receives one line
-    per finding as it is shrunk. *)
+    per finding as it is shrunk. [disambig] (default [true]) is
+    applied to every cell; [false] is the A1 control campaign. *)
 
 val report_to_json : report -> Gis_obs.Json.t
 val finding_to_json : finding -> Gis_obs.Json.t

@@ -120,7 +120,13 @@ print(res);
   }
 
 (* espresso: dense bitwise kernel in one large block — the local
-   scheduler already fills the fixed point unit. *)
+   scheduler already fills the fixed point unit. Like the real
+   espresso, the kernel also maintains global set statistics in
+   memory (onct/offct): two read-modify-write chains through distinct
+   single-cell arrays. Their base registers differ syntactically, so
+   the conservative same-base rule serializes the two chains; the
+   affine address analysis proves the cells disjoint and lets them
+   interleave — the A1 measurement in EXPERIMENTS.md. *)
 let espresso =
   {
     name = "espresso";
@@ -129,6 +135,8 @@ let espresso =
 int a[512];
 int b[512];
 int c[512];
+int onct[1];
+int offct[1];
 int n;
 int i;
 int s;
@@ -146,6 +154,8 @@ while (i < n) {
   t1 = x & y;
   t2 = x | y;
   t3 = x ^ y;
+  onct[0] = onct[0] + (t1 & 15);
+  offct[0] = offct[0] + (t2 & 15);
   t4 = (t1 << 1) + (t2 >> 1);
   c[i] = t4 + t3;
   s = s + t1;
@@ -153,7 +163,7 @@ while (i < n) {
   s = s + (t3 & 255);
   i = i + 1;
 }
-print(s);
+print(s + onct[0] + offct[0]);
 |};
     setup =
       (fun c ->
@@ -168,13 +178,20 @@ print(s);
 (* gcc: unpredictable branches whose arms are dominated by stores, which
    may never be moved speculatively (Section 5.1), and which read [i] so
    the latch cannot be hoisted usefully either — the shape that left the
-   paper's gcc without improvement. *)
+   paper's gcc without improvement. Like the real gcc, the loop also
+   bumps memory-resident statistics counters (nhit/nmiss): two
+   read-modify-write chains through distinct single-cell arrays whose
+   base registers differ syntactically, so the conservative same-base
+   rule serializes them; the affine analysis proves the cells disjoint
+   and lets the chains overlap — the A1 measurement in EXPERIMENTS.md. *)
 let gcc =
   {
     name = "gcc";
     source =
       {|
 int tab[512];
+int nhit[1];
+int nmiss[1];
 int n;
 int i;
 int x;
@@ -189,6 +206,8 @@ while (i < n) {
   h = h ^ (h << 2);
   h = h + (h >> 5);
   h = h & 1023;
+  nhit[0] = nhit[0] + (h & 7);
+  nmiss[0] = nmiss[0] ^ x;
   if (x > 150) {
     tab[i] = h;
   } else {
@@ -197,7 +216,7 @@ while (i < n) {
   }
   i = i + 1;
 }
-print(acc);
+print(acc + nhit[0] + nmiss[0]);
 |};
     setup =
       (fun c ->

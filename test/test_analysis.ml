@@ -410,6 +410,151 @@ let test_region_view_collapse () =
   in
   Alcotest.(check int) "one summary node" 1 (List.length summaries)
 
+(* ---- symbolic addresses (Symaddr) ---- *)
+
+let body_uid cfg label idx =
+  Instr.uid (Gis_util.Vec.get (Cfg.block_of_label cfg label).Block.body idx)
+
+(* Affine chain inside one block: add-immediate shifts the symbolic
+   value, a register move copies it, and deltas compose with sign. *)
+let test_symaddr_affine_chain () =
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let b2 = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "A",
+          [
+            B.store ~src:x ~base ~offset:0;
+            B.addi ~dst:base ~lhs:base 8;
+            B.store ~src:x ~base ~offset:0;
+            B.mr ~dst:b2 ~src:base;
+            B.load ~dst:x ~base:b2 ~offset:4;
+          ],
+          Instr.Halt );
+      ]
+  in
+  let t = Symaddr.compute cfg in
+  let u0 = body_uid cfg "A" 0 in
+  let u2 = body_uid cfg "A" 2 in
+  let u4 = body_uid cfg "A" 4 in
+  Alcotest.(check (option int)) "addi shifts the base" (Some 8)
+    (Symaddr.delta t ~a:u0 ~b:u2);
+  Alcotest.(check (option int)) "move copies the value" (Some 0)
+    (Symaddr.delta t ~a:u2 ~b:u4);
+  Alcotest.(check (option int)) "delta is signed" (Some (-8))
+    (Symaddr.delta t ~a:u2 ~b:u0)
+
+(* Registers live at entry get their own origin: accesses through an
+   unknown-but-unchanged base still compare, and an opaque
+   redefinition (a load result) severs the relation. *)
+let test_symaddr_entry_and_opaque () =
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "A",
+          [
+            B.store ~src:x ~base ~offset:0;
+            B.store ~src:x ~base ~offset:8;
+            B.load ~dst:base ~base ~offset:0;
+            B.store ~src:x ~base ~offset:0;
+          ],
+          Instr.Halt );
+      ]
+  in
+  let t = Symaddr.compute cfg in
+  let u0 = body_uid cfg "A" 0 in
+  let u1 = body_uid cfg "A" 1 in
+  let u3 = body_uid cfg "A" 3 in
+  Alcotest.(check (option int)) "entry origin compares" (Some 0)
+    (Symaddr.delta t ~a:u0 ~b:u1);
+  Alcotest.(check (option int)) "opaque redefinition severs" None
+    (Symaddr.delta t ~a:u0 ~b:u3)
+
+(* The update post-increment: the access itself is recorded at the
+   pre-update base value, the increment shows up at the next access. *)
+let test_symaddr_update_postincrement () =
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "A",
+          [
+            B.load_update ~dst:x ~base ~offset:8;
+            B.store ~src:x ~base ~offset:0;
+          ],
+          Instr.Halt );
+      ]
+  in
+  let t = Symaddr.compute cfg in
+  let u0 = body_uid cfg "A" 0 in
+  let u1 = body_uid cfg "A" 1 in
+  Alcotest.(check (option int)) "post-increment lands after the access"
+    (Some 8)
+    (Symaddr.delta t ~a:u0 ~b:u1)
+
+(* CFG joins: agreeing paths keep the symbolic value, disagreeing
+   paths go to Top and the delta is unprovable. *)
+let test_symaddr_join () =
+  let diamond shift_t shift_f =
+    let g = Reg.Gen.create () in
+    let base = Reg.Gen.fresh g Reg.Gpr in
+    let x = Reg.Gen.fresh g Reg.Gpr in
+    let c = Reg.Gen.fresh g Reg.Cr in
+    let cfg =
+      B.func ~reg_gen:g
+        [
+          ( "E",
+            [ B.cmpi ~dst:c ~lhs:x 0; B.store ~src:x ~base ~offset:0 ],
+            B.bt ~cr:c ~cond:Instr.Gt ~taken:"T" ~fallthru:"F" );
+          ("T", [ B.addi ~dst:base ~lhs:base shift_t ], B.jmp "J");
+          ("F", [ B.addi ~dst:base ~lhs:base shift_f ], B.jmp "J");
+          ("J", [ B.store ~src:x ~base ~offset:0 ], Instr.Halt);
+        ]
+    in
+    let t = Symaddr.compute cfg in
+    Symaddr.delta t ~a:(body_uid cfg "E" 1) ~b:(body_uid cfg "J" 0)
+  in
+  Alcotest.(check (option int)) "agreeing join keeps the value" (Some 8)
+    (diamond 8 8);
+  Alcotest.(check (option int)) "disagreeing join is Top" None (diamond 8 16)
+
+(* The fault-injection hook fabricates deltas for unprovable pairs;
+   the DDG-subset property and the checker-independence tests rely on
+   it actually over-claiming. *)
+let test_symaddr_overclaim_hook () =
+  let g = Reg.Gen.create () in
+  let b1 = Reg.Gen.fresh g Reg.Gpr in
+  let b2 = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let cfg =
+    B.func ~reg_gen:g
+      [
+        ( "A",
+          [ B.store ~src:x ~base:b1 ~offset:0;
+            B.store ~src:x ~base:b2 ~offset:0 ],
+          Instr.Halt );
+      ]
+  in
+  let t = Symaddr.compute cfg in
+  let u0 = body_uid cfg "A" 0 in
+  let u1 = body_uid cfg "A" 1 in
+  Alcotest.(check (option int)) "distinct origins unprovable" None
+    (Symaddr.delta t ~a:u0 ~b:u1);
+  Symaddr.overclaim_for_testing := true;
+  Fun.protect
+    ~finally:(fun () -> Symaddr.overclaim_for_testing := false)
+    (fun () ->
+      Alcotest.(check bool) "hook fabricates a delta" true
+        (Symaddr.delta t ~a:u0 ~b:u1 <> None))
+
 let () =
   Alcotest.run "gis_analysis"
     [
@@ -452,5 +597,16 @@ let () =
           Alcotest.test_case "view-collapse" `Quick test_region_view_collapse;
           Alcotest.test_case "loop-exit postdominance" `Quick
             test_loop_exit_not_equivalent;
+        ] );
+      ( "symaddr",
+        [
+          Alcotest.test_case "affine chain" `Quick test_symaddr_affine_chain;
+          Alcotest.test_case "entry origin / opaque def" `Quick
+            test_symaddr_entry_and_opaque;
+          Alcotest.test_case "update post-increment" `Quick
+            test_symaddr_update_postincrement;
+          Alcotest.test_case "join" `Quick test_symaddr_join;
+          Alcotest.test_case "overclaim hook" `Quick
+            test_symaddr_overclaim_hook;
         ] );
     ]

@@ -310,6 +310,195 @@ let test_lint_detached_target () =
     true
     (has_rule "cfg.malformed-target" (C.errors ds))
 
+(* ---- memory disambiguation: the checker is independent ---- *)
+
+(* The fault-injection hook makes the scheduler-side analysis fabricate
+   base deltas it cannot prove. The checker's own re-implementation
+   ([Addrcheck]) must not be fooled: it still reconstructs the Mem
+   dependence from the stage's input, and a schedule that exploited the
+   over-claim is rejected. *)
+let test_checker_independent_of_overclaim () =
+  let g = Reg.Gen.create () in
+  let b1 = Reg.Gen.fresh g Reg.Gpr in
+  let b2 = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let pre =
+    B.func ~reg_gen:g
+      [
+        ( "L.entry",
+          [
+            B.li ~dst:x 7;
+            B.store ~src:x ~base:b1 ~offset:0;
+            B.store ~src:x ~base:b2 ~offset:8;
+          ],
+          B.halt );
+      ]
+  in
+  let body = (Cfg.block_of_label pre "L.entry").Block.body in
+  let s1 = Instr.uid (Gis_util.Vec.get body 1) in
+  let s2 = Instr.uid (Gis_util.Vec.get body 2) in
+  Gis_analysis.Symaddr.overclaim_for_testing := true;
+  Fun.protect
+    ~finally:(fun () -> Gis_analysis.Symaddr.overclaim_for_testing := false)
+    (fun () ->
+      (* Scheduler side swallows the over-claim and drops the edge... *)
+      let sym = Gis_analysis.Symaddr.compute pre in
+      let ddg =
+        Gis_ddg.Ddg.build_single_block ~sym machine
+          (Cfg.block_of_label pre "L.entry")
+      in
+      Alcotest.(check int) "scheduler side pruned the false pair" 1
+        (Gis_ddg.Ddg.mem_pruned ddg);
+      (* ...the checker still requires the order... *)
+      let deps = Gis_check.Deps.reconstruct (Gis_check.Deps.of_cfg pre) in
+      Alcotest.(check bool) "checker reconstructs the Mem dependence" true
+        (List.exists
+           (fun (d : Gis_check.Deps.dep) ->
+             d.Gis_check.Deps.d_src = s1
+             && d.Gis_check.Deps.d_dst = s2
+             && d.Gis_check.Deps.d_kind = Gis_check.Deps.Mem)
+           deps);
+      (* ...and a schedule built on it is rejected. *)
+      let post = Cfg.deep_copy pre in
+      let b = Cfg.block_of_label post "L.entry" in
+      let i1 = Gis_util.Vec.get b.Block.body 1 in
+      let i2 = Gis_util.Vec.get b.Block.body 2 in
+      Gis_util.Vec.set b.Block.body 1 i2;
+      Gis_util.Vec.set b.Block.body 2 i1;
+      let ds = C.check_stage ~stage:"local" ~pre ~post () in
+      Alcotest.(check bool)
+        (Fmt.str "over-claimed reorder rejected: %s" (pp_diags ds))
+        true
+        (has_rule "dependence.violated" (C.errors ds)))
+
+(* Legitimately pruned reorders pass: the checker re-proves the
+   disjointness on its own. *)
+let test_checker_reproves_pruned_reorder () =
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let b2 = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let pre =
+    B.func ~reg_gen:g
+      [
+        ( "L.entry",
+          [
+            B.li ~dst:x 7;
+            B.addi ~dst:b2 ~lhs:base 8;
+            B.store ~src:x ~base ~offset:0;
+            B.store ~src:x ~base:b2 ~offset:0;
+          ],
+          B.halt );
+      ]
+  in
+  (* Swap the stores: different base registers, so the syntactic rule
+     alone must keep them ordered — only the affine proof (b2 = base+8,
+     bytes [0,4) vs [8,12)) makes the reorder legal, and the checker
+     must find that proof on its own. *)
+  let post = Cfg.deep_copy pre in
+  let b = Cfg.block_of_label post "L.entry" in
+  let st0 = Gis_util.Vec.get b.Block.body 2 in
+  let st8 = Gis_util.Vec.get b.Block.body 3 in
+  Gis_util.Vec.set b.Block.body 2 st8;
+  Gis_util.Vec.set b.Block.body 3 st0;
+  let ds = C.check_stage ~stage:"local" ~pre ~post () in
+  Alcotest.(check int)
+    (Fmt.str "disjoint-store reorder accepted: %s" (pp_diags ds))
+    0
+    (List.length (C.errors ds))
+
+(* ---- lint.dead-store ---- *)
+
+let test_dead_store_lint () =
+  let run_lint blocks =
+    let ds = L.run (B.func blocks) in
+    (has_rule "lint.dead-store" ds, ds)
+  in
+  let mk body =
+    let g = Reg.Gen.create () in
+    let base = Reg.Gen.fresh g Reg.Gpr in
+    let b2 = Reg.Gen.fresh g Reg.Gpr in
+    let x = Reg.Gen.fresh g Reg.Gpr in
+    let y = Reg.Gen.fresh g Reg.Gpr in
+    let f = Reg.Gen.fresh g Reg.Fpr in
+    [ ("L.entry", body ~base ~b2 ~x ~y ~f, B.halt) ]
+  in
+  let fired, ds =
+    run_lint
+      (mk (fun ~base ~b2:_ ~x ~y:_ ~f:_ ->
+           [
+             B.li ~dst:x 1;
+             B.store ~src:x ~base ~offset:0;
+             B.store ~src:x ~base ~offset:0;
+           ]))
+  in
+  Alcotest.(check bool)
+    (Fmt.str "overwritten store flagged: %s" (pp_diags ds))
+    true fired;
+  (* The killer must cover the victim through a provable base shift. *)
+  let fired, ds =
+    run_lint
+      (mk (fun ~base ~b2:_ ~x ~y:_ ~f:_ ->
+           [
+             B.li ~dst:x 1;
+             B.store ~src:x ~base ~offset:4;
+             B.addi ~dst:base ~lhs:base 4;
+             B.store ~src:x ~base ~offset:0;
+           ]))
+  in
+  Alcotest.(check bool)
+    (Fmt.str "covered through base shift: %s" (pp_diags ds))
+    true fired;
+  (* An intervening possibly-aliasing load reads the store. *)
+  let fired, _ =
+    run_lint
+      (mk (fun ~base ~b2:_ ~x ~y ~f:_ ->
+           [
+             B.li ~dst:x 1;
+             B.store ~src:x ~base ~offset:0;
+             B.load ~dst:y ~base ~offset:0;
+             B.store ~src:x ~base ~offset:0;
+           ]))
+  in
+  Alcotest.(check bool) "intervening load absolves" false fired;
+  (* A call may read anything. *)
+  let fired, _ =
+    run_lint
+      (mk (fun ~base ~b2:_ ~x ~y:_ ~f:_ ->
+           [
+             B.li ~dst:x 1;
+             B.store ~src:x ~base ~offset:0;
+             B.call "f" [];
+             B.store ~src:x ~base ~offset:0;
+           ]))
+  in
+  Alcotest.(check bool) "intervening call absolves" false fired;
+  (* Different families never interact. *)
+  let fired, _ =
+    run_lint
+      (mk (fun ~base ~b2:_ ~x ~y:_ ~f ->
+           [
+             B.li ~dst:x 1;
+             B.store ~src:f ~base ~offset:0;
+             B.store ~src:x ~base ~offset:0;
+           ]))
+  in
+  Alcotest.(check bool) "cross-family store is no kill" false fired;
+  (* Different base registers route to different spill segments even
+     at equal numeric addresses, so they must not pair up. *)
+  let fired, _ =
+    run_lint
+      (mk (fun ~base ~b2 ~x ~y:_ ~f:_ ->
+           [
+             B.li ~dst:x 1;
+             B.li ~dst:base 64;
+             B.li ~dst:b2 64;
+             B.store ~src:x ~base ~offset:0;
+             B.store ~src:x ~base:b2 ~offset:0;
+           ]))
+  in
+  Alcotest.(check bool) "different base registers are exempt" false fired
+
 (* ---- exit codes: single source of truth, pinned ---- *)
 
 let test_exit_codes () =
@@ -401,6 +590,14 @@ let () =
           Alcotest.test_case "killed off-path def accepted" `Quick
             test_accepts_killed_off_path_def;
           Alcotest.test_case "instruction deleted" `Quick test_rejects_deletion;
+        ] );
+      ( "disambiguation",
+        [
+          Alcotest.test_case "checker independent of over-claim" `Quick
+            test_checker_independent_of_overclaim;
+          Alcotest.test_case "checker re-proves pruned reorder" `Quick
+            test_checker_reproves_pruned_reorder;
+          Alcotest.test_case "dead-store lint" `Quick test_dead_store_lint;
         ] );
       ( "validator",
         [

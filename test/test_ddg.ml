@@ -107,6 +107,104 @@ let test_mem_disambiguation () =
   Alcotest.(check bool) "across version change conflicts" true
     (List.exists (fun (s, d, _, _) -> s = 0 && d = 2) (mem_edges ddg))
 
+(* Symbolic refinement: the affine analysis proves disjointness across
+   a base redefinition, where the positional scan must keep the edge —
+   and keeps the edge when the shifted ranges do overlap. *)
+let test_symbolic_pruning () =
+  let build ~offset0 ~sym =
+    let g = Reg.Gen.create () in
+    let base = Reg.Gen.fresh g Reg.Gpr in
+    let x = Reg.Gen.fresh g Reg.Gpr in
+    let cfg =
+      B.func ~reg_gen:g
+        [
+          ( "A",
+            [
+              B.store ~src:x ~base ~offset:offset0;
+              B.addi ~dst:base ~lhs:base 8;
+              B.store ~src:x ~base ~offset:0;
+            ],
+            Instr.Halt );
+        ]
+    in
+    let sym = if sym then Some (Symaddr.compute cfg) else None in
+    Ddg.build_single_block ?sym machine (Cfg.block_of_label cfg "A")
+  in
+  (* base+0 then (base+8)+0: bytes [0,4) vs [8,12) — provably disjoint. *)
+  let ddg = build ~offset0:0 ~sym:true in
+  Alcotest.(check int) "shifted disjoint stores pruned" 0
+    (List.length (mem_edges ddg));
+  Alcotest.(check int) "pruned tally" 1 (Ddg.mem_pruned ddg);
+  Alcotest.(check int) "kept tally" 0 (Ddg.mem_kept ddg);
+  let ddg = build ~offset0:0 ~sym:false in
+  Alcotest.(check int) "same pair kept without the analysis" 1
+    (List.length (mem_edges ddg));
+  Alcotest.(check int) "kept tally without" 1 (Ddg.mem_kept ddg);
+  (* base+8 then (base+8)+0: both name bytes [8,12) — must stay. *)
+  let ddg = build ~offset0:8 ~sym:true in
+  Alcotest.(check int) "overlapping pair kept" 1
+    (List.length (mem_edges ddg))
+
+(* Memory families: an integer and a floating-point access live in
+   architecturally disjoint memories, so no analysis is needed. *)
+let test_family_pruning () =
+  let g = Reg.Gen.create () in
+  let base = Reg.Gen.fresh g Reg.Gpr in
+  let x = Reg.Gen.fresh g Reg.Gpr in
+  let f = Reg.Gen.fresh g Reg.Fpr in
+  let b =
+    single_block ~reg_gen:g
+      [ B.store ~src:x ~base ~offset:0; B.store ~src:f ~base ~offset:0 ]
+      Instr.Halt
+  in
+  let ddg = Ddg.build_single_block machine b in
+  Alcotest.(check int) "cross-family stores independent" 0
+    (List.length (mem_edges ddg));
+  Alcotest.(check int) "family prune counted" 1 (Ddg.mem_pruned ddg)
+
+(* Inter-block: the reaching-definition rule loses the base across a
+   redefinition, the symbolic analysis carries it through. *)
+let test_interblock_symbolic_pruning () =
+  let build ~sym =
+    let g = Reg.Gen.create () in
+    let base = Reg.Gen.fresh g Reg.Gpr in
+    let x = Reg.Gen.fresh g Reg.Gpr in
+    let y = Reg.Gen.fresh g Reg.Gpr in
+    let cfg =
+      B.func ~reg_gen:g
+        [
+          ( "B1",
+            [ B.store ~src:x ~base ~offset:0; B.addi ~dst:base ~lhs:base 8 ],
+            B.jmp "B2" );
+          ("B2", [ B.load ~dst:y ~base ~offset:0 ], Instr.Halt);
+        ]
+    in
+    let regions = Regions.compute cfg in
+    let top = List.hd (Regions.regions regions) in
+    let view = Regions.view cfg regions top in
+    let sym = if sym then Some (Symaddr.compute cfg) else None in
+    let ddg = Ddg.build ?sym cfg machine regions view in
+    let s =
+      Option.get
+        (Ddg.node_of_uid ddg
+           (Instr.uid
+              (Gis_util.Vec.get (Cfg.block_of_label cfg "B1").Block.body 0)))
+    in
+    let l =
+      Option.get
+        (Ddg.node_of_uid ddg
+           (Instr.uid
+              (Gis_util.Vec.get (Cfg.block_of_label cfg "B2").Block.body 0)))
+    in
+    List.exists
+      (fun (e : Ddg.edge) -> e.Ddg.dst = l && e.Ddg.kind = Ddg.Mem)
+      (Ddg.succs ddg s)
+  in
+  Alcotest.(check bool) "kept by the reaching-definition rule" true
+    (build ~sym:false);
+  Alcotest.(check bool) "pruned by the symbolic analysis" false
+    (build ~sym:true)
+
 let test_call_barrier () =
   let g = Reg.Gen.create () in
   let base = Reg.Gen.fresh g Reg.Gpr in
@@ -353,6 +451,8 @@ let () =
           Alcotest.test_case "paper BL1" `Quick test_bl1_dependences;
           Alcotest.test_case "output dep" `Quick test_output_dependence;
           Alcotest.test_case "mem disambiguation" `Quick test_mem_disambiguation;
+          Alcotest.test_case "symbolic pruning" `Quick test_symbolic_pruning;
+          Alcotest.test_case "family pruning" `Quick test_family_pruning;
           Alcotest.test_case "call barrier" `Quick test_call_barrier;
         ] );
       ( "region",
@@ -360,6 +460,8 @@ let () =
           Alcotest.test_case "minmax" `Quick test_minmax_region_ddg;
           Alcotest.test_case "interblock disambiguation" `Quick
             test_interblock_disambiguation;
+          Alcotest.test_case "interblock symbolic pruning" `Quick
+            test_interblock_symbolic_pruning;
           Alcotest.test_case "mem edge delay" `Quick test_mem_edge_delay;
           Alcotest.test_case "prune-safe" `Quick test_prune_preserves_constraints;
           Alcotest.test_case "summary nodes" `Quick test_summary_nodes;

@@ -34,7 +34,11 @@ let parallel_jobs =
 
 (* (program, level, cycles, dynamic instructions, moves, speculative
    moves, renames) — recorded from the pre-heap scheduler at commit
-   "telemetry layer", simulating each workload on its standard input. *)
+   "telemetry layer", simulating each workload on its standard input.
+   The espresso and gcc rows were re-recorded when those proxies grew
+   their memory-resident statistics counters (the A1 disambiguation
+   workloads); scheduling runs with symbolic disambiguation on, the
+   pipeline default. *)
 let golden =
   [
     ("minmax", `Local, 655, 375, 0, 0, 0);
@@ -46,12 +50,12 @@ let golden =
     ("eqntott", `Local, 8656, 6865, 0, 0, 0);
     ("eqntott", `Useful, 6837, 6865, 3, 0, 0);
     ("eqntott", `Speculative, 6837, 7286, 4, 1, 0);
-    ("espresso", `Local, 12297, 12683, 0, 0, 0);
-    ("espresso", `Useful, 12297, 12683, 0, 0, 0);
-    ("espresso", `Speculative, 12297, 12683, 0, 0, 0);
-    ("gcc", `Local, 12067, 11775, 0, 0, 0);
-    ("gcc", `Useful, 12067, 11775, 1, 0, 0);
-    ("gcc", `Speculative, 11639, 12012, 4, 3, 0);
+    ("espresso", `Local, 15375, 15761, 0, 0, 0);
+    ("espresso", `Useful, 15375, 15761, 0, 0, 0);
+    ("espresso", `Speculative, 15375, 15761, 0, 0, 0);
+    ("gcc", `Local, 14760, 14469, 0, 0, 0);
+    ("gcc", `Useful, 14760, 14469, 1, 0, 0);
+    ("gcc", `Speculative, 14332, 14706, 4, 3, 0);
   ]
 
 let config_of_level = Test_support.config_of_level

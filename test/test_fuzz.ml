@@ -166,6 +166,14 @@ let test_catches_corrupt_wide_add () =
   assert_mutant_caught ~what:"wide-add corruption" ~seeds:5
     Gis_sim.Simulator.corrupt_wide_add_for_testing
 
+(* The scheduler-side address analysis over-claims deltas it cannot
+   prove; the checker's independent re-implementation (and, failing
+   that, the trace comparison) must catch the resulting illegal
+   reorders. *)
+let test_catches_symaddr_overclaim () =
+  assert_mutant_caught ~what:"symaddr over-claim" ~seeds:5
+    Gis_analysis.Symaddr.overclaim_for_testing
+
 (* ------------------------------------------------------------------ *)
 (* Honest compiler                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -198,6 +206,8 @@ let () =
             test_catches_dropped_mem_edge;
           Alcotest.test_case "catches wide-add corruption" `Quick
             test_catches_corrupt_wide_add;
+          Alcotest.test_case "catches symaddr over-claim" `Quick
+            test_catches_symaddr_overclaim;
           Alcotest.test_case "honest window is clean" `Quick
             test_honest_window_clean;
         ] );

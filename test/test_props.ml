@@ -250,6 +250,83 @@ let prop_ddg_wellformed seed =
           !ok)
     (Gis_analysis.Regions.regions regions)
 
+(* Memory disambiguation only ever removes constraints: every edge of
+   the symbolically refined DDG is present in the conservative one, on
+   every region of every generated program. Node indices agree because
+   [sym] affects only the edge decisions, never the node layout. *)
+let prop_disambig_subset seed =
+  let cfg, _ = baseline_and_input seed in
+  let sym = Gis_analysis.Symaddr.compute cfg in
+  let regions = Gis_analysis.Regions.compute cfg in
+  List.for_all
+    (fun region ->
+      match Gis_analysis.Regions.view cfg regions region with
+      | exception Invalid_argument _ -> true
+      | view ->
+          let refined = Gis_ddg.Ddg.build ~sym cfg machine regions view in
+          let conservative = Gis_ddg.Ddg.build cfg machine regions view in
+          let cons = Hashtbl.create 64 in
+          Gis_ddg.Ddg.iter_edges
+            (fun (e : Gis_ddg.Ddg.edge) ->
+              Hashtbl.replace cons
+                (e.Gis_ddg.Ddg.src, e.Gis_ddg.Ddg.dst, e.Gis_ddg.Ddg.kind)
+                ())
+            conservative;
+          let subset = ref true in
+          Gis_ddg.Ddg.iter_edges
+            (fun (e : Gis_ddg.Ddg.edge) ->
+              if
+                not
+                  (Hashtbl.mem cons
+                     ( e.Gis_ddg.Ddg.src,
+                       e.Gis_ddg.Ddg.dst,
+                       e.Gis_ddg.Ddg.kind ))
+              then subset := false)
+            refined;
+          !subset
+          && Gis_ddg.Ddg.num_edges refined
+             <= Gis_ddg.Ddg.num_edges conservative)
+    (Gis_analysis.Regions.regions regions)
+
+(* Disambiguation-on schedules at every level and machine width are
+   certified by the static checker (every pruned edge re-proved from
+   the stage's own input by the independent checker-side analysis) and
+   still reproduce the unscheduled observables. *)
+let prop_disambig_checked seed =
+  let cfg0, input = baseline_and_input seed in
+  let expected = observe cfg0 input in
+  List.for_all
+    (fun (level, width) ->
+      let m = Machine.superscalar ~width in
+      let scheduled = Cfg.deep_copy cfg0 in
+      let prov = Gis_obs.Provenance.create () in
+      let collector =
+        Gis_check.Check.collector ~prov
+          ~max_speculation_degree:
+            Config.default.Config.max_speculation_degree ()
+      in
+      let config =
+        {
+          Config.default with
+          Config.level;
+          prov = Some prov;
+          check = Some (Gis_check.Check.hook collector);
+        }
+      in
+      ignore (Pipeline.run m config scheduled);
+      Validate.check_exn scheduled;
+      Gis_check.Check.errors
+        (List.concat_map snd (Gis_check.Check.diagnostics collector))
+      = []
+      && String.equal expected (observe scheduled input))
+    [ (Config.Local, 1); (Config.Useful, 2); (Config.Speculative, 4) ]
+
+(* The --no-disambig control configuration is itself sound. *)
+let prop_no_disambig seed =
+  preserves_observables
+    ~config:{ Config.speculative with Config.disambiguate = false }
+    seed
+
 (* Liveness is a sound upper bound: running the program never reads a
    register that liveness considers dead at the entry... approximated
    here by the cheaper internal-consistency property live_in >=
@@ -334,6 +411,12 @@ let () =
           qtest "detailed local machine" 40 prop_detailed_local_machine;
           qtest "duplication" 60 prop_duplication;
           qtest "duplication + everything" 40 prop_duplication_with_everything;
+          qtest "no-disambig control" 40 prop_no_disambig;
+        ] );
+      ( "memory disambiguation",
+        [
+          qtest "pruned DDG is a subset" 40 prop_disambig_subset;
+          qtest "checked at all levels x widths" 25 prop_disambig_checked;
         ] );
       ( "transforms preserve observables",
         [
